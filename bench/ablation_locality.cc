@@ -1,0 +1,42 @@
+// Ablation — the local-first migration preference (Sec. IV-E).
+//
+// The paper prefers local migrations to reduce network overhead and avoid
+// IP reconfiguration.  Compares local-first against a single global matching
+// at the root: expected effect is a much larger share of non-local
+// migrations and more traffic crossing the upper-level switches.
+#include "common.h"
+
+using namespace willow;
+
+int main(int argc, char** argv) {
+  util::Table table({"policy", "local", "non_local", "root_switch_traffic",
+                     "level1_switch_traffic", "drops"});
+  for (bool prefer_local : {true, false}) {
+    double local = 0, nonlocal = 0, root_traffic = 0, l1_traffic = 0,
+           drops = 0;
+    for (unsigned long long seed : {23ULL, 17ULL, 5ULL}) {
+      auto cfg = bench::hot_zone_sim_config(0.5, seed);
+      cfg.controller.prefer_local = prefer_local;
+      sim::Simulation simulation(std::move(cfg));
+      const auto r = simulation.run();
+      local += static_cast<double>(r.controller_stats.local_migrations);
+      nonlocal += static_cast<double>(r.controller_stats.nonlocal_migrations);
+      drops += static_cast<double>(r.controller_stats.drops);
+      auto& fabric = simulation.fabric();
+      const auto root = simulation.datacenter().root;
+      root_traffic += fabric.stats(root).total_migration_traffic;
+      for (const auto g : fabric.level1_groups()) {
+        l1_traffic += fabric.stats(g).total_migration_traffic;
+      }
+    }
+    table.row()
+        .add(prefer_local ? "local-first (paper)" : "global matching")
+        .add(local / 3.0)
+        .add(nonlocal / 3.0)
+        .add(root_traffic / 3.0)
+        .add(l1_traffic / 3.0)
+        .add(drops / 3.0);
+  }
+  bench::emit(table, argc, argv, "Ablation: local-first migration preference");
+  return 0;
+}

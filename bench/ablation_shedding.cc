@@ -1,0 +1,70 @@
+// Ablation — shedding policy and QoS priorities (the paper's future-work
+// "multiple QoS classes").
+//
+// Under a persistent deep deficiency, compares whole-app drops against
+// degrade-then-drop, with three priority classes in the mix.  Expected:
+// degrade-then-drop keeps far more applications alive (at reduced service),
+// and in both policies the lowest priority class absorbs the shedding.
+#include <iostream>
+
+#include "common.h"
+
+using namespace willow;
+using namespace willow::util::literals;
+
+int main(int argc, char** argv) {
+  util::Table table({"policy", "drops", "degrades", "revivals", "restores",
+                     "apps_fully_serving", "apps_degraded", "apps_dropped",
+                     "dropped_by_priority_0", "by_priority_1",
+                     "by_priority_2"});
+  for (auto policy : {core::SheddingPolicy::kDropWhole,
+                      core::SheddingPolicy::kDegradeThenDrop}) {
+    double drops = 0, degrades = 0, revivals = 0, restores = 0;
+    double full = 0, degraded = 0, dropped = 0;
+    double by_prio[3] = {0, 0, 0};
+    for (unsigned long long seed : {23ULL, 17ULL, 5ULL}) {
+      auto cfg = bench::paper_sim_config(0.7, seed);
+      cfg.mix.priority_levels = 3;
+      cfg.controller.shedding = policy;
+      cfg.controller.degraded_service_level = 0.5;
+      // Persistent deficiency: 80% of the sustainable envelope.
+      cfg.supply =
+          std::make_shared<power::ConstantSupply>(util::Watts{28.125 * 18.0 * 0.8});
+      sim::Simulation simulation(std::move(cfg));
+      const auto r = simulation.run();
+      drops += static_cast<double>(r.controller_stats.drops);
+      degrades += static_cast<double>(r.controller_stats.degrades);
+      revivals += static_cast<double>(r.controller_stats.revivals);
+      restores += static_cast<double>(r.controller_stats.restores);
+      auto& cluster = simulation.datacenter().cluster;
+      for (auto s : cluster.server_ids()) {
+        for (const auto& a : cluster.server(s).apps()) {
+          if (a.dropped()) {
+            dropped += 1;
+            by_prio[std::min(a.priority(), 2)] += 1;
+          } else if (a.degraded()) {
+            degraded += 1;
+          } else {
+            full += 1;
+          }
+        }
+      }
+    }
+    table.row()
+        .add(policy == core::SheddingPolicy::kDropWhole ? "drop-whole (paper)"
+                                                        : "degrade-then-drop")
+        .add(drops / 3.0)
+        .add(degrades / 3.0)
+        .add(revivals / 3.0)
+        .add(restores / 3.0)
+        .add(full / 3.0)
+        .add(degraded / 3.0)
+        .add(dropped / 3.0)
+        .add(by_prio[0] / 3.0)
+        .add(by_prio[1] / 3.0)
+        .add(by_prio[2] / 3.0);
+  }
+  bench::emit(table, argc, argv,
+              "Ablation: shedding policy with 3 QoS priority classes");
+  return 0;
+}

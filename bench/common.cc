@@ -1,0 +1,91 @@
+#include "common.h"
+
+#include <iostream>
+#include <mutex>
+
+#include "util/thread_pool.h"
+
+namespace willow::bench {
+
+using namespace willow::util::literals;
+
+sim::SimConfig paper_sim_config(double utilization, unsigned long long seed) {
+  sim::SimConfig cfg;
+  cfg.datacenter.server.thermal.c1 = 0.08;
+  cfg.datacenter.server.thermal.c2 = 0.05;
+  cfg.datacenter.server.thermal.ambient = 25_degC;
+  cfg.datacenter.server.thermal.limit = 70_degC;
+  cfg.datacenter.server.thermal.nameplate = 450_W;
+  cfg.datacenter.server.power_model =
+      power::ServerPowerModel::paper_simulation();
+  cfg.target_utilization = utilization;
+  cfg.warmup_ticks = 15;
+  cfg.measure_ticks = 60;
+  cfg.seed = seed;
+  return cfg;
+}
+
+sim::SimConfig hot_zone_sim_config(double utilization,
+                                   unsigned long long seed) {
+  auto cfg = paper_sim_config(utilization, seed);
+  cfg.datacenter.ambient_overrides.assign(18, 25_degC);
+  for (int i = 14; i < 18; ++i) {
+    cfg.datacenter.ambient_overrides[i] = 40_degC;
+  }
+  return cfg;
+}
+
+std::vector<SweepPoint> utilization_sweep(const std::vector<double>& points,
+                                          bool hot_zone, int seeds) {
+  std::vector<SweepPoint> out(points.size());
+  util::ThreadPool pool;
+  std::mutex mutex;
+  util::parallel_for(pool, points.size(), [&](std::size_t i) {
+    SweepPoint p;
+    p.utilization = points[i];
+    util::RunningStats switch_power;
+    for (int s = 0; s < seeds; ++s) {
+      const auto seed = 1000ULL * (s + 1) + i;
+      auto cfg = hot_zone ? hot_zone_sim_config(points[i], seed)
+                          : paper_sim_config(points[i], seed);
+      const auto r = sim::run_simulation(std::move(cfg));
+      p.demand_migrations += r.measured_demand_migrations();
+      p.consolidation_migrations += r.measured_consolidation_migrations();
+      p.normalized_migration_traffic +=
+          r.normalized_migration_traffic.stats().mean();
+      for (const auto& sw : r.level1_switches) {
+        switch_power.add(sw.power.mean());
+        p.level1_migration_cost_w += sw.migration_cost.mean();
+      }
+      p.mean_total_power_w += r.total_power.stats().mean();
+      for (const auto& srv : r.servers) p.asleep_servers += srv.asleep_fraction;
+    }
+    const double n = seeds;
+    p.demand_migrations /= n;
+    p.consolidation_migrations /= n;
+    p.normalized_migration_traffic /= n;
+    p.level1_migration_cost_w /= n;
+    p.mean_total_power_w /= n;
+    p.asleep_servers /= n;
+    p.level1_switch_power_w = switch_power.mean();
+    p.level1_switch_power_stddev = switch_power.stddev();
+    std::lock_guard<std::mutex> lock(mutex);
+    out[i] = p;
+  });
+  return out;
+}
+
+void emit(util::Table& table, int argc, char** argv, const std::string& title) {
+  std::cout << "== " << title << " ==\n";
+  table.print(std::cout);
+  if (argc > 1) {
+    if (table.write_csv_file(argv[1])) {
+      std::cout << "(csv written to " << argv[1] << ")\n";
+    } else {
+      std::cerr << "failed to write csv to " << argv[1] << '\n';
+    }
+  }
+  std::cout << std::endl;
+}
+
+}  // namespace willow::bench

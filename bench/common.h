@@ -1,0 +1,47 @@
+// Shared scaffolding for the figure/table regeneration benches.
+//
+// Every binary in bench/ regenerates one table or figure from the paper's
+// evaluation (Section V).  Numbers are produced by the same library code the
+// tests exercise; each binary prints the series the paper plots, and writes
+// a CSV next to it when invoked with an output path argument.
+#pragma once
+
+#include <string>
+
+#include "sim/simulation.h"
+#include "testbed/testbed.h"
+#include "util/table.h"
+
+namespace willow::bench {
+
+/// The Fig. 3 datacenter with the paper's thermal constants (c1 = 0.08,
+/// c2 = 0.05, 450 W nameplate, 70 degC limit), uniform 25 degC ambient.
+sim::SimConfig paper_sim_config(double utilization, unsigned long long seed);
+
+/// Same, with the Sec. V-B3 hot zone: servers 15-18 at 40 degC ambient.
+sim::SimConfig hot_zone_sim_config(double utilization, unsigned long long seed);
+
+/// Averages of the quantities Figures 9-12 plot at one utilization point,
+/// across `seeds` independent runs (run in parallel across hardware threads).
+struct SweepPoint {
+  double utilization = 0.0;
+  double demand_migrations = 0.0;
+  double consolidation_migrations = 0.0;
+  double normalized_migration_traffic = 0.0;
+  double level1_switch_power_w = 0.0;       ///< mean per physical switch
+  double level1_switch_power_stddev = 0.0;  ///< across level-1 switches
+  double level1_migration_cost_w = 0.0;
+  double mean_total_power_w = 0.0;
+  double asleep_servers = 0.0;
+};
+
+/// Run the sweep for the given utilization points with (or without) the hot
+/// zone, averaged over `seeds` seeds.
+std::vector<SweepPoint> utilization_sweep(const std::vector<double>& points,
+                                          bool hot_zone, int seeds = 3);
+
+/// Print the table, then write CSV to argv[1] if the caller received one.
+void emit(util::Table& table, int argc, char** argv,
+          const std::string& title);
+
+}  // namespace willow::bench

@@ -1,0 +1,47 @@
+// Extension bench — holistic facility power (Sec. VI future work: "Willow
+// must consider the energy consumed by cooling infrastructure as well").
+//
+// Sweeps utilization with the cooling plant attached, in a cool facility and
+// a hot one: PUE worsens with outside temperature, and the consolidation the
+// controller does at low utilization pays off roughly (1 + 1/COP)-fold at
+// the facility meter.
+#include "common.h"
+
+using namespace willow;
+using namespace willow::util::literals;
+
+int main(int argc, char** argv) {
+  util::Table table({"utilization_%", "outside_degC", "it_power_W",
+                     "facility_W", "PUE", "asleep_servers"});
+  for (double outside : {25.0, 35.0}) {
+    for (double u : {0.15, 0.4, 0.7, 0.9}) {
+      double it = 0, facility = 0, pue = 0, asleep = 0;
+      for (unsigned long long seed : {23ULL, 17ULL, 5ULL}) {
+        auto cfg = bench::paper_sim_config(u, seed);
+        power::CoolingConfig cool;
+        cool.reference_outside = 25_degC;
+        cfg.cooling = power::CoolingModel(cool);
+        // Model a hotter heat-rejection environment by shifting reference.
+        cool.cop_at_reference =
+            power::CoolingModel(power::CoolingConfig{})
+                .cop(util::Celsius{outside});
+        cfg.cooling = power::CoolingModel(cool);
+        const auto r = sim::run_simulation(std::move(cfg));
+        it += r.total_power.stats().mean();
+        facility += r.facility_power.stats().mean();
+        pue += r.pue.stats().mean();
+        for (const auto& s : r.servers) asleep += s.asleep_fraction;
+      }
+      table.row()
+          .add(u * 100.0)
+          .add(outside)
+          .add(it / 3.0)
+          .add(facility / 3.0)
+          .add(pue / 3.0)
+          .add(asleep / 3.0);
+    }
+  }
+  bench::emit(table, argc, argv,
+              "Extension: facility power and PUE with the cooling plant");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 4 — "Setting up the thermal constants".
+//
+// For candidate (c1, c2) pairs, the maximum power accommodatable over one
+// adjustment window as a function of the component's current temperature, at
+// ambient 25 degC and 45 degC.  The paper picks (0.08, 0.05) because the
+// cold-start limit lands near the 450 W device rating, and notes that at
+// Ta = 45 degC a component already at the 70 degC limit presents almost no
+// surplus.
+#include <iostream>
+
+#include "common.h"
+#include "thermal/calibration.h"
+
+using namespace willow;
+using namespace willow::util::literals;
+
+int main(int argc, char** argv) {
+  const double c1s[] = {0.04, 0.08, 0.16};
+  const double c2s[] = {0.025, 0.05, 0.1};
+  const util::Seconds window{1.3};  // ~one adjustment window
+
+  util::Table table({"c1", "c2", "Ta_degC", "T_degC", "P_limit_W"});
+  std::vector<thermal::ThermalParams> candidates;
+  for (double ta : {25.0, 45.0}) {
+    for (double c1 : c1s) {
+      for (double c2 : c2s) {
+        thermal::ThermalParams p;
+        p.c1 = c1;
+        p.c2 = c2;
+        p.ambient = util::Celsius{ta};
+        p.limit = 70_degC;
+        p.nameplate = util::Watts{1e9};  // show the raw thermal limit
+        if (ta == 25.0) {
+          auto rated = p;
+          rated.nameplate = 450_W;
+          candidates.push_back(rated);
+        }
+        const auto curve = thermal::power_limit_curve(
+            p, util::Celsius{ta}, 70_degC, 4, window);
+        for (const auto& pt : curve) {
+          table.row()
+              .add(c1)
+              .add(c2)
+              .add(ta)
+              .add(pt.temperature.value())
+              .add(pt.power_limit.value());
+        }
+      }
+    }
+  }
+  bench::emit(table, argc, argv, "Fig. 4: P_limit vs temperature for candidate (c1, c2)");
+
+  const std::size_t chosen = thermal::select_constants(candidates, window);
+  std::cout << "Selected constants (closest cold-start limit to the 450 W "
+               "rating): c1 = "
+            << candidates[chosen].c1 << ", c2 = " << candidates[chosen].c2
+            << " (paper: c1 = 0.08, c2 = 0.05)\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 9 — demand-driven vs consolidation-driven migrations across the
+// utilization sweep (uniform ambient, Sec. V-B4).
+//
+// Expected shape: consolidation-driven migrations dominate at low
+// utilization, demand-driven counts grow with utilization, and the two meet
+// around the middle of the range.
+#include "common.h"
+
+using namespace willow;
+
+int main(int argc, char** argv) {
+  const std::vector<double> points{0.1, 0.2, 0.3, 0.4, 0.5,
+                                   0.6, 0.7, 0.8, 0.9};
+  const auto sweep = bench::utilization_sweep(points, /*hot_zone=*/false);
+  util::Table table({"utilization_%", "demand_driven", "consolidation_driven",
+                     "total"});
+  for (const auto& p : sweep) {
+    table.row()
+        .add(p.utilization * 100.0)
+        .add(p.demand_migrations)
+        .add(p.consolidation_migrations)
+        .add(p.demand_migrations + p.consolidation_migrations);
+  }
+  bench::emit(table, argc, argv,
+              "Fig. 9: demand-driven vs consolidation-driven migrations");
+  return 0;
+}

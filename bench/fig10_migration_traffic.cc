@@ -1,0 +1,24 @@
+// Figure 10 — migration traffic in the switches normalized to the maximum
+// network traffic, vs utilization (uniform ambient).
+//
+// Expected shape: traffic rises with utilization, peaks in the middle of the
+// range (where demand- and consolidation-driven migrations overlap), then
+// shrinks at very high utilization because no server has surplus left to
+// accept anyone else's workload.
+#include "common.h"
+
+using namespace willow;
+
+int main(int argc, char** argv) {
+  const std::vector<double> points{0.1, 0.2, 0.3, 0.4, 0.5, 0.6,
+                                   0.7, 0.8, 0.9, 0.95};
+  const auto sweep = bench::utilization_sweep(points, /*hot_zone=*/false);
+  util::Table table({"utilization_%", "normalized_migration_traffic"});
+  table.set_precision(5);
+  for (const auto& p : sweep) {
+    table.row().add(p.utilization * 100.0).add(p.normalized_migration_traffic);
+  }
+  bench::emit(table, argc, argv,
+              "Fig. 10: migration traffic normalized to max network traffic");
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Figure 11 — power demand of the level-1 switches vs server utilization.
+//
+// Expected shape: switch power grows with utilization and is almost the same
+// across the level-1 switches — the preference for local migrations spreads
+// traffic evenly (the paper's observation).
+#include "common.h"
+
+using namespace willow;
+
+int main(int argc, char** argv) {
+  const std::vector<double> points{0.1, 0.2, 0.3, 0.4, 0.5,
+                                   0.6, 0.7, 0.8, 0.9};
+  const auto sweep = bench::utilization_sweep(points, /*hot_zone=*/false);
+  util::Table table({"utilization_%", "avg_switch_power_W",
+                     "across_switch_stddev_W"});
+  for (const auto& p : sweep) {
+    table.row()
+        .add(p.utilization * 100.0)
+        .add(p.level1_switch_power_w)
+        .add(p.level1_switch_power_stddev);
+  }
+  bench::emit(table, argc, argv, "Fig. 11: level-1 switch power demand");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 12 — migration cost deposited on the level-1 switches vs
+// utilization.
+//
+// Expected shape: follows the total-migrations trend of Figure 10 (rise,
+// mid-range peak, high-utilization decline).
+#include "common.h"
+
+using namespace willow;
+
+int main(int argc, char** argv) {
+  const std::vector<double> points{0.1, 0.2, 0.3, 0.4, 0.5, 0.6,
+                                   0.7, 0.8, 0.9, 0.95};
+  const auto sweep = bench::utilization_sweep(points, /*hot_zone=*/false);
+  util::Table table({"utilization_%", "level1_migration_cost_W"});
+  for (const auto& p : sweep) {
+    table.row().add(p.utilization * 100.0).add(p.level1_migration_cost_w);
+  }
+  bench::emit(table, argc, argv, "Fig. 12: migration cost in level-1 switches");
+  return 0;
+}

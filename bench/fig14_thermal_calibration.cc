@@ -1,0 +1,39 @@
+// Figure 14 — experimental estimation of the thermal constants.
+//
+// Reproduces the paper's procedure: run a known power schedule on the
+// emulated server, record the (noisy) temperature sensor, least-squares fit
+// the RC model, and plot max accommodatable power vs (Ta - T).  The paper's
+// fitted values are c1 = 0.2, c2 = 0.008; our calibrator recovers them from
+// traces generated with those constants as ground truth (the plant itself
+// runs on stabilized constants — see testbed.h for why).
+#include <iostream>
+
+#include "common.h"
+#include "thermal/calibration.h"
+
+using namespace willow;
+using namespace willow::util::literals;
+
+int main(int argc, char** argv) {
+  const auto truth = testbed::paper_fitted_thermal_params();
+  const auto trace = thermal::synthesize_trace(
+      truth, {20_W, 50_W, 80_W, 40_W, 65_W}, 8_s, util::Seconds{0.5}, 0.2, 77);
+  const auto fit = thermal::fit_thermal_constants(trace, truth.ambient);
+  std::cout << "fitted c1 = " << fit.c1 << " (paper: 0.2), c2 = " << fit.c2
+            << " (paper: 0.008), rms residual = " << fit.rms_residual
+            << " over " << fit.samples << " samples\n";
+
+  // The Fig.-14 line: max power vs (Ta - T) using the fitted constants.
+  thermal::ThermalParams fitted = truth;
+  fitted.c1 = fit.c1;
+  fitted.c2 = fit.c2;
+  const auto curve = thermal::power_limit_curve(fitted, 25_degC, 70_degC, 10,
+                                                util::Seconds{1.0});
+  util::Table table({"Ta_minus_T_degC", "max_power_W"});
+  for (const auto& pt : curve) {
+    table.row().add(pt.delta_ambient.value()).add(pt.power_limit.value());
+  }
+  bench::emit(table, argc, argv,
+              "Fig. 14: max accommodatable power vs (Ta - T), fitted constants");
+  return 0;
+}

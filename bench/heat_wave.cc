@@ -1,0 +1,60 @@
+// Extension bench — a rolling heat wave.
+//
+// The thermal half of the paper's title under a *changing* environment:
+// ambient temperature ramps 25 -> 34 -> 40 degC across the whole floor, then
+// one zone's cooling fails outright (45 degC) before everything recovers.
+// Willow must keep every component under 70 degC throughout by throttling,
+// migrating, and shedding — the "coordinated thermal management" argument of
+// Section III.
+#include <iostream>
+
+#include "common.h"
+
+using namespace willow;
+using namespace willow::util::literals;
+
+int main(int argc, char** argv) {
+  auto cfg = bench::paper_sim_config(0.6, 23);
+  cfg.warmup_ticks = 0;
+  cfg.measure_ticks = 100;
+  using Ev = sim::SimConfig::AmbientEvent;
+  cfg.ambient_events = {
+      Ev{20, 0, 17, 34_degC},  // the wave arrives
+      Ev{40, 0, 17, 40_degC},  // peaks
+      Ev{55, 0, 8, 45_degC},   // zone 0's cooling gives out
+      Ev{75, 0, 17, 25_degC},  // repaired, wave passes
+  };
+
+  sim::Simulation simulation(std::move(cfg));
+  const auto r = simulation.run();
+
+  util::Table table({"tick", "ambient_phase", "total_power_W", "migrations",
+                     "drops_cum"});
+  table.set_precision(1);
+  const auto& st = r.total_power;
+  std::uint64_t drops_cum = 0;
+  (void)drops_cum;
+  for (std::size_t i = 0; i < st.size(); i += 5) {
+    const long tick = static_cast<long>(st.times()[i]);
+    const char* phase = tick < 20   ? "25C"
+                        : tick < 40 ? "34C"
+                        : tick < 55 ? "40C"
+                        : tick < 75 ? "40C + zone0@45C"
+                                    : "recovered 25C";
+    table.row()
+        .add(static_cast<long long>(tick))
+        .add(phase)
+        .add(st.at(i))
+        .add(r.migrations_per_tick.at(i))
+        .add(0);
+  }
+  bench::emit(table, argc, argv, "Extension: rolling heat wave");
+
+  std::cout << "max temperature: " << r.max_temperature_c
+            << " degC (limit 70, violated: "
+            << (r.thermal_violation ? "YES" : "no") << ")\n"
+            << "migrations " << r.controller_stats.total_migrations()
+            << ", drops " << r.controller_stats.drops << ", revivals "
+            << r.controller_stats.revivals << "\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Extension bench — IPC-heavy workloads (the paper's future-work scenario).
+//
+// Every server's applications form a chatty chain that starts co-located.
+// As Willow migrates and consolidates, chains may separate and their traffic
+// starts crossing the switch fabric.  Sweeps utilization and compares the
+// local-first policy against global matching: locality should keep separated
+// tiers fewer switch-hops apart.
+#include "common.h"
+
+using namespace willow;
+
+int main(int argc, char** argv) {
+  util::Table table({"utilization_%", "policy", "remote_flow_units",
+                     "mean_flow_hops", "migrations"});
+  for (double u : {0.3, 0.5, 0.7}) {
+    for (bool prefer_local : {true, false}) {
+      double remote = 0, hops = 0, migrations = 0;
+      for (unsigned long long seed : {23ULL, 17ULL, 5ULL}) {
+        auto cfg = bench::paper_sim_config(u, seed);
+        cfg.ipc_chain_fraction = 1.0;
+        cfg.ipc_flow_units = 0.25;
+        cfg.controller.prefer_local = prefer_local;
+        const auto r = sim::run_simulation(std::move(cfg));
+        remote += r.remote_flow_traffic.stats().mean();
+        hops += r.mean_flow_hops.stats().mean();
+        migrations +=
+            static_cast<double>(r.controller_stats.total_migrations());
+      }
+      table.row()
+          .add(u * 100.0)
+          .add(prefer_local ? "local-first" : "global")
+          .add(remote / 3.0)
+          .add(hops / 3.0)
+          .add(migrations / 3.0);
+    }
+  }
+  bench::emit(table, argc, argv,
+              "Extension: IPC flow traffic under migration policies");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Extension bench — what each Willow mechanism is worth.
+//
+// Runs the same deficient, fluctuating scenario with mechanisms disabled one
+// at a time and compares served demand, drops, and fleet power:
+//   full Willow            everything on
+//   no locality            single global matching at the root
+//   no consolidation       idle servers never sleep
+//   no migrations          shedding is the only tool (margin set above any
+//                          possible surplus)
+// Expected: dropping mechanisms monotonically degrades served demand and/or
+// energy (consolidation mostly buys power, migrations mostly buy service).
+#include "common.h"
+
+using namespace willow;
+using namespace willow::util::literals;
+
+int main(int argc, char** argv) {
+  struct Variant {
+    const char* name;
+    void (*tweak)(sim::SimConfig&);
+  };
+  const Variant variants[] = {
+      {"full Willow", [](sim::SimConfig&) {}},
+      {"no locality",
+       [](sim::SimConfig& cfg) { cfg.controller.prefer_local = false; }},
+      {"no consolidation",
+       [](sim::SimConfig& cfg) { cfg.controller.consolidation_threshold = 0.0; }},
+      {"no migrations",
+       [](sim::SimConfig& cfg) { cfg.controller.margin = util::Watts{1e6}; }},
+  };
+
+  util::Table table({"variant", "migrations", "drops", "dropped_W",
+                     "revivals", "asleep_servers", "mean_power_W",
+                     "mean_imbalance_W"});
+  for (const auto& v : variants) {
+    double migrations = 0, drops = 0, dropped_w = 0, revivals = 0;
+    double asleep = 0, power = 0, imbalance = 0;
+    for (unsigned long long seed : {23ULL, 17ULL, 5ULL}) {
+      auto cfg = bench::hot_zone_sim_config(0.6, seed);
+      // Fluctuating, mildly deficient supply.
+      cfg.supply = std::make_shared<power::SinusoidSupply>(
+          util::Watts{28.125 * 18.0 * 0.85}, util::Watts{28.125 * 18.0 * 0.15},
+          1_s * 20.0);
+      v.tweak(cfg);
+      const auto r = sim::run_simulation(std::move(cfg));
+      migrations += static_cast<double>(r.controller_stats.total_migrations());
+      drops += static_cast<double>(r.controller_stats.drops);
+      dropped_w += r.controller_stats.dropped_demand.value();
+      revivals += static_cast<double>(r.controller_stats.revivals);
+      for (const auto& s : r.servers) asleep += s.asleep_fraction;
+      power += r.total_power.stats().mean();
+      imbalance += r.imbalance.stats().mean();
+    }
+    table.row()
+        .add(v.name)
+        .add(migrations / 3.0)
+        .add(drops / 3.0)
+        .add(dropped_w / 3.0)
+        .add(revivals / 3.0)
+        .add(asleep / 3.0)
+        .add(power / 3.0)
+        .add(imbalance / 3.0);
+  }
+  bench::emit(table, argc, argv, "Extension: value of each Willow mechanism");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Performance — FFDLR and baselines (Sec. V-A2).
+//
+// The paper relies on FFDLR's O(n log n) bound for its O(log n) distributed
+// decision-time claim.  These benchmarks time the packers across instance
+// sizes (time per element should stay near-flat for n log n growth) and the
+// exact solver on the small instances the tests verify quality against.
+#include <benchmark/benchmark.h>
+
+#include "binpack/exact.h"
+#include "binpack/pack.h"
+#include "binpack/vbp.h"
+#include "util/rng.h"
+
+namespace {
+
+using willow::binpack::Algorithm;
+using willow::binpack::Bin;
+using willow::binpack::Item;
+
+struct Instance {
+  std::vector<Item> items;
+  std::vector<Bin> bins;
+};
+
+Instance make_instance(std::size_t n_items, std::size_t n_bins,
+                       unsigned long long seed) {
+  willow::util::Rng rng(seed);
+  Instance inst;
+  inst.items.reserve(n_items);
+  for (std::size_t i = 0; i < n_items; ++i) {
+    inst.items.push_back({i + 1, rng.uniform(0.5, 9.0), 0});
+  }
+  inst.bins.reserve(n_bins);
+  for (std::size_t b = 0; b < n_bins; ++b) {
+    inst.bins.push_back({1000 + b, rng.uniform(5.0, 30.0), 0});
+  }
+  return inst;
+}
+
+void BM_Pack(benchmark::State& state, Algorithm algo) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = make_instance(n, n / 2 + 1, 42);
+  for (auto _ : state) {
+    auto result = willow::binpack::pack(inst.items, inst.bins, algo);
+    benchmark::DoNotOptimize(result.placed_size);
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_FFDLR(benchmark::State& state) { BM_Pack(state, Algorithm::kFfdlr); }
+void BM_FirstFitDecreasing(benchmark::State& state) {
+  BM_Pack(state, Algorithm::kFirstFitDecreasing);
+}
+void BM_BestFitDecreasing(benchmark::State& state) {
+  BM_Pack(state, Algorithm::kBestFitDecreasing);
+}
+
+void BM_VbpFfdlr(benchmark::State& state) {
+  // The classical unlimited-bins problem [Friesen & Langston]; the O(n log n)
+  // complexity the paper's Sec. V-A2 analysis rests on.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  willow::util::Rng rng(5);
+  std::vector<double> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) items.push_back(rng.uniform(0.05, 1.0));
+  const std::vector<double> sizes{0.25, 0.5, 0.75, 1.0};
+  for (auto _ : state) {
+    auto result = willow::binpack::vbp_ffdlr(items, sizes);
+    benchmark::DoNotOptimize(result.total_capacity);
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_ExactSmall(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = make_instance(n, 4, 7);
+  for (auto _ : state) {
+    auto result = willow::binpack::exact_pack(inst.items, inst.bins, 16);
+    benchmark::DoNotOptimize(result.max_placed);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_FFDLR)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+BENCHMARK(BM_VbpFfdlr)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+BENCHMARK(BM_FirstFitDecreasing)->RangeMultiplier(4)->Range(16, 1024);
+BENCHMARK(BM_BestFitDecreasing)->RangeMultiplier(4)->Range(16, 1024);
+BENCHMARK(BM_ExactSmall)->DenseRange(6, 12, 2);

@@ -1,0 +1,92 @@
+// Performance — the per-tick hot paths outside the packer: thermal stepping,
+// EWMA updates, fabric accounting, and budget allocation.  These run once
+// per server (or per node) per demand period; their costs bound how short
+// ΔD can be for a given fleet size.
+#include <benchmark/benchmark.h>
+
+#include "core/allocation.h"
+#include "net/fabric.h"
+#include "thermal/thermal_model.h"
+#include "util/ewma.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace willow;
+using namespace willow::util::literals;
+
+void BM_ThermalStep(benchmark::State& state) {
+  thermal::ThermalParams p;
+  p.c1 = 0.08;
+  p.c2 = 0.05;
+  thermal::ThermalModel model(p);
+  double power = 100.0;
+  for (auto _ : state) {
+    model.step(util::Watts{power}, 1_s);
+    power = power > 400.0 ? 50.0 : power + 1.0;
+    benchmark::DoNotOptimize(model.temperature());
+  }
+}
+
+void BM_PowerLimit(benchmark::State& state) {
+  thermal::ThermalParams p;
+  p.c1 = 0.08;
+  p.c2 = 0.05;
+  thermal::ThermalModel model(p, 55_degC);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.power_limit(1_s));
+  }
+}
+
+void BM_EwmaUpdate(benchmark::State& state) {
+  util::Ewma<double> filter(0.7);
+  double x = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.update(x));
+    x += 1.0;
+  }
+}
+
+void BM_Allocation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  std::vector<util::Watts> demands, caps;
+  for (std::size_t i = 0; i < n; ++i) {
+    demands.emplace_back(rng.uniform(5.0, 50.0));
+    caps.emplace_back(rng.uniform(20.0, 80.0));
+  }
+  for (auto _ : state) {
+    auto r = core::allocate_proportional(util::Watts{20.0 * n}, demands, caps);
+    benchmark::DoNotOptimize(r.unallocated);
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_FabricMigration(benchmark::State& state) {
+  hier::Tree tree(0.7);
+  const auto root = tree.add_root("dc");
+  std::vector<hier::NodeId> servers;
+  for (int z = 0; z < 4; ++z) {
+    const auto zone = tree.add_child(root, "z");
+    for (int r = 0; r < 4; ++r) {
+      const auto rack = tree.add_child(zone, "r");
+      for (int s = 0; s < 4; ++s) servers.push_back(tree.add_child(rack, "s"));
+    }
+  }
+  net::Fabric fabric(tree, net::FabricConfig{});
+  util::Rng rng(5);
+  fabric.begin_period();
+  for (auto _ : state) {
+    const auto a = servers[rng.index(servers.size())];
+    const auto b = servers[rng.index(servers.size())];
+    benchmark::DoNotOptimize(fabric.add_migration(a, b, 1.0));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ThermalStep);
+BENCHMARK(BM_PowerLimit);
+BENCHMARK(BM_EwmaUpdate);
+BENCHMARK(BM_Allocation)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+BENCHMARK(BM_FabricMigration);

@@ -1,0 +1,55 @@
+// Extension bench — the QoS value of adaptation.
+//
+// The paper's thesis: adapt to supply variations "while still meeting the
+// desired QoS requirements".  Under the same plunging supply, compares SLA
+// satisfaction (M/M/1 response-time inflation <= 5x, i.e. servers may run to
+// 80% of serviceable capacity) across operating points.  Under deficiency the
+// latency-power tradeoff is stark: packing servers full (FFDLR's intent)
+// minimizes power but queues requests past the SLA; the fill-fraction knob
+// buys satisfaction back at a power premium.
+#include "common.h"
+
+using namespace willow;
+using namespace willow::util::literals;
+
+int main(int argc, char** argv) {
+  struct Variant {
+    const char* name;
+    void (*tweak)(sim::SimConfig&);
+  };
+  const Variant variants[] = {
+      {"full Willow (pack full)", [](sim::SimConfig&) {}},
+      {"fill-capped 0.75",
+       [](sim::SimConfig& cfg) { cfg.controller.target_fill_fraction = 0.75; }},
+      {"no consolidation",
+       [](sim::SimConfig& cfg) { cfg.controller.consolidation_threshold = 0.0; }},
+      {"no migrations",
+       [](sim::SimConfig& cfg) { cfg.controller.margin = util::Watts{1e6}; }},
+  };
+  util::Table table({"variant", "sla_satisfaction_%", "mean_inflation",
+                     "drops", "migrations"});
+  for (const auto& v : variants) {
+    double satisfaction = 0, inflation = 0, drops = 0, migrations = 0;
+    for (unsigned long long seed : {23ULL, 17ULL, 5ULL}) {
+      auto cfg = bench::hot_zone_sim_config(0.6, seed);
+      cfg.sla_inflation = 5.0;
+      cfg.supply = std::make_shared<power::SinusoidSupply>(
+          util::Watts{28.125 * 18.0 * 0.85}, util::Watts{28.125 * 18.0 * 0.15},
+          1_s * 20.0);
+      v.tweak(cfg);
+      const auto r = sim::run_simulation(std::move(cfg));
+      satisfaction += r.qos_satisfaction.stats().mean();
+      inflation += r.qos_mean_inflation.stats().mean();
+      drops += static_cast<double>(r.controller_stats.drops);
+      migrations += static_cast<double>(r.controller_stats.total_migrations());
+    }
+    table.row()
+        .add(v.name)
+        .add(satisfaction / 3.0 * 100.0)
+        .add(inflation / 3.0)
+        .add(drops / 3.0)
+        .add(migrations / 3.0);
+  }
+  bench::emit(table, argc, argv, "Extension: SLA satisfaction under adaptation");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Table II — application power profiles: the measured increase in server
+// power when each application runs alone (paper: A1 = 8 W, A2 = 10 W,
+// A3 = 15 W).
+#include "common.h"
+
+using namespace willow;
+
+int main(int argc, char** argv) {
+  const auto rows = testbed::profile_applications();
+  util::Table table({"application", "power_increase_W"});
+  table.set_precision(1);
+  for (const auto& [name, w] : rows) {
+    table.row().add(name).add(w.value());
+  }
+  bench::emit(table, argc, argv, "Table II: application power profiles");
+  return 0;
+}

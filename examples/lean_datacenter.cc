@@ -1,0 +1,78 @@
+// The "lean design" story from the paper's introduction, end to end:
+//
+//   "A leaner design could take many forms including smaller power supplies,
+//    ... under-engineering uninterrupted power supplies (UPS), underdesigned
+//    rack power circuits, etc.  All these forms of lean design increase the
+//    probability that the data center will be occasionally under-powered and
+//    thus needs mechanisms to cope with it."
+//
+// This fleet has under-designed rack feeds, a small UPS, a noisy grid feed,
+// QoS tracking, and degrade-then-drop shedding with three priority classes —
+// Willow keeps the lights on and reports what the leanness cost.
+//
+//   $ ./lean_datacenter
+#include <iostream>
+
+#include "hier/dump.h"
+#include "sim/simulation.h"
+#include "util/table.h"
+
+using namespace willow;
+using namespace willow::util::literals;
+using willow::util::Watts;
+using willow::util::Seconds;
+
+int main() {
+  sim::SimConfig cfg;
+  cfg.datacenter.server.thermal.c1 = 0.08;
+  cfg.datacenter.server.thermal.c2 = 0.05;
+  cfg.datacenter.server.thermal.ambient = 25_degC;
+  cfg.datacenter.server.thermal.limit = 70_degC;
+  cfg.datacenter.server.thermal.nameplate = 450_W;
+  cfg.datacenter.server.power_model =
+      power::ServerPowerModel::paper_simulation();
+
+  cfg.target_utilization = 0.6;
+  cfg.mix.priority_levels = 3;
+  cfg.controller.shedding = core::SheddingPolicy::kDegradeThenDrop;
+  cfg.controller.target_fill_fraction = 0.85;
+  cfg.sla_inflation = 5.0;
+
+  // Lean hardware: rack feeds sized for ~80% of the thermal envelope of
+  // their three servers, a small UPS, and a feed that sags periodically.
+  cfg.rack_circuit_limit = Watts{28.125 * 3.0 * 0.8};
+  cfg.ups = power::Ups(util::Joules{200.0}, 120_W, 50_W, 1.0);
+  cfg.supply = std::make_shared<power::SinusoidSupply>(
+      Watts{28.125 * 18.0 * 0.9}, Watts{28.125 * 18.0 * 0.2}, Seconds{16.0});
+
+  cfg.warmup_ticks = 10;
+  cfg.measure_ticks = 80;
+  cfg.seed = 5;
+
+  sim::Simulation simulation(std::move(cfg));
+  const auto r = simulation.run();
+
+  util::Table table({"metric", "value"});
+  table.set_precision(2);
+  table.row().add("mean supply (W)").add(r.supply_series.stats().mean());
+  table.row().add("mean IT power (W)").add(r.total_power.stats().mean());
+  table.row().add("SLA satisfaction (%)").add(
+      r.qos_satisfaction.stats().mean() * 100.0);
+  table.row().add("mean response inflation (x)").add(
+      r.qos_mean_inflation.stats().mean());
+  table.row().add("max temperature (degC)").add(r.max_temperature_c);
+  const auto& st = r.controller_stats;
+  table.row().add("migrations").add(
+      static_cast<long long>(st.total_migrations()));
+  table.row().add("drops / revivals").add(
+      std::to_string(st.drops) + " / " + std::to_string(st.revivals));
+  table.row().add("degrades / restores").add(
+      std::to_string(st.degrades) + " / " + std::to_string(st.restores));
+  table.row().add("sleeps / wakes").add(
+      std::to_string(st.sleeps) + " / " + std::to_string(st.wakes));
+  table.print(std::cout);
+
+  std::cout << "\nFinal hierarchy state:\n";
+  hier::dump_tree(simulation.datacenter().cluster.tree(), std::cout);
+  return 0;
+}

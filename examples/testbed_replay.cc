@@ -1,0 +1,86 @@
+// Full replay of the paper's Section V-C experimental sequence on the
+// emulated three-server testbed:
+//
+//   1. baseline power-vs-utilization calibration (Table I)
+//   2. thermal constant estimation (Fig. 14)
+//   3. application profiling (Table II)
+//   4. the energy-deficient run (Figs. 15-18)
+//   5. the energy-plenty consolidation run (Fig. 19, Table III)
+//
+//   $ ./testbed_replay
+#include <iostream>
+
+#include "testbed/testbed.h"
+#include "thermal/calibration.h"
+#include "util/table.h"
+
+using namespace willow;
+using namespace willow::util::literals;
+using willow::util::Watts;
+using willow::util::Seconds;
+
+int main() {
+  std::cout << "=== 1. Baseline: utilization vs power (Table I) ===\n";
+  util::Table t1({"utilization_%", "avg_power_W"});
+  t1.set_precision(1);
+  for (const auto& [u, w] :
+       testbed::table1_measurements({0.0, 0.2, 0.4, 0.6, 0.8, 1.0})) {
+    t1.row().add(u * 100.0).add(w.value());
+  }
+  t1.print(std::cout);
+
+  std::cout << "\n=== 2. Thermal calibration (Fig. 14) ===\n";
+  const auto truth = testbed::paper_fitted_thermal_params();
+  const auto trace = thermal::synthesize_trace(
+      truth, {20_W, 50_W, 80_W, 40_W, 65_W}, 8_s, Seconds{0.5}, 0.2, 77);
+  const auto fit = thermal::fit_thermal_constants(trace, truth.ambient);
+  std::cout << "fitted c1 = " << fit.c1 << " (paper 0.2), c2 = " << fit.c2
+            << " (paper 0.008)\n";
+
+  std::cout << "\n=== 3. Application profiling (Table II) ===\n";
+  for (const auto& [name, w] : testbed::profile_applications()) {
+    std::cout << "  " << name << ": +" << w.value() << " W\n";
+  }
+
+  std::cout << "\n=== 4. Energy-deficient run (Figs. 15-18) ===\n";
+  {
+    testbed::Testbed tb;
+    tb.load_utilizations(0.8, 0.6, 0.3);
+    const auto supply = power::paper_fig15_trace();
+    const auto r = tb.run(*supply, 30);
+    util::Table t({"t", "supply_W", "migrations", "temp_A", "avg_temp"});
+    t.set_precision(1);
+    for (std::size_t i = 0; i < r.supply.size(); ++i) {
+      t.row()
+          .add(static_cast<long long>(i))
+          .add(r.supply.at(i))
+          .add(r.migrations.at(i))
+          .add(r.temperature_a.at(i))
+          .add(r.avg_temperature.at(i));
+    }
+    t.print(std::cout);
+    std::cout << "migrations " << r.stats.total_migrations() << ", drops "
+              << r.stats.drops << ", revivals " << r.stats.revivals
+              << ", ping-pong: " << (r.ping_pong ? "YES" : "no") << "\n";
+  }
+
+  std::cout << "\n=== 5. Energy-plenty consolidation (Fig. 19, Table III) ===\n";
+  {
+    testbed::Testbed tb;
+    tb.load_utilizations(0.8, 0.4, 0.2);
+    const auto supply = power::paper_fig19_trace();
+    const auto r = tb.run(*supply, 30);
+    const char* names[] = {"A", "B", "C"};
+    for (int i = 0; i < 3; ++i) {
+      std::cout << "  server " << names[i] << ": final utilization "
+                << r.final_utilization[i] * 100.0 << "% "
+                << (r.asleep[i] ? "(shut down)" : "(running)") << "\n";
+    }
+    double after = 0.0;
+    for (int i = 0; i < 3; ++i) after += r.consumed[i].mean_between(20.0, 30.0);
+    std::cout << "  power: ~580 W unconsolidated -> " << after
+              << " W, saving " << (580.0 - after) / 580.0 * 100.0
+              << "% (paper: ~27.5%)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# One-command reproduction: configure, build, run the full test suite, then
+# regenerate every table/figure/ablation of EXPERIMENTS.md.
+#
+#   scripts/reproduce.sh [build-dir] [output-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-reproduction}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cd "$ROOT"
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+
+mkdir -p "$OUT_DIR"
+
+echo "== tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure 2>&1 | tee "$OUT_DIR/test_output.txt"
+
+echo "== benches =="
+: > "$OUT_DIR/bench_output.txt"
+for b in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  echo "--- $name ---" | tee -a "$OUT_DIR/bench_output.txt"
+  case "$name" in
+    bench_perf_*) "$b" 2>&1 ;;
+    *) "$b" "$OUT_DIR/$name.csv" 2>&1 ;;
+  esac | tee -a "$OUT_DIR/bench_output.txt"
+done
+
+echo "== examples =="
+: > "$OUT_DIR/examples_output.txt"
+for e in quickstart renewable_datacenter thermal_emergency testbed_replay lean_datacenter; do
+  echo "--- $e ---" | tee -a "$OUT_DIR/examples_output.txt"
+  "$BUILD_DIR/examples/$e" 2>&1 | tee -a "$OUT_DIR/examples_output.txt"
+done
+
+echo
+echo "Reproduction artifacts in $OUT_DIR/ (compare against EXPERIMENTS.md)."

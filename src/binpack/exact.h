@@ -1,0 +1,32 @@
+// Exact finite-bin packing by branch-and-bound, for small instances.
+//
+// Used only by tests and quality benches to verify the heuristics: Property 1
+// of the paper claims FFDLR's quality bound survives Willow's locality
+// constraints, and the (3/2) OPT + 1 bin bound needs a ground-truth OPT.
+// Exponential in the worst case; callers keep items <= ~14.
+#pragma once
+
+#include "binpack/pack.h"
+
+namespace willow::binpack {
+
+struct ExactResult {
+  /// Maximum total size placeable (primary objective).
+  double max_placed = 0.0;
+  /// Among placements achieving max_placed, the fewest bins touched
+  /// (secondary objective — Willow deactivates emptied servers).
+  std::size_t min_bins = 0;
+  /// One witness assignment achieving both optima.
+  std::vector<Assignment> assignments;
+  /// Nodes explored (for complexity sanity checks in tests).
+  std::size_t nodes = 0;
+};
+
+/// Exhaustively maximize placed size, then minimize bins touched.
+/// Throws std::invalid_argument if items.size() > max_items (default guards
+/// against accidental exponential blowups).
+ExactResult exact_pack(const std::vector<Item>& items,
+                       const std::vector<Bin>& bins,
+                       std::size_t max_items = 16);
+
+}  // namespace willow::binpack

@@ -1,0 +1,284 @@
+#include "binpack/pack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace willow::binpack {
+
+namespace {
+
+void check_inputs(const std::vector<Item>& items, const std::vector<Bin>& bins) {
+  for (const auto& it : items) {
+    if (it.size < 0.0) throw std::invalid_argument("pack: negative item size");
+  }
+  for (const auto& b : bins) {
+    if (b.capacity < 0.0) throw std::invalid_argument("pack: negative capacity");
+  }
+}
+
+/// Item indices sorted by decreasing size (stable on index for determinism).
+std::vector<std::size_t> by_decreasing_size(const std::vector<Item>& items) {
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return items[a].size > items[b].size;
+  });
+  return order;
+}
+
+struct MutableBins {
+  std::vector<double> residual;
+  std::vector<bool> touched;
+
+  explicit MutableBins(const std::vector<Bin>& bins)
+      : residual(bins.size()), touched(bins.size(), false) {
+    for (std::size_t i = 0; i < bins.size(); ++i) residual[i] = bins[i].capacity;
+  }
+
+  void place(PackResult& r, const std::vector<Item>& items, std::size_t item,
+             std::size_t bin) {
+    residual[bin] -= items[item].size;
+    r.assignments.push_back({item, bin});
+    r.placed_size += items[item].size;
+    if (!touched[bin]) {
+      touched[bin] = true;
+      ++r.bins_touched;
+    }
+  }
+};
+
+constexpr double kEps = 1e-9;
+
+/// Generic one-pass heuristic over a fixed item order.
+PackResult greedy(const std::vector<Item>& items, const std::vector<Bin>& bins,
+                  const std::vector<std::size_t>& order, Algorithm algo) {
+  PackResult result;
+  MutableBins state(bins);
+  for (std::size_t item : order) {
+    const double size = items[item].size;
+    std::size_t chosen = bins.size();
+    switch (algo) {
+      case Algorithm::kFirstFit:
+      case Algorithm::kFirstFitDecreasing:
+        for (std::size_t b = 0; b < bins.size(); ++b) {
+          if (state.residual[b] + kEps >= size) {
+            chosen = b;
+            break;
+          }
+        }
+        break;
+      case Algorithm::kBestFitDecreasing: {
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t b = 0; b < bins.size(); ++b) {
+          const double slack = state.residual[b] - size;
+          if (slack >= -kEps && slack < best) {
+            best = slack;
+            chosen = b;
+          }
+        }
+        break;
+      }
+      case Algorithm::kWorstFitDecreasing: {
+        double best = -std::numeric_limits<double>::infinity();
+        for (std::size_t b = 0; b < bins.size(); ++b) {
+          const double slack = state.residual[b] - size;
+          if (slack >= -kEps && slack > best) {
+            best = slack;
+            chosen = b;
+          }
+        }
+        break;
+      }
+      case Algorithm::kFfdlr:
+        throw std::logic_error("greedy: FFDLR handled separately");
+    }
+    if (chosen < bins.size()) {
+      state.place(result, items, item, chosen);
+    } else {
+      result.unplaced.push_back(item);
+    }
+  }
+  return result;
+}
+
+/// FFDLR, Sec. IV-F, adapted to single-use finite bins (see pack.h).
+PackResult ffdlr(const std::vector<Item>& items, const std::vector<Bin>& bins) {
+  PackResult result;
+  if (bins.empty()) {
+    result.unplaced.resize(items.size());
+    std::iota(result.unplaced.begin(), result.unplaced.end(), std::size_t{0});
+    return result;
+  }
+
+  // Step 1: normalize so the largest bin has size 1.
+  double cmax = 0.0;
+  for (const auto& b : bins) cmax = std::max(cmax, b.capacity);
+  if (cmax <= 0.0) {
+    result.unplaced.resize(items.size());
+    std::iota(result.unplaced.begin(), result.unplaced.end(), std::size_t{0});
+    return result;
+  }
+
+  // Items larger than the largest bin can never be placed.
+  std::vector<std::size_t> order;
+  for (std::size_t i : by_decreasing_size(items)) {
+    if (items[i].size > cmax + kEps) {
+      result.unplaced.push_back(i);
+    } else {
+      order.push_back(i);
+    }
+  }
+
+  // Step 2+3: first-fit decreasing into virtual bins of (normalized) size 1.
+  struct VirtualBin {
+    double content = 0.0;
+    std::vector<std::size_t> items;
+  };
+  std::vector<VirtualBin> virt;
+  for (std::size_t item : order) {
+    const double size = items[item].size;
+    bool placed = false;
+    for (auto& vb : virt) {
+      if (vb.content + size <= cmax + kEps) {
+        vb.content += size;
+        vb.items.push_back(item);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      virt.push_back({size, {item}});
+    }
+  }
+
+  // Step 4: repack each virtual bin's contents into the smallest feasible
+  // real bin.  Virtual bins are taken largest-content first so the scarce
+  // big real bins go to the groups that need them.
+  std::stable_sort(virt.begin(), virt.end(),
+                   [](const VirtualBin& a, const VirtualBin& b) {
+                     return a.content > b.content;
+                   });
+  std::vector<std::size_t> real_by_cap(bins.size());
+  std::iota(real_by_cap.begin(), real_by_cap.end(), std::size_t{0});
+  std::stable_sort(real_by_cap.begin(), real_by_cap.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return bins[a].capacity < bins[b].capacity;
+                   });
+
+  MutableBins state(bins);
+  std::vector<bool> bin_used(bins.size(), false);
+  std::vector<std::size_t> leftovers;
+  for (const auto& vb : virt) {
+    // Smallest unused real bin that fits the whole group.
+    std::size_t chosen = bins.size();
+    for (std::size_t b : real_by_cap) {
+      if (!bin_used[b] && bins[b].capacity + kEps >= vb.content) {
+        chosen = b;
+        break;
+      }
+    }
+    if (chosen < bins.size()) {
+      bin_used[chosen] = true;
+      for (std::size_t item : vb.items) {
+        state.place(result, items, item, chosen);
+      }
+    } else {
+      // No single unused bin can hold the group; retry its items singly below.
+      leftovers.insert(leftovers.end(), vb.items.begin(), vb.items.end());
+    }
+  }
+
+  // Final pass: leftovers (still in decreasing order within each group) go
+  // best-fit into remaining residual capacity, including bins already used —
+  // the planner prefers filling servers completely (Sec. IV-F: "repacking
+  // into smaller bins means we try to run every server at full utilization").
+  std::stable_sort(leftovers.begin(), leftovers.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return items[a].size > items[b].size;
+                   });
+  for (std::size_t item : leftovers) {
+    const double size = items[item].size;
+    std::size_t chosen = bins.size();
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+      const double slack = state.residual[b] - size;
+      if (slack >= -kEps && slack < best) {
+        best = slack;
+        chosen = b;
+      }
+    }
+    if (chosen < bins.size()) {
+      state.place(result, items, item, chosen);
+    } else {
+      result.unplaced.push_back(item);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+PackResult pack(const std::vector<Item>& items, const std::vector<Bin>& bins,
+                Algorithm algorithm) {
+  check_inputs(items, bins);
+  switch (algorithm) {
+    case Algorithm::kFfdlr:
+      return ffdlr(items, bins);
+    case Algorithm::kFirstFit: {
+      std::vector<std::size_t> order(items.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      return greedy(items, bins, order, algorithm);
+    }
+    case Algorithm::kFirstFitDecreasing:
+    case Algorithm::kBestFitDecreasing:
+    case Algorithm::kWorstFitDecreasing:
+      return greedy(items, bins, by_decreasing_size(items), algorithm);
+  }
+  throw std::invalid_argument("pack: unknown algorithm");
+}
+
+bool validate(const PackResult& result, const std::vector<Item>& items,
+              const std::vector<Bin>& bins) {
+  std::vector<bool> seen(items.size(), false);
+  std::vector<double> load(bins.size(), 0.0);
+  std::vector<bool> touched(bins.size(), false);
+  double placed = 0.0;
+  for (const auto& a : result.assignments) {
+    if (a.item >= items.size() || a.bin >= bins.size()) return false;
+    if (seen[a.item]) return false;
+    seen[a.item] = true;
+    load[a.bin] += items[a.item].size;
+    touched[a.bin] = true;
+    placed += items[a.item].size;
+  }
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    if (load[b] > bins[b].capacity + 1e-6) return false;
+  }
+  for (std::size_t u : result.unplaced) {
+    if (u >= items.size() || seen[u]) return false;
+    seen[u] = true;
+  }
+  for (bool s : seen) {
+    if (!s) return false;
+  }
+  if (std::abs(placed - result.placed_size) > 1e-6) return false;
+  std::size_t t = 0;
+  for (bool b : touched) t += b ? 1 : 0;
+  return t == result.bins_touched;
+}
+
+std::size_t capacity_lower_bound(const std::vector<Item>& items,
+                                 const std::vector<Bin>& bins) {
+  double total = 0.0;
+  for (const auto& it : items) total += it.size;
+  double cmax = 0.0;
+  for (const auto& b : bins) cmax = std::max(cmax, b.capacity);
+  if (total <= 0.0) return 0;
+  if (cmax <= 0.0) return items.empty() ? 0 : std::numeric_limits<std::size_t>::max();
+  return static_cast<std::size_t>(std::ceil(total / cmax - 1e-9));
+}
+
+}  // namespace willow::binpack

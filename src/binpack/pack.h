@@ -1,0 +1,82 @@
+// Variable-sized bin packing — Section IV-F ("Packing The Bins").
+//
+// Willow's migration planner reduces matching power deficits to surpluses to
+// variable-sized bin packing: "The surpluses available in different nodes
+// form the bins.  The bins are variable sized and the demands need to be
+// fitted in them."  The paper picks FFDLR [Friesen & Langston 1986], which is
+// O(n log n) and guarantees (3/2) OPT + 1 bins.
+//
+// Unlike the textbook problem (unlimited copies of each bin size, minimize
+// capacity), the planner's bins are *finite* — each is one concrete node's
+// surplus and can be used at most once — and items that fit nowhere are
+// dropped (degraded mode).  pack() therefore solves the finite variant:
+// maximize placed demand, prefer few bins (so emptied servers can be
+// deactivated), never overfill.
+//
+// FFDLR here follows the paper's four steps: (1) normalize so the largest
+// bin has size 1, (2) first-fit the demands in decreasing order into virtual
+// unit bins, (3) repeat until all demands are handled, (4) repack the
+// contents of each virtual bin into the smallest feasible real bin.  A final
+// first-fit pass places any leftovers into residual capacity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace willow::binpack {
+
+/// A demand to be placed.  `group` carries locality (e.g. source rack); the
+/// planner solves per-group subproblems first, so pack() itself treats it as
+/// opaque.
+struct Item {
+  std::uint64_t key = 0;  ///< caller's identifier (e.g. application id)
+  double size = 0.0;      ///< demand magnitude (watts); must be >= 0
+  int group = 0;
+};
+
+/// A surplus that can absorb demands.  Capacity is consumed as items land.
+struct Bin {
+  std::uint64_t key = 0;  ///< caller's identifier (e.g. node id)
+  double capacity = 0.0;  ///< must be >= 0
+  int group = 0;
+};
+
+struct Assignment {
+  std::size_t item;  ///< index into the input items
+  std::size_t bin;   ///< index into the input bins
+};
+
+struct PackResult {
+  std::vector<Assignment> assignments;
+  std::vector<std::size_t> unplaced;  ///< item indices that fit nowhere
+  double placed_size = 0.0;           ///< total size of placed items
+  std::size_t bins_touched = 0;       ///< bins that received >= 1 item
+
+  [[nodiscard]] bool all_placed() const { return unplaced.empty(); }
+};
+
+enum class Algorithm {
+  kFfdlr,              ///< the paper's choice (Sec. IV-F)
+  kFirstFit,           ///< input order, first bin that fits
+  kFirstFitDecreasing, ///< FFD without the repack step
+  kBestFitDecreasing,  ///< tightest-fitting bin
+  kWorstFitDecreasing, ///< loosest-fitting bin (load-levelling baseline)
+};
+
+/// Pack items into (single-use, finite) bins.  Never overfills; items are
+/// never split.  Deterministic: ties break toward lower input index.
+PackResult pack(const std::vector<Item>& items, const std::vector<Bin>& bins,
+                Algorithm algorithm);
+
+/// Validate a result against its inputs: every assignment in range, no item
+/// assigned twice, no bin over capacity, placed_size/bins_touched coherent.
+/// Returns true when consistent (used by tests and debug builds).
+bool validate(const PackResult& result, const std::vector<Item>& items,
+              const std::vector<Bin>& bins);
+
+/// Lower bound on the number of bins any algorithm needs to place all items,
+/// assuming every bin had the largest capacity: ceil(sum sizes / max cap).
+std::size_t capacity_lower_bound(const std::vector<Item>& items,
+                                 const std::vector<Bin>& bins);
+
+}  // namespace willow::binpack

@@ -1,0 +1,99 @@
+#include "binpack/vbp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace willow::binpack {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+VbpResult vbp_ffdlr(const std::vector<double>& item_sizes,
+                    const std::vector<double>& bin_sizes) {
+  if (bin_sizes.empty()) {
+    throw std::invalid_argument("vbp_ffdlr: no bin sizes offered");
+  }
+  for (double s : bin_sizes) {
+    if (!(s > 0.0)) throw std::invalid_argument("vbp_ffdlr: bin size <= 0");
+  }
+  const double largest = *std::max_element(bin_sizes.begin(), bin_sizes.end());
+  for (double s : item_sizes) {
+    if (!(s > 0.0)) throw std::invalid_argument("vbp_ffdlr: item size <= 0");
+    if (s > largest + kEps) {
+      throw std::invalid_argument("vbp_ffdlr: item exceeds every bin size");
+    }
+  }
+
+  // Phase 1: first-fit decreasing into bins of the largest size.
+  std::vector<std::size_t> order(item_sizes.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return item_sizes[a] > item_sizes[b];
+  });
+  VbpResult result;
+  for (std::size_t item : order) {
+    bool placed = false;
+    for (auto& bin : result.bins) {
+      if (bin.content + item_sizes[item] <= largest + kEps) {
+        bin.items.push_back(item);
+        bin.content += item_sizes[item];
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      result.bins.push_back({largest, {item}, item_sizes[item]});
+    }
+  }
+
+  // Phase 2 ("LR"): repack each bin's contents into the smallest offered
+  // size that holds them.
+  std::vector<double> sizes_sorted = bin_sizes;
+  std::sort(sizes_sorted.begin(), sizes_sorted.end());
+  for (auto& bin : result.bins) {
+    for (double s : sizes_sorted) {
+      if (bin.content <= s + kEps) {
+        bin.size = s;
+        break;
+      }
+    }
+    result.total_capacity += bin.size;
+  }
+  return result;
+}
+
+double vbp_lower_bound(const std::vector<double>& item_sizes) {
+  return std::accumulate(item_sizes.begin(), item_sizes.end(), 0.0);
+}
+
+bool vbp_validate(const VbpResult& result,
+                  const std::vector<double>& item_sizes,
+                  const std::vector<double>& bin_sizes) {
+  std::vector<bool> seen(item_sizes.size(), false);
+  double capacity = 0.0;
+  for (const auto& bin : result.bins) {
+    if (std::none_of(bin_sizes.begin(), bin_sizes.end(), [&](double s) {
+          return std::abs(s - bin.size) < kEps;
+        })) {
+      return false;
+    }
+    double content = 0.0;
+    for (std::size_t item : bin.items) {
+      if (item >= item_sizes.size() || seen[item]) return false;
+      seen[item] = true;
+      content += item_sizes[item];
+    }
+    if (std::abs(content - bin.content) > 1e-6) return false;
+    if (content > bin.size + 1e-6) return false;
+    capacity += bin.size;
+  }
+  for (bool s : seen) {
+    if (!s) return false;
+  }
+  return std::abs(capacity - result.total_capacity) < 1e-6;
+}
+
+}  // namespace willow::binpack

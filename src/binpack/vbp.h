@@ -1,0 +1,50 @@
+// Classical variable-sized bin packing — the problem FFDLR was defined for
+// (Friesen & Langston, SIAM J. Comput. 15(1), 1986, the paper's [20]).
+//
+// Unlike the finite-surplus variant in pack.h, the classical problem offers
+// an *unlimited supply* of each bin size and asks to pack all items while
+// minimizing the total capacity of the bins used.  FFDLR's guarantee is
+// total capacity <= (3/2) OPT + largest bin.
+//
+// Willow's planner uses the finite variant; this interface exists because a
+// packing library without the textbook problem would be incomplete, and it
+// is what the complexity benchmarks time.
+#pragma once
+
+#include <vector>
+
+namespace willow::binpack {
+
+struct VbpBin {
+  double size = 0.0;                 ///< one of the offered bin sizes
+  std::vector<std::size_t> items;    ///< indices into the input items
+  double content = 0.0;              ///< sum of packed item sizes
+};
+
+struct VbpResult {
+  std::vector<VbpBin> bins;
+  double total_capacity = 0.0;       ///< sum of chosen bin sizes
+
+  [[nodiscard]] std::size_t bin_count() const { return bins.size(); }
+};
+
+/// Pack all items (sizes > 0, each <= the largest offered bin size) into an
+/// unlimited supply of the offered bin sizes, minimizing total capacity via
+/// FFDLR: first-fit-decreasing into largest-size bins, then each bin's
+/// contents repacked into the smallest size that holds them.
+///
+/// Throws std::invalid_argument if an item exceeds every bin size, any size
+/// is non-positive, or `bin_sizes` is empty.
+VbpResult vbp_ffdlr(const std::vector<double>& item_sizes,
+                    const std::vector<double>& bin_sizes);
+
+/// Trivial lower bound on the optimal total capacity: the sum of item sizes.
+double vbp_lower_bound(const std::vector<double>& item_sizes);
+
+/// Validate: all items packed exactly once, no bin over its size, every bin
+/// size is one of the offered sizes, totals coherent.
+bool vbp_validate(const VbpResult& result,
+                  const std::vector<double>& item_sizes,
+                  const std::vector<double>& bin_sizes);
+
+}  // namespace willow::binpack

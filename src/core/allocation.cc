@@ -1,0 +1,105 @@
+#include "core/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace willow::core {
+
+namespace {
+constexpr double kEps = 1e-12;
+
+/// Distribute `amount` over entries proportional to weights[i], clamping each
+/// entry's cumulative value at limit[i].  Mutates `value`; returns leftover
+/// that could not be placed.
+double water_fill(double amount, const std::vector<double>& weights,
+                  const std::vector<double>& limit, std::vector<double>& value) {
+  const std::size_t n = weights.size();
+  std::vector<bool> frozen(n, false);
+  // A node with zero weight never receives anything in this pass.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (weights[i] <= kEps || limit[i] - value[i] <= kEps) frozen[i] = true;
+  }
+  while (amount > kEps) {
+    double wsum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!frozen[i]) wsum += weights[i];
+    }
+    if (wsum <= kEps) break;
+    bool clamped = false;
+    double placed = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      const double share = amount * weights[i] / wsum;
+      const double headroom = limit[i] - value[i];
+      if (share >= headroom - kEps) {
+        value[i] += headroom;
+        placed += headroom;
+        frozen[i] = true;
+        clamped = true;
+      } else {
+        value[i] += share;
+        placed += share;
+      }
+    }
+    amount -= placed;
+    if (!clamped) {
+      // Nobody clamped: everything proportional went in; done.
+      amount = std::max(0.0, amount);
+      break;
+    }
+  }
+  return std::max(0.0, amount);
+}
+}  // namespace
+
+AllocationResult allocate_proportional(Watts total,
+                                       const std::vector<Watts>& demands,
+                                       const std::vector<Watts>& caps) {
+  if (demands.size() != caps.size()) {
+    throw std::invalid_argument(
+        "allocate_proportional: demands/caps size mismatch");
+  }
+  if (total.value() < 0.0) {
+    throw std::invalid_argument("allocate_proportional: negative total");
+  }
+  const std::size_t n = demands.size();
+  AllocationResult result;
+  result.budgets.assign(n, Watts{0.0});
+  if (n == 0) {
+    result.unallocated = total;
+    return result;
+  }
+
+  std::vector<double> demand(n), cap(n), value(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    demand[i] = std::max(0.0, demands[i].value());
+    cap[i] = std::max(0.0, caps[i].value());
+    if (std::isinf(cap[i])) cap[i] = std::numeric_limits<double>::max();
+  }
+
+  // Phase 1: satisfy demands (each node limited by min(demand, cap)),
+  // shares proportional to demand.
+  std::vector<double> phase1_limit(n);
+  for (std::size_t i = 0; i < n; ++i) phase1_limit[i] = std::min(demand[i], cap[i]);
+  double leftover = water_fill(total.value(), demand, phase1_limit, value);
+
+  // Phase 2: spread surplus proportional to demand among nodes below cap.
+  if (leftover > kEps) {
+    leftover = water_fill(leftover, demand, cap, value);
+  }
+  // Phase 2b: nodes with zero demand share any remaining surplus in
+  // proportion to their cap headroom.
+  if (leftover > kEps) {
+    std::vector<double> headroom(n);
+    for (std::size_t i = 0; i < n; ++i) headroom[i] = cap[i] - value[i];
+    leftover = water_fill(leftover, headroom, cap, value);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) result.budgets[i] = Watts{value[i]};
+  result.unallocated = Watts{leftover};
+  return result;
+}
+
+}  // namespace willow::core

@@ -1,0 +1,30 @@
+#include "core/balance.h"
+
+namespace willow::core {
+
+Watts node_deficit(const hier::Node& node) {
+  return util::positive_part(node.smoothed_demand() - node.budget());
+}
+
+Watts node_surplus(const hier::Node& node) {
+  return util::positive_part(node.budget() - node.smoothed_demand());
+}
+
+LevelBalance level_balance(const Tree& tree, int level) {
+  LevelBalance b;
+  for (NodeId id : tree.nodes_at_level(level)) {
+    const auto& n = tree.node(id);
+    if (!n.active()) continue;
+    const Watts d = node_deficit(n);
+    const Watts s = node_surplus(n);
+    b.max_deficit = util::max(b.max_deficit, d);
+    b.max_surplus = util::max(b.max_surplus, s);
+    b.total_deficit += d;
+    b.total_surplus += s;
+  }
+  b.imbalance = b.max_deficit + util::min(b.max_deficit, b.max_surplus);
+  b.residual_deficit = util::positive_part(b.total_deficit - b.total_surplus);
+  return b;
+}
+
+}  // namespace willow::core

@@ -1,0 +1,211 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "workload/mix.h"
+
+namespace willow::core {
+
+ManagedServer::ManagedServer(NodeId node, const ServerConfig& cfg)
+    : node_(node),
+      thermal_(cfg.thermal),
+      power_model_(cfg.power_model),
+      circuit_limit_(cfg.circuit_limit.value_or(cfg.thermal.nameplate)) {}
+
+void ManagedServer::add_temporary_demand(Watts w, int periods) {
+  if (w.value() < 0.0 || periods <= 0) {
+    throw std::invalid_argument("add_temporary_demand: bad arguments");
+  }
+  temp_.emplace_back(w, periods);
+  temp_demand_ += w;
+}
+
+void ManagedServer::age_temporary_demand() {
+  Watts remaining{0.0};
+  auto keep = temp_.begin();
+  for (auto& [w, periods] : temp_) {
+    if (--periods > 0) {
+      *keep++ = {w, periods};
+      remaining += w;
+    }
+  }
+  temp_.erase(keep, temp_.end());
+  temp_demand_ = remaining;
+}
+
+Watts ManagedServer::power_demand() const {
+  if (asleep_) return Watts{0.0};
+  return idle_floor() + workload::total_demand(apps_) + temp_demand_;
+}
+
+Watts ManagedServer::consumed_power(Watts budget) const {
+  if (asleep_) return Watts{0.0};
+  return util::min(power_demand(), util::max(budget, idle_floor()));
+}
+
+double ManagedServer::utilization(Watts budget) const {
+  if (asleep_) return 0.0;
+  const Watts dynamic = consumed_power(budget) - idle_floor();
+  const Watts range = power_model_.dynamic_range();
+  if (range.value() <= 0.0) return 0.0;
+  return std::clamp(dynamic / range, 0.0, 1.0);
+}
+
+Cluster::Cluster(double smoothing_alpha) : tree_(smoothing_alpha) {}
+
+NodeId Cluster::add_root(std::string name) {
+  return tree_.add_root(std::move(name), hier::NodeKind::kDatacenter);
+}
+
+NodeId Cluster::add_group(NodeId parent, std::string name, hier::NodeKind kind) {
+  return tree_.add_child(parent, std::move(name), kind);
+}
+
+NodeId Cluster::add_server(NodeId parent, std::string name,
+                           const ServerConfig& cfg) {
+  const NodeId id =
+      tree_.add_child(parent, std::move(name), hier::NodeKind::kServer);
+  server_index_[id] = servers_.size();
+  servers_.emplace_back(id, cfg);
+  server_ids_.push_back(id);
+  return id;
+}
+
+ManagedServer& Cluster::server(NodeId id) {
+  return servers_.at(server_index_.at(id));
+}
+
+const ManagedServer& Cluster::server(NodeId id) const {
+  return servers_.at(server_index_.at(id));
+}
+
+bool Cluster::is_server(NodeId id) const { return server_index_.contains(id); }
+
+void Cluster::place(Application app, NodeId server_id) {
+  if (app_host_.contains(app.id())) {
+    throw std::logic_error("Cluster::place: application already placed");
+  }
+  app_host_[app.id()] = server_id;
+  server(server_id).apps().push_back(std::move(app));
+}
+
+NodeId Cluster::host_of(AppId app) const {
+  auto it = app_host_.find(app);
+  return it == app_host_.end() ? hier::kNoNode : it->second;
+}
+
+Application* Cluster::find_app(AppId app) {
+  const NodeId host = host_of(app);
+  if (host == hier::kNoNode) return nullptr;
+  for (auto& a : server(host).apps()) {
+    if (a.id() == app) return &a;
+  }
+  return nullptr;
+}
+
+const Application* Cluster::find_app(AppId app) const {
+  return const_cast<Cluster*>(this)->find_app(app);
+}
+
+void Cluster::move_app(AppId app, NodeId from, NodeId to) {
+  auto& src = server(from).apps();
+  auto it = std::find_if(src.begin(), src.end(),
+                         [&](const Application& a) { return a.id() == app; });
+  if (it == src.end()) {
+    throw std::logic_error("Cluster::move_app: app not hosted on source");
+  }
+  Application moving = std::move(*it);
+  src.erase(it);
+  server(to).apps().push_back(std::move(moving));
+  app_host_[app] = to;
+}
+
+Application Cluster::remove_app(AppId app) {
+  const NodeId host = host_of(app);
+  if (host == hier::kNoNode) {
+    throw std::logic_error("Cluster::remove_app: unknown application");
+  }
+  auto& apps = server(host).apps();
+  auto it = std::find_if(apps.begin(), apps.end(),
+                         [&](const Application& a) { return a.id() == app; });
+  Application removed = std::move(*it);
+  apps.erase(it);
+  app_host_.erase(app);
+  return removed;
+}
+
+void Cluster::sleep_server(NodeId id) {
+  auto& s = server(id);
+  if (!s.apps().empty()) {
+    throw std::logic_error("Cluster::sleep_server: server still hosts apps");
+  }
+  s.set_asleep(true);
+  tree_.node(id).set_active(false);
+}
+
+void Cluster::wake_server(NodeId id) {
+  server(id).set_asleep(false);
+  tree_.node(id).set_active(true);
+}
+
+void Cluster::set_group_circuit_limit(NodeId group, Watts limit) {
+  if (is_server(group) || tree_.node(group).is_leaf()) {
+    throw std::invalid_argument(
+        "set_group_circuit_limit: node is not an internal group");
+  }
+  if (limit.value() < 0.0) {
+    throw std::invalid_argument("set_group_circuit_limit: negative rating");
+  }
+  group_circuit_limits_[group] = limit;
+}
+
+std::optional<Watts> Cluster::group_circuit_limit(NodeId group) const {
+  auto it = group_circuit_limits_.find(group);
+  if (it == group_circuit_limits_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Cluster::refresh_demands(const workload::PoissonDemand& process,
+                              util::Rng& rng, double intensity) {
+  for (auto& s : servers_) process.refresh_all(s.apps(), rng, intensity);
+}
+
+void Cluster::refresh_demands_constant() {
+  for (auto& s : servers_) workload::ConstantDemand::refresh_all(s.apps());
+}
+
+void Cluster::observe_leaf_demands() {
+  for (auto& s : servers_) {
+    // A lost report leaves the leaf acting on its previous observation.
+    if (s.report_fault()) continue;
+    tree_.node(s.node()).observe_demand(s.power_demand());
+  }
+}
+
+void Cluster::step_thermal(Seconds dt) {
+  for (auto& s : servers_) {
+    const Watts consumed = s.consumed_power(tree_.node(s.node()).budget());
+    s.thermal().step(consumed, dt);
+  }
+}
+
+void Cluster::age_temporary_demands() {
+  for (auto& s : servers_) s.age_temporary_demand();
+}
+
+Watts Cluster::total_consumed() const {
+  Watts total{0.0};
+  for (const auto& s : servers_) {
+    total += s.consumed_power(tree_.node(s.node()).budget());
+  }
+  return total;
+}
+
+std::size_t Cluster::active_server_count() const {
+  std::size_t n = 0;
+  for (const auto& s : servers_) n += s.asleep() ? 0 : 1;
+  return n;
+}
+
+}  // namespace willow::core

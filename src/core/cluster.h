@@ -1,0 +1,186 @@
+// Cluster: the managed plant — PMU tree + servers + hosted applications.
+//
+// A ManagedServer couples one leaf of the power-control hierarchy with its
+// physical models (thermal RC model, power-vs-utilization curve, circuit
+// rating) and the applications (VMs) it currently hosts.  The Cluster owns
+// the tree and the servers and provides the placement operations the
+// controller uses (migrate / drop / sleep / wake) plus the per-period plant
+// evolution (demand observation, power consumption, thermal stepping).
+//
+// Consumption model: an active server draws
+//     consumed = idle_floor + min(served demand, budget - idle_floor)
+// i.e. workload beyond the budget is throttled (the paper's degraded
+// operation); a sleeping server draws nothing (the paper assumes standby
+// power ~0, Sec. V-C5).  The demand a server *reports* upward is
+// idle_floor + total application demand + temporary migration costs.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "hier/tree.h"
+#include "power/server_power.h"
+#include "thermal/thermal_model.h"
+#include "util/rng.h"
+#include "util/units.h"
+#include "workload/application.h"
+#include "workload/demand.h"
+
+namespace willow::core {
+
+using hier::NodeId;
+using util::Seconds;
+using util::Watts;
+using workload::AppId;
+using workload::Application;
+
+struct ServerConfig {
+  thermal::ThermalParams thermal{};
+  power::ServerPowerModel power_model = power::ServerPowerModel::paper_simulation();
+  /// Power-circuit hard rating (Sec. IV-D hard constraints); defaults to the
+  /// thermal nameplate.
+  std::optional<Watts> circuit_limit{};
+};
+
+class ManagedServer {
+ public:
+  ManagedServer(NodeId node, const ServerConfig& cfg);
+
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] const thermal::ThermalModel& thermal() const { return thermal_; }
+  [[nodiscard]] thermal::ThermalModel& thermal() { return thermal_; }
+  [[nodiscard]] const power::ServerPowerModel& power_model() const {
+    return power_model_;
+  }
+  [[nodiscard]] Watts circuit_limit() const { return circuit_limit_; }
+
+  [[nodiscard]] const std::vector<Application>& apps() const { return apps_; }
+  [[nodiscard]] std::vector<Application>& apps() { return apps_; }
+
+  [[nodiscard]] bool asleep() const { return asleep_; }
+  void set_asleep(bool a) { asleep_ = a; }
+
+  /// Idle draw while active (reported as part of demand).
+  [[nodiscard]] Watts idle_floor() const {
+    return power_model_.static_power();
+  }
+
+  /// Temporary extra power demand from in-flight migrations (Sec. IV-E:
+  /// "This cost is added as a temporary power demand to the nodes involved").
+  [[nodiscard]] Watts temporary_demand() const { return temp_demand_; }
+  /// Add `w` of temporary demand that expires after `periods` demand periods.
+  void add_temporary_demand(Watts w, int periods);
+  /// Advance one demand period: expire aged temporary demand.
+  void age_temporary_demand();
+
+  /// What this server reports up the tree: 0 when asleep, otherwise
+  /// idle floor + live application demand + temporary migration demand.
+  [[nodiscard]] Watts power_demand() const;
+
+  /// Fault injection: while set, the server's demand report is lost — the
+  /// PMU leaf keeps acting on its previous observation (stale CP).  Models
+  /// the measurement/communication failures the convergence analysis
+  /// (Sec. V-A1) assumes away.
+  [[nodiscard]] bool report_fault() const { return report_fault_; }
+  void set_report_fault(bool faulty) { report_fault_ = faulty; }
+
+  /// Actual electrical draw under the node's current budget.
+  [[nodiscard]] Watts consumed_power(Watts budget) const;
+
+  /// Utilization in [0,1]: served dynamic power / dynamic range.
+  [[nodiscard]] double utilization(Watts budget) const;
+
+ private:
+  NodeId node_;
+  thermal::ThermalModel thermal_;
+  power::ServerPowerModel power_model_;
+  Watts circuit_limit_;
+  std::vector<Application> apps_;
+  /// Expiring temporary demands: (watts, remaining periods).
+  std::vector<std::pair<Watts, int>> temp_;
+  Watts temp_demand_{0.0};
+  bool asleep_ = false;
+  bool report_fault_ = false;
+};
+
+class Cluster {
+ public:
+  /// @param smoothing_alpha Eq. (4) alpha for every PMU node.
+  explicit Cluster(double smoothing_alpha = 0.7);
+
+  [[nodiscard]] hier::Tree& tree() { return tree_; }
+  [[nodiscard]] const hier::Tree& tree() const { return tree_; }
+
+  /// Build the hierarchy: root, internal PMU groups, then servers as leaves.
+  NodeId add_root(std::string name);
+  NodeId add_group(NodeId parent, std::string name,
+                   hier::NodeKind kind = hier::NodeKind::kRack);
+  NodeId add_server(NodeId parent, std::string name, const ServerConfig& cfg);
+
+  [[nodiscard]] const std::vector<NodeId>& server_ids() const {
+    return server_ids_;
+  }
+  [[nodiscard]] ManagedServer& server(NodeId id);
+  [[nodiscard]] const ManagedServer& server(NodeId id) const;
+  [[nodiscard]] bool is_server(NodeId id) const;
+
+  /// Place a new application on a server.
+  void place(Application app, NodeId server);
+
+  /// Locate an application; returns the hosting server or kNoNode.
+  [[nodiscard]] NodeId host_of(AppId app) const;
+  [[nodiscard]] Application* find_app(AppId app);
+  [[nodiscard]] const Application* find_app(AppId app) const;
+
+  /// Move an application between servers (placement only; cost/traffic
+  /// accounting is the controller's job).  Throws if not hosted on `from`.
+  void move_app(AppId app, NodeId from, NodeId to);
+
+  /// Remove an application entirely (workload departure/churn); returns the
+  /// removed instance.  Throws if unknown.
+  Application remove_app(AppId app);
+
+  /// Sleep/wake a server, keeping the PMU node's active flag in sync.
+  void sleep_server(NodeId id);
+  void wake_server(NodeId id);
+
+  /// Power-circuit rating of an internal node (rack/zone feed) — the
+  /// "under-designed rack power circuits" lean-design scenario of Sec. I.
+  /// The node's hard limit becomes min(sum of children, this rating).
+  void set_group_circuit_limit(NodeId group, Watts limit);
+  /// Rating if one was set; nullopt means "feed never binds".
+  [[nodiscard]] std::optional<Watts> group_circuit_limit(NodeId group) const;
+
+  /// Refresh all application demands for one period; `intensity` scales the
+  /// means (demand-side variation, Sec. I).
+  void refresh_demands(const workload::PoissonDemand& process, util::Rng& rng,
+                       double intensity = 1.0);
+  void refresh_demands_constant();
+
+  /// Push each server's power_demand() into its PMU leaf (observe_demand).
+  void observe_leaf_demands();
+
+  /// Advance thermal state of every server by dt under its consumed power.
+  void step_thermal(Seconds dt);
+
+  /// Expire aged temporary migration demands (call once per demand period).
+  void age_temporary_demands();
+
+  /// Total consumed electrical power of all servers right now.
+  [[nodiscard]] Watts total_consumed() const;
+
+  /// Count of active (non-sleeping) servers.
+  [[nodiscard]] std::size_t active_server_count() const;
+
+ private:
+  hier::Tree tree_;
+  std::vector<NodeId> server_ids_;
+  std::unordered_map<NodeId, std::size_t> server_index_;
+  std::vector<ManagedServer> servers_;
+  std::unordered_map<AppId, NodeId> app_host_;
+  std::unordered_map<NodeId, Watts> group_circuit_limits_;
+};
+
+}  // namespace willow::core

@@ -1,0 +1,839 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/allocation.h"
+#include "util/logging.h"
+
+namespace willow::core {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+std::string to_string(const ControlEvent& e) {
+  std::string out = "t=" + std::to_string(e.tick) + " ";
+  switch (e.kind) {
+    case EventKind::kMigrationInitiated:
+      out += "migrate app " + std::to_string(e.app) + " " +
+             std::to_string(e.node) + " -> " + std::to_string(e.node2);
+      break;
+    case EventKind::kMigrationCompleted:
+      out += "landed app " + std::to_string(e.app) + " on " +
+             std::to_string(e.node2);
+      break;
+    case EventKind::kDrop:
+      out += "drop app " + std::to_string(e.app) + " on " +
+             std::to_string(e.node);
+      break;
+    case EventKind::kDegrade:
+      out += "degrade app " + std::to_string(e.app) + " on " +
+             std::to_string(e.node);
+      break;
+    case EventKind::kRevive:
+      out += "revive app " + std::to_string(e.app) + " on " +
+             std::to_string(e.node);
+      break;
+    case EventKind::kRestore:
+      out += "restore app " + std::to_string(e.app) + " on " +
+             std::to_string(e.node);
+      break;
+    case EventKind::kSleep:
+      out += "sleep server " + std::to_string(e.node);
+      break;
+    case EventKind::kWake:
+      out += "wake server " + std::to_string(e.node);
+      break;
+  }
+  out += " (" + std::to_string(e.amount.value()) + " W)";
+  return out;
+}
+
+void ControllerConfig::validate() const {
+  if (!(demand_period.value() > 0.0)) {
+    throw std::invalid_argument("ControllerConfig: demand_period must be > 0");
+  }
+  if (eta1 < 1 || eta2 <= eta1) {
+    throw std::invalid_argument("ControllerConfig: need 1 <= eta1 < eta2");
+  }
+  if (margin.value() < 0.0 || migration_cost.value() < 0.0) {
+    throw std::invalid_argument("ControllerConfig: negative margin/cost");
+  }
+  if (consolidation_threshold < 0.0 || consolidation_threshold > 1.0) {
+    throw std::invalid_argument(
+        "ControllerConfig: consolidation_threshold must be in [0,1]");
+  }
+  if (migration_cost_periods < 1) {
+    throw std::invalid_argument(
+        "ControllerConfig: migration_cost_periods must be >= 1");
+  }
+  if (!(degraded_service_level > 0.0) || degraded_service_level >= 1.0) {
+    throw std::invalid_argument(
+        "ControllerConfig: degraded_service_level must be in (0,1)");
+  }
+  if (!(target_fill_fraction > 0.0) || target_fill_fraction > 1.0) {
+    throw std::invalid_argument(
+        "ControllerConfig: target_fill_fraction must be in (0,1]");
+  }
+}
+
+Controller::Controller(Cluster& cluster, ControllerConfig config)
+    : cluster_(cluster), config_(config) {
+  config_.validate();
+  budget_reduced_.assign(cluster_.tree().size(), false);
+  absorbed_w_.assign(cluster_.tree().size(), 0.0);
+  reserved_in_w_.assign(cluster_.tree().size(), 0.0);
+  outbound_in_flight_w_.assign(cluster_.tree().size(), 0.0);
+}
+
+bool Controller::budget_reduced(NodeId node) const {
+  return node < budget_reduced_.size() && budget_reduced_[node];
+}
+
+void Controller::tick(Watts available_supply) {
+  ++tick_;
+  migrations_this_tick_.clear();
+  events_this_tick_.clear();
+  targets_this_tick_.clear();
+  absorbed_w_.assign(cluster_.tree().size(), 0.0);
+  migrated_from_w_.assign(cluster_.tree().size(), 0.0);
+
+  complete_due_migrations();
+
+  cluster_.observe_leaf_demands();
+  cluster_.tree().report_demands();
+
+  last_supply_ = available_supply;
+  if (tick_ == 1 || tick_ % config_.eta1 == 0) {
+    supply_adaptation(available_supply);
+  }
+  enforce_thermal_limits();
+
+  demand_adaptation();
+
+  if (tick_ % config_.eta2 == 0) {
+    consolidate();
+  }
+
+  revive_dropped();
+  cluster_.age_temporary_demands();
+}
+
+void Controller::update_hard_limits() {
+  auto& tree = cluster_.tree();
+  // "So that the temperature does not exceed T_limit during the next
+  // adjustment window" (Sec. III-A): the window is one demand period — the
+  // cadence at which limits are re-derived.  This also matches Fig. 4, where
+  // the chosen constants put the cold-start limit at the 450 W nameplate.
+  const Seconds window = config_.demand_period;
+  for (NodeId id : tree.bottom_up()) {
+    auto& n = tree.node(id);
+    if (n.is_leaf()) {
+      if (cluster_.is_server(id)) {
+        const auto& s = cluster_.server(id);
+        n.set_hard_limit(
+            util::min(s.circuit_limit(), s.thermal().power_limit(window)));
+      }
+      continue;
+    }
+    Watts sum{0.0};
+    for (NodeId c : n.children()) {
+      if (tree.node(c).active()) sum += tree.node(c).hard_limit();
+    }
+    // An under-designed rack/zone feed caps the subtree regardless of what
+    // its members could individually draw (Sec. I lean-design scenario).
+    if (const auto rating = cluster_.group_circuit_limit(id)) {
+      sum = util::min(sum, *rating);
+    }
+    n.set_hard_limit(sum);
+  }
+}
+
+void Controller::supply_adaptation(Watts available_supply) {
+  auto& tree = cluster_.tree();
+  update_hard_limits();
+  if (budget_reduced_.size() != tree.size()) {
+    budget_reduced_.assign(tree.size(), false);
+  } else {
+    std::fill(budget_reduced_.begin(), budget_reduced_.end(), false);
+  }
+
+  auto mark_and_set = [&](NodeId id, Watts budget) {
+    auto& n = tree.node(id);
+    if (budget < n.budget() - Watts{kEps}) budget_reduced_[id] = true;
+    n.set_budget(budget);
+  };
+
+  const NodeId root = tree.root();
+  mark_and_set(root, util::min(available_supply, tree.node(root).hard_limit()));
+
+  for (NodeId id : tree.top_down()) {
+    auto& n = tree.node(id);
+    if (n.is_leaf()) continue;
+    const auto& kids = n.children();
+    std::vector<Watts> demands(kids.size()), caps(kids.size());
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      const auto& child = tree.node(kids[i]);
+      caps[i] = child.active() ? child.hard_limit() : Watts{0.0};
+      demands[i] = config_.allocation == AllocationPolicy::kProportionalToDemand
+                       ? (child.active() ? child.smoothed_demand() : Watts{0.0})
+                       : caps[i];
+    }
+    const AllocationResult alloc =
+        allocate_proportional(n.budget(), demands, caps);
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      mark_and_set(kids[i], alloc.budgets[i]);
+    }
+    if (id == root) root_unallocated_ = alloc.unallocated;
+  }
+  tree.count_budget_directives();
+}
+
+void Controller::enforce_thermal_limits() {
+  auto& tree = cluster_.tree();
+  for (NodeId s : cluster_.server_ids()) {
+    auto& leaf = tree.node(s);
+    if (!leaf.active()) continue;
+    const auto& srv = cluster_.server(s);
+    const Watts limit = util::min(
+        srv.circuit_limit(), srv.thermal().power_limit(config_.demand_period));
+    if (leaf.budget() > limit + Watts{kEps}) {
+      leaf.set_budget(limit);
+      budget_reduced_[s] = true;
+    }
+  }
+}
+
+bool Controller::eligible_target(NodeId target_server, NodeId scope) const {
+  if (!config_.enforce_unidirectional) return true;
+  // The rule bans migrating *into a subtree* whose budget the triggering
+  // event reduced ("no migrations are allowed into that rack") — i.e. it
+  // gates the internal nodes a migration crosses, not the target server
+  // itself.  A reduction only disqualifies a subtree that the cut left
+  // unable to cover its own aggregate demand: a rack whose budget shrank but
+  // still holds surplus is a legitimate destination (otherwise a
+  // datacenter-wide plunge could never migrate anything, contradicting the
+  // paper's own Fig. 16 testbed narrative).
+  const auto& tree = cluster_.tree();
+  for (NodeId cur = tree.node(target_server).parent();
+       cur != scope && cur != hier::kNoNode; cur = tree.node(cur).parent()) {
+    if (budget_reduced_[cur] &&
+        node_deficit(tree.node(cur)).value() > kEps) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Watts Controller::target_capacity(NodeId server) const {
+  const auto& leaf = cluster_.tree().node(server);
+  if (!leaf.active()) return Watts{0.0};
+  // Budget surplus (Eq. 6), additionally capped by the *sustainable* thermal
+  // headroom: a cold server's window-based budget (Eq. 3) is transiently
+  // generous, but demand parked on it must also be holdable at steady state
+  // or it would be re-migrated as soon as the host warms up — exactly the
+  // ping-pong the margins exist to prevent.
+  const auto& srv = cluster_.server(server);
+  // Sustainable ceiling, derated by the fill fraction on the dynamic part
+  // (the latency-power tradeoff knob; see ControllerConfig).
+  const Watts allowed =
+      srv.idle_floor() +
+      (srv.thermal().steady_state_power_limit() - srv.idle_floor()) *
+          config_.target_fill_fraction;
+  const Watts sustainable_headroom = allowed - leaf.smoothed_demand();
+  const Watts cap = util::min(node_surplus(leaf), sustainable_headroom) -
+                    config_.margin - Watts{absorbed_w_[server]} -
+                    Watts{reserved_in_w_[server]};
+  return util::positive_part(cap);
+}
+
+std::vector<Controller::PlanItem> Controller::select_victims(
+    NodeId server, Watts needed, MigrationCause cause) {
+  auto& apps = cluster_.server(server).apps();
+  std::vector<const Application*> sorted;
+  sorted.reserve(apps.size());
+  for (const auto& a : apps) {
+    if (a.dropped() || a.demand().value() <= kEps) continue;
+    if (apps_in_flight_.contains(a.id())) continue;  // already committed
+    sorted.push_back(&a);
+  }
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Application* a, const Application* b) {
+                     return a->demand() > b->demand();
+                   });
+  std::vector<PlanItem> items;
+  Watts covered{0.0};
+  for (const Application* a : sorted) {
+    if (covered >= needed) break;
+    items.push_back({a->id(), server, a->demand() + config_.migration_cost,
+                     a->demand(), cause});
+    covered += a->demand();
+  }
+  return items;
+}
+
+void Controller::complete_due_migrations() {
+  if (in_flight_.empty()) return;
+  auto keep = in_flight_.begin();
+  for (auto& m : in_flight_) {
+    if (m.completes_at > tick_) {
+      *keep++ = m;
+      continue;
+    }
+    // The application may have been removed (workload churn) mid-transfer:
+    // release the bookkeeping and move on.
+    if (cluster_.host_of(m.app) != m.source) {
+      reserved_in_w_[m.target] =
+          std::max(0.0, reserved_in_w_[m.target] - m.demand.value());
+      outbound_in_flight_w_[m.source] =
+          std::max(0.0, outbound_in_flight_w_[m.source] - m.demand.value());
+      apps_in_flight_.erase(m.app);
+      continue;
+    }
+    cluster_.move_app(m.app, m.source, m.target);
+    if (Application* app = cluster_.find_app(m.app)) {
+      app->set_last_migrated_at(static_cast<double>(tick_));
+    }
+    reserved_in_w_[m.target] =
+        std::max(0.0, reserved_in_w_[m.target] - m.demand.value());
+    outbound_in_flight_w_[m.source] =
+        std::max(0.0, outbound_in_flight_w_[m.source] - m.demand.value());
+    apps_in_flight_.erase(m.app);
+    events_this_tick_.push_back({EventKind::kMigrationCompleted, tick_, m.app,
+                                 m.source, m.target, m.demand});
+    WILLOW_DEBUG() << "migration of app " << m.app << " landed on "
+                   << m.target;
+  }
+  in_flight_.erase(keep, in_flight_.end());
+}
+
+void Controller::apply_migration(const PlanItem& item, NodeId target) {
+  int transfer_periods = 0;
+  if (config_.migration_periods_per_gib > 0.0) {
+    if (const Application* app = cluster_.find_app(item.app)) {
+      const double gib = app->image_size().value() / 1024.0;
+      transfer_periods = std::max(
+          1, static_cast<int>(std::ceil(gib * config_.migration_periods_per_gib)));
+    }
+  }
+  const int cost_periods =
+      std::max(config_.migration_cost_periods, transfer_periods);
+  cluster_.server(item.source)
+      .add_temporary_demand(config_.migration_cost, cost_periods);
+  cluster_.server(target).add_temporary_demand(config_.migration_cost,
+                                               cost_periods);
+  if (transfer_periods == 0) {
+    // The paper's model: placement changes within the decision period.
+    cluster_.move_app(item.app, item.source, target);
+    if (Application* app = cluster_.find_app(item.app)) {
+      app->set_last_migrated_at(static_cast<double>(tick_));
+    }
+    migrated_from_w_[item.source] += item.demand.value();
+  } else {
+    // Latency mode: the VM keeps running at the source while the image
+    // transfers; the target holds a capacity reservation until it lands.
+    in_flight_.push_back(
+        {item.app, item.source, target, tick_ + transfer_periods,
+         item.demand});
+    apps_in_flight_.insert(item.app);
+    reserved_in_w_[target] += item.demand.value();
+    outbound_in_flight_w_[item.source] += item.demand.value();
+  }
+  absorbed_w_[target] += item.size.value();
+  targets_this_tick_.insert(target);
+
+  const auto& tree = cluster_.tree();
+  MigrationRecord rec;
+  rec.app = item.app;
+  rec.from = item.source;
+  rec.to = target;
+  rec.size = item.demand;
+  rec.cause = item.cause;
+  rec.tick = tick_;
+  rec.local = tree.node(item.source).parent() == tree.node(target).parent();
+  migrations_this_tick_.push_back(rec);
+  events_this_tick_.push_back({EventKind::kMigrationInitiated, tick_, item.app,
+                               item.source, target, item.demand});
+
+  if (item.cause == MigrationCause::kDemand) {
+    ++stats_.demand_migrations;
+  } else {
+    ++stats_.consolidation_migrations;
+  }
+  if (rec.local) {
+    ++stats_.local_migrations;
+  } else {
+    ++stats_.nonlocal_migrations;
+  }
+  if (sink_) sink_(rec);
+  WILLOW_DEBUG() << "migrate app " << item.app << " " << item.source << " -> "
+                 << target << " (" << item.demand.value() << " W, "
+                 << (item.cause == MigrationCause::kDemand ? "demand"
+                                                           : "consolidation")
+                 << ", " << (rec.local ? "local" : "non-local") << ")";
+}
+
+std::vector<std::size_t> Controller::pack_and_apply(
+    std::vector<PlanItem>& items, const std::vector<NodeId>& targets) {
+  std::vector<binpack::Item> bp_items;
+  bp_items.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    bp_items.push_back({static_cast<std::uint64_t>(i), items[i].size.value(), 0});
+  }
+  std::vector<binpack::Bin> bins;
+  std::vector<NodeId> bin_node;
+  for (NodeId t : targets) {
+    const Watts cap = target_capacity(t);
+    if (cap.value() > kEps) {
+      bins.push_back({static_cast<std::uint64_t>(t), cap.value(), 0});
+      bin_node.push_back(t);
+    }
+  }
+  const binpack::PackResult result =
+      binpack::pack(bp_items, bins, config_.packing);
+  for (const auto& a : result.assignments) {
+    apply_migration(items[a.item], bin_node[a.bin]);
+  }
+  return result.unplaced;
+}
+
+void Controller::demand_adaptation() {
+  auto& tree = cluster_.tree();
+
+  // Build per-group local problems: every internal node with >= 1 server
+  // child is a "level-1" group.
+  struct Group {
+    NodeId parent;
+    std::vector<PlanItem> items;
+  };
+  std::vector<Group> groups;
+  for (NodeId g : tree.bottom_up()) {
+    const auto& n = tree.node(g);
+    if (n.is_leaf()) continue;
+    bool has_server_child = false;
+    std::vector<PlanItem> items;
+    for (NodeId c : n.children()) {
+      if (!cluster_.is_server(c)) continue;
+      has_server_child = true;
+      const auto& leaf = tree.node(c);
+      if (!leaf.active()) continue;
+      // In-flight outbound demand is already leaving: plan only the rest.
+      const Watts deficit =
+          node_deficit(leaf) - Watts{outbound_in_flight_w_[c]};
+      if (deficit.value() > kEps) {
+        auto victims = select_victims(c, deficit + config_.margin,
+                                      MigrationCause::kDemand);
+        items.insert(items.end(), victims.begin(), victims.end());
+      }
+    }
+    if (has_server_child && !items.empty()) {
+      groups.push_back({g, std::move(items)});
+    }
+  }
+  if (groups.empty()) return;
+
+  std::vector<PlanItem> pending;
+
+  if (config_.prefer_local) {
+    // Local pass: match each group's deficits against its own surpluses.
+    for (auto& grp : groups) {
+      std::vector<NodeId> targets;
+      for (NodeId c : tree.node(grp.parent).children()) {
+        if (cluster_.is_server(c) && tree.node(c).active() &&
+            eligible_target(c, grp.parent)) {
+          targets.push_back(c);
+        }
+      }
+      const auto unplaced = pack_and_apply(grp.items, targets);
+      for (std::size_t idx : unplaced) pending.push_back(grp.items[idx]);
+    }
+    // Escalation: climb the hierarchy; at each internal node try the servers
+    // of the whole subtree (the local pass already exhausted same-group
+    // surpluses, so placements here are effectively non-local).
+    if (!pending.empty()) {
+      for (NodeId p : tree.bottom_up()) {
+        const auto& n = tree.node(p);
+        if (n.is_leaf()) continue;
+        bool is_group_parent = false;
+        for (NodeId c : n.children()) {
+          if (cluster_.is_server(c)) {
+            is_group_parent = true;
+            break;
+          }
+        }
+        if (is_group_parent && p != tree.root()) continue;  // local pass done
+        std::vector<PlanItem> in_scope;
+        std::vector<PlanItem> out_of_scope;
+        for (auto& item : pending) {
+          (tree.is_ancestor(p, item.source) ? in_scope : out_of_scope)
+              .push_back(item);
+        }
+        if (in_scope.empty()) continue;
+        std::vector<NodeId> targets;
+        for (NodeId s : cluster_.server_ids()) {
+          if (tree.is_ancestor(p, s) && tree.node(s).active() &&
+              eligible_target(s, p)) {
+            targets.push_back(s);
+          }
+        }
+        const auto unplaced = pack_and_apply(in_scope, targets);
+        pending = std::move(out_of_scope);
+        for (std::size_t idx : unplaced) pending.push_back(in_scope[idx]);
+        if (pending.empty()) break;
+      }
+    }
+  } else {
+    // Ablation: no locality preference — one global matching at the root.
+    for (auto& grp : groups) {
+      pending.insert(pending.end(), grp.items.begin(), grp.items.end());
+    }
+    std::vector<NodeId> targets;
+    for (NodeId s : cluster_.server_ids()) {
+      if (tree.node(s).active() && eligible_target(s, tree.root())) {
+        targets.push_back(s);
+      }
+    }
+    const auto unplaced = pack_and_apply(pending, targets);
+    std::vector<PlanItem> rest;
+    for (std::size_t idx : unplaced) rest.push_back(pending[idx]);
+    pending = std::move(rest);
+  }
+
+  // Root-level leftovers: wake sleeping capacity, then drop what remains.
+  if (!pending.empty() && config_.allow_wake) {
+    std::vector<NodeId> asleep;
+    for (NodeId s : cluster_.server_ids()) {
+      if (cluster_.server(s).asleep()) asleep.push_back(s);
+    }
+    std::stable_sort(asleep.begin(), asleep.end(), [&](NodeId a, NodeId b) {
+      return tree.node(a).hard_limit() > tree.node(b).hard_limit();
+    });
+    const auto& root_node = tree.node(tree.root());
+    for (NodeId s : asleep) {
+      if (pending.empty()) break;
+      // Headroom a wake could tap: budget the children could not absorb plus
+      // raw supply beyond the active-capacity cap on the root budget.
+      const Watts headroom =
+          root_unallocated_ +
+          util::positive_part(last_supply_ - root_node.budget());
+      if (headroom.value() <= config_.margin.value()) break;
+      cluster_.wake_server(s);
+      ++stats_.wakes;
+      events_this_tick_.push_back(
+          {EventKind::kWake, tick_, 0, s, hier::kNoNode, Watts{0.0}});
+      WILLOW_INFO() << "wake server " << s << " for unplaced demand";
+      // Re-divide the same supply with the woken server participating.
+      supply_adaptation(last_supply_);
+      const auto unplaced = pack_and_apply(pending, {s});
+      std::vector<PlanItem> rest;
+      for (std::size_t idx : unplaced) rest.push_back(pending[idx]);
+      pending = std::move(rest);
+    }
+  }
+
+  if (!pending.empty() && config_.allow_drop) {
+    shed_leftovers(pending);
+  }
+}
+
+void Controller::shed_leftovers(std::vector<PlanItem>& pending) {
+  auto& tree = cluster_.tree();
+  // Sources that still have unplaceable demand.
+  std::vector<NodeId> sources;
+  for (const auto& item : pending) {
+    if (std::find(sources.begin(), sources.end(), item.source) ==
+        sources.end()) {
+      sources.push_back(item.source);
+    }
+  }
+  for (NodeId source : sources) {
+    // Remaining need: the observed deficit minus what migrations already
+    // moved (or are moving) off this server.
+    double need = node_deficit(tree.node(source)).value() -
+                  migrated_from_w_[source] - outbound_in_flight_w_[source];
+    if (need <= kEps) continue;
+
+    // Shed candidates: every running application on the source, lowest
+    // priority first; within a priority, biggest release first (fewest
+    // applications touched).
+    std::vector<Application*> apps;
+    for (auto& a : cluster_.server(source).apps()) {
+      if (a.dropped()) continue;
+      if (apps_in_flight_.contains(a.id())) continue;  // mid-transfer
+      apps.push_back(&a);
+    }
+    std::stable_sort(apps.begin(), apps.end(),
+                     [](const Application* a, const Application* b) {
+                       if (a->priority() != b->priority()) {
+                         return a->priority() > b->priority();
+                       }
+                       return a->demand() > b->demand();
+                     });
+
+    double shed = 0.0;
+    if (config_.shedding == SheddingPolicy::kDegradeThenDrop) {
+      // Pass 1: degrade to the reduced service level.
+      for (Application* app : apps) {
+        if (shed >= need - kEps) break;
+        if (app->service_level() <= config_.degraded_service_level + kEps) {
+          continue;
+        }
+        const double released =
+            app->demand().value() *
+            (1.0 - config_.degraded_service_level / app->service_level());
+        // Degradation takes effect immediately: the live demand shrinks too,
+        // so a later drop of the same app only releases the remainder.
+        app->set_demand(app->demand() - Watts{released});
+        app->set_service_level(config_.degraded_service_level);
+        ++stats_.degrades;
+        stats_.degraded_demand += Watts{released};
+        shed += released;
+        events_this_tick_.push_back({EventKind::kDegrade, tick_, app->id(),
+                                     source, hier::kNoNode, Watts{released}});
+        WILLOW_INFO() << "degrade app " << app->id() << " on server " << source
+                      << " to " << config_.degraded_service_level * 100.0
+                      << "% (" << released << " W released)";
+      }
+    }
+    // Pass 2: drop whole applications for what degradation did not cover.
+    for (Application* app : apps) {
+      if (shed >= need - kEps) break;
+      if (app->dropped()) continue;
+      const double released = app->demand().value();
+      app->set_dropped(true);
+      ++stats_.drops;
+      stats_.dropped_demand += Watts{released};
+      shed += released;
+      events_this_tick_.push_back({EventKind::kDrop, tick_, app->id(), source,
+                                   hier::kNoNode, Watts{released}});
+      WILLOW_INFO() << "drop app " << app->id() << " on server " << source
+                    << " (" << released << " W)";
+    }
+  }
+}
+
+void Controller::consolidate() {
+  auto& tree = cluster_.tree();
+
+  // Candidates: active servers whose *demand-based* utilization sits below
+  // the threshold (budget starvation must not masquerade as idleness).
+  // Under the thermal reference, utilization is judged against the fleet's
+  // best sustainable envelope so a hot-zone server with modest load still
+  // qualifies, and thermally weakest servers drain first — "Willow tries to
+  // move as much work away from these servers as possible due to their high
+  // temperatures" (Sec. V-B3, Fig. 7).
+  double fleet_envelope = 0.0;
+  if (config_.utilization_reference == UtilizationReference::kThermalSustainable) {
+    for (NodeId s : cluster_.server_ids()) {
+      const auto& srv = cluster_.server(s);
+      fleet_envelope = std::max(
+          fleet_envelope,
+          (srv.thermal().steady_state_power_limit() - srv.idle_floor()).value());
+    }
+  }
+  struct Candidate {
+    NodeId server;
+    double utilization;
+    double envelope;  ///< server's own sustainable dynamic power
+  };
+  std::vector<Candidate> candidates;
+  for (NodeId s : cluster_.server_ids()) {
+    const auto& leaf = tree.node(s);
+    if (!leaf.active()) continue;
+    if (node_deficit(leaf).value() > kEps) continue;  // starving, not idle
+    const auto& srv = cluster_.server(s);
+    const Watts dynamic =
+        util::positive_part(leaf.smoothed_demand() - srv.idle_floor());
+    const double own_envelope =
+        (srv.thermal().steady_state_power_limit() - srv.idle_floor()).value();
+    const double range =
+        config_.utilization_reference == UtilizationReference::kDynamicRange
+            ? srv.power_model().dynamic_range().value()
+            : fleet_envelope;
+    const double u = range > 0.0 ? dynamic.value() / range : 0.0;
+    if (u < config_.consolidation_threshold) {
+      candidates.push_back({s, u, own_envelope});
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](const Candidate& a, const Candidate& b) {
+                     if (config_.utilization_reference ==
+                             UtilizationReference::kThermalSustainable &&
+                         std::abs(a.envelope - b.envelope) > kEps) {
+                       return a.envelope < b.envelope;  // hottest zone first
+                     }
+                     return a.utilization < b.utilization;
+                   });
+
+  for (const auto& cand : candidates) {
+    const NodeId s = cand.server;
+    if (targets_this_tick_.contains(s)) continue;
+    // Latency mode: leave servers with transfers in either direction alone
+    // until the dust settles.
+    if (reserved_in_w_[s] > kEps || outbound_in_flight_w_[s] > kEps) continue;
+    auto& srv = cluster_.server(s);
+    bool hosts_in_flight = false;
+    for (const auto& a : srv.apps()) {
+      if (apps_in_flight_.contains(a.id())) {
+        hosts_in_flight = true;
+        break;
+      }
+    }
+    if (hosts_in_flight) continue;
+    if (srv.apps().empty()) {
+      cluster_.sleep_server(s);
+      tree.node(s).set_budget(Watts{0.0});
+      ++stats_.sleeps;
+      events_this_tick_.push_back(
+          {EventKind::kSleep, tick_, 0, s, hier::kNoNode, Watts{0.0}});
+      continue;
+    }
+    // All-or-nothing: every hosted app (even dropped ones — a sleeping host
+    // cannot retain VMs) must find a berth, else the server stays up.
+    std::vector<PlanItem> items;
+    for (const auto& a : srv.apps()) {
+      items.push_back({a.id(), s,
+                       (a.dropped() ? Watts{0.0} : a.demand()) +
+                           config_.migration_cost,
+                       a.dropped() ? Watts{0.0} : a.demand(),
+                       MigrationCause::kConsolidation});
+    }
+    auto collect_targets = [&](NodeId scope) {
+      std::vector<NodeId> targets;
+      for (NodeId t : cluster_.server_ids()) {
+        if (t == s) continue;
+        if (!tree.node(t).active()) continue;
+        if (!tree.is_ancestor(scope, t)) continue;
+        if (!eligible_target(t, scope)) continue;
+        targets.push_back(t);
+      }
+      return targets;
+    };
+    auto dry_run = [&](const std::vector<NodeId>& targets) {
+      std::vector<binpack::Item> bp;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        bp.push_back({i, items[i].size.value(), 0});
+      }
+      std::vector<binpack::Bin> bins;
+      std::vector<NodeId> bin_node;
+      for (NodeId t : targets) {
+        const Watts cap = target_capacity(t);
+        if (cap.value() > kEps) {
+          bins.push_back({static_cast<std::uint64_t>(t), cap.value(), 0});
+          bin_node.push_back(t);
+        }
+      }
+      auto result = binpack::pack(bp, bins, config_.packing);
+      return std::pair(result, bin_node);
+    };
+
+    NodeId scope = config_.prefer_local ? tree.node(s).parent() : tree.root();
+    auto [result, bin_node] = dry_run(collect_targets(scope));
+    if (!result.all_placed() && config_.prefer_local && scope != tree.root()) {
+      scope = tree.root();
+      std::tie(result, bin_node) = dry_run(collect_targets(scope));
+    }
+    if (!result.all_placed()) continue;
+    for (const auto& a : result.assignments) {
+      apply_migration(items[a.item], bin_node[a.bin]);
+    }
+    if (srv.apps().empty()) {
+      cluster_.sleep_server(s);
+      tree.node(s).set_budget(Watts{0.0});
+      ++stats_.sleeps;
+      events_this_tick_.push_back(
+          {EventKind::kSleep, tick_, 0, s, hier::kNoNode, Watts{0.0}});
+      WILLOW_INFO() << "consolidated server " << s << " to sleep";
+    } else {
+      // Latency mode: the VMs are still transferring; the server sleeps at a
+      // later ΔA once it is empty (the in-flight guard keeps it untouched
+      // until then).
+      WILLOW_INFO() << "consolidation of server " << s
+                    << " deferred until transfers land";
+    }
+  }
+}
+
+void Controller::revive_dropped() {
+  auto& tree = cluster_.tree();
+  for (NodeId s : cluster_.server_ids()) {
+    const auto& leaf = tree.node(s);
+    if (!leaf.active()) continue;
+    // The unidirectional rule applied to admission: do not bring workload
+    // back under any node whose budget was just reduced.
+    if (config_.enforce_unidirectional) {
+      bool reduced_path = false;
+      for (NodeId cur = s; cur != hier::kNoNode; cur = tree.node(cur).parent()) {
+        if (budget_reduced_[cur]) {
+          reduced_path = true;
+          break;
+        }
+      }
+      if (reduced_path) continue;
+    }
+    Watts headroom =
+        node_surplus(leaf) - config_.margin - Watts{absorbed_w_[s]};
+    if (headroom.value() <= kEps) continue;
+    auto& apps = cluster_.server(s).apps();
+
+    // Phase 1: bring shut-down applications back (highest priority first,
+    // then cheapest).  A revived app returns at its current service level.
+    std::vector<Application*> dropped;
+    for (auto& a : apps) {
+      if (a.dropped()) dropped.push_back(&a);
+    }
+    std::stable_sort(dropped.begin(), dropped.end(),
+                     [](const Application* a, const Application* b) {
+                       if (a->priority() != b->priority()) {
+                         return a->priority() < b->priority();
+                       }
+                       return a->effective_mean_power() <
+                              b->effective_mean_power();
+                     });
+    for (Application* a : dropped) {
+      if (a->effective_mean_power() <= headroom) {
+        a->set_dropped(false);
+        headroom -= a->effective_mean_power();
+        ++stats_.revivals;
+        events_this_tick_.push_back({EventKind::kRevive, tick_, a->id(), s,
+                                     hier::kNoNode, a->effective_mean_power()});
+        WILLOW_INFO() << "revive app " << a->id() << " on server " << s;
+      }
+    }
+
+    // Phase 2: restore degraded service levels (highest priority first,
+    // then cheapest upgrade).
+    std::vector<Application*> degraded;
+    for (auto& a : apps) {
+      if (!a.dropped() && a.degraded()) degraded.push_back(&a);
+    }
+    std::stable_sort(degraded.begin(), degraded.end(),
+                     [](const Application* a, const Application* b) {
+                       if (a->priority() != b->priority()) {
+                         return a->priority() < b->priority();
+                       }
+                       const Watts ga =
+                           a->mean_power() - a->effective_mean_power();
+                       const Watts gb =
+                           b->mean_power() - b->effective_mean_power();
+                       return ga < gb;
+                     });
+    for (Application* a : degraded) {
+      const Watts gain = a->mean_power() - a->effective_mean_power();
+      if (gain <= headroom) {
+        a->set_service_level(1.0);
+        headroom -= gain;
+        ++stats_.restores;
+        events_this_tick_.push_back(
+            {EventKind::kRestore, tick_, a->id(), s, hier::kNoNode, gain});
+        WILLOW_INFO() << "restore app " << a->id() << " to full service on "
+                      << s;
+      }
+    }
+  }
+}
+
+}  // namespace willow::core

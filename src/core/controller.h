@@ -1,0 +1,322 @@
+// The Willow controller — Section IV (supply & demand side adaptation).
+//
+// One Controller instance drives one Cluster.  Once per demand period ΔD the
+// simulator calls tick() with the currently available supply; the controller
+// then executes the paper's phases at their respective granularities:
+//
+//   every ΔD            demand reports up the tree (Fig. 2), demand-side
+//                        adaptation (deficit-driven migrations, Sec. IV-E),
+//                        revival of dropped workload under surplus
+//   every ΔS = η1·ΔD    supply-side adaptation: thermal/circuit hard limits
+//                        recomputed, budgets divided top-down proportional to
+//                        smoothed demands (Sec. IV-D)
+//   every ΔA = η2·ΔD    consolidation: drain low-utilization servers and put
+//                        them to sleep (Sec. IV-C, IV-E)
+//
+// Migration planning follows the paper's rules: local migrations (within the
+// parent group) are preferred to non-local; unsatisfied demands escalate up
+// the hierarchy level by level; matching demands to surpluses is the FFDLR
+// bin packing of Sec. IV-F; a migration happens only if both source and
+// target retain a surplus of at least P_min afterwards; migration cost is
+// charged as a temporary power demand on both endpoints; demands that fit
+// nowhere are dropped (degraded mode).
+//
+// Unidirectional rule (Sec. IV-E): migrations are triggered only by budget
+// tightening, and no migration may be *destined into* a subtree whose budget
+// was reduced by the triggering event.  The paper's datacenter-level case
+// ("no migrations are allowed at all [into the datacenter]") concerns
+// admitting additional workload from outside, which maps here to the revival
+// path: dropped workload is not revived under a node whose budget shrank.
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "binpack/pack.h"
+#include "core/balance.h"
+#include "core/cluster.h"
+#include "util/units.h"
+
+namespace willow::core {
+
+/// How a node's budget is divided among its children (Sec. IV-D).
+enum class AllocationPolicy {
+  /// "proportional to their demands" — the design-section rule.  Under a
+  /// global deficit every child shrinks proportionally (no surpluses), so
+  /// relief comes from hard-limit capping, demand fluctuation and drops.
+  kProportionalToDemand,
+  /// Proportional to each child's hard capacity — the reading that matches
+  /// the testbed narrative ("the available power supply is divided
+  /// proportionally between the servers", three identical machines): equal
+  /// shares leave low-utilization servers with surplus, which is what lets
+  /// highly utilized servers migrate work away on a supply plunge (Fig. 16).
+  kProportionalToCapacity,
+};
+
+/// What "utilization" is measured against when judging consolidation
+/// candidates (Sec. IV-E: "When the utilization in a node is really small").
+enum class UtilizationReference {
+  /// Fraction of the power model's dynamic range — right when the electrical
+  /// rating is the binding resource (the paper's testbed).
+  kDynamicRange,
+  /// Fraction of the thermally sustainable dynamic power
+  /// (steady-state power limit minus the idle floor) — right when the
+  /// thermal envelope binds long before the nameplate (the paper's
+  /// simulation constants, where c2/c1*(T_limit - Ta) ~ 28 W per 450 W
+  /// server).
+  kThermalSustainable,
+};
+
+/// How unplaceable excess demand is shed (Sec. I names both mechanisms:
+/// shutting down low-priority tasks, and altering the computation — "reducing
+/// the resolution of video, use of coarser audio codecs, or computation of
+/// answers to a lower precision").
+enum class SheddingPolicy {
+  /// Shut whole applications down (the behaviour Sec. IV-E describes).
+  kDropWhole,
+  /// First degrade applications to a reduced service level; drop whole
+  /// applications only if degradation cannot cover the deficit.
+  kDegradeThenDrop,
+};
+
+struct ControllerConfig {
+  /// ΔD in simulation time units (thermal stepping uses this too).
+  Seconds demand_period{1.0};
+  /// ΔS = eta1 * ΔD (paper simulation: 4).
+  int eta1 = 4;
+  /// ΔA = eta2 * ΔD, eta2 > eta1 (paper simulation: 7).
+  int eta2 = 7;
+  /// P_min: surplus that must remain at source and target post-migration.
+  Watts margin{10.0};
+  /// Utilization below which a server becomes a consolidation candidate
+  /// (the testbed experiment uses 20%, Sec. V-C5).
+  double consolidation_threshold = 0.2;
+  /// Matching algorithm (Sec. IV-F; kFfdlr is the paper's choice).
+  binpack::Algorithm packing = binpack::Algorithm::kFfdlr;
+  /// Budget division rule (see AllocationPolicy).
+  AllocationPolicy allocation = AllocationPolicy::kProportionalToDemand;
+  /// Denominator for consolidation utilization (see UtilizationReference).
+  UtilizationReference utilization_reference = UtilizationReference::kDynamicRange;
+  /// Prefer local (same parent) migrations before escalating.  Ablation knob;
+  /// the paper argues locality reduces network overhead and reconfiguration.
+  bool prefer_local = true;
+  /// Temporary power demand charged to source and target per migration.
+  Watts migration_cost{5.0};
+  /// Demand periods the migration cost persists.
+  int migration_cost_periods = 1;
+  /// VM transfer time: demand periods per GiB of image.  0 (default) keeps
+  /// the paper's instantaneous-placement model; > 0 makes a migration take
+  /// ceil(GiB * this) periods, during which the application keeps running on
+  /// (and drawing at) the source while the target holds a reservation.
+  double migration_periods_per_gib = 0.0;
+  /// Enforce the unidirectional no-migrations-into-reduced-subtrees rule.
+  bool enforce_unidirectional = true;
+  /// Allow waking sleeping servers when deficits cannot be placed.
+  bool allow_wake = true;
+  /// Allow dropping demand that fits nowhere (degraded mode).
+  bool allow_drop = true;
+  /// Fraction of a migration target's sustainable *dynamic* envelope that
+  /// may be filled — Sec. I's latency-power tradeoff made explicit.  1.0
+  /// packs servers completely (the Sec. IV-F intent, "we try to run every
+  /// server at full utilization": best power, worst queueing); 0.8 keeps
+  /// M/M/1 response-time inflation within 5x on consolidated hosts.
+  double target_fill_fraction = 1.0;
+  /// What shedding does when it must act (see SheddingPolicy).
+  SheddingPolicy shedding = SheddingPolicy::kDropWhole;
+  /// Service level degraded applications run at under kDegradeThenDrop.
+  double degraded_service_level = 0.5;
+
+  void validate() const;
+};
+
+enum class MigrationCause { kDemand, kConsolidation };
+
+struct MigrationRecord {
+  workload::AppId app = 0;
+  NodeId from = hier::kNoNode;
+  NodeId to = hier::kNoNode;
+  Watts size{0.0};  ///< demand moved
+  MigrationCause cause = MigrationCause::kDemand;
+  long tick = 0;
+  bool local = false;  ///< source and target share a parent
+};
+
+/// One entry of the controller's per-tick decision log.  Every action the
+/// controller takes is recorded; `migrations_this_tick()` remains the
+/// migration-specific view.
+enum class EventKind {
+  kMigrationInitiated,  ///< node = source, node2 = target
+  kMigrationCompleted,  ///< latency mode: transfer landed (node2 = target)
+  kDrop,                ///< application shut down (degraded mode)
+  kDegrade,             ///< service level reduced; amount = released W
+  kRevive,              ///< dropped application brought back
+  kRestore,             ///< service level restored to full
+  kSleep,               ///< server deactivated (node)
+  kWake,                ///< server woken for unplaceable demand (node)
+};
+
+struct ControlEvent {
+  EventKind kind;
+  long tick = 0;
+  workload::AppId app = 0;     ///< 0 for server-level events
+  NodeId node = hier::kNoNode;
+  NodeId node2 = hier::kNoNode;
+  Watts amount{0.0};           ///< demand moved / released / restored
+};
+
+/// Human-readable one-liner for logs and the CLI.
+[[nodiscard]] std::string to_string(const ControlEvent& event);
+
+struct ControllerStats {
+  std::uint64_t demand_migrations = 0;
+  std::uint64_t consolidation_migrations = 0;
+  std::uint64_t local_migrations = 0;
+  std::uint64_t nonlocal_migrations = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t revivals = 0;
+  std::uint64_t degrades = 0;
+  std::uint64_t restores = 0;
+  std::uint64_t sleeps = 0;
+  std::uint64_t wakes = 0;
+  Watts dropped_demand{0.0};
+  Watts degraded_demand{0.0};
+
+  [[nodiscard]] std::uint64_t total_migrations() const {
+    return demand_migrations + consolidation_migrations;
+  }
+};
+
+class Controller {
+ public:
+  Controller(Cluster& cluster, ControllerConfig config);
+
+  [[nodiscard]] const ControllerConfig& config() const { return config_; }
+  [[nodiscard]] long tick_count() const { return tick_; }
+  [[nodiscard]] const ControllerStats& stats() const { return stats_; }
+
+  /// Migrations applied during the most recent tick().
+  [[nodiscard]] const std::vector<MigrationRecord>& migrations_this_tick()
+      const {
+    return migrations_this_tick_;
+  }
+
+  /// Every decision taken during the most recent tick(), in order.
+  [[nodiscard]] const std::vector<ControlEvent>& events_this_tick() const {
+    return events_this_tick_;
+  }
+
+  /// Observer invoked for every applied migration (e.g. fabric accounting).
+  void set_migration_sink(std::function<void(const MigrationRecord&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  /// One demand period: reports, (possibly) supply adaptation with the given
+  /// available supply, demand adaptation, (possibly) consolidation, revival.
+  void tick(Watts available_supply);
+
+  /// Whether `node`'s budget was reduced by the most recent supply event.
+  [[nodiscard]] bool budget_reduced(NodeId node) const;
+
+  /// Root-level budget that no child could absorb at the last supply event.
+  [[nodiscard]] Watts root_unallocated() const { return root_unallocated_; }
+
+  /// Migrations currently in transit (only under migration latency).
+  [[nodiscard]] std::size_t migrations_in_flight() const {
+    return in_flight_.size();
+  }
+
+  /// Whether the given application is currently mid-transfer (callers that
+  /// churn workload must not remove such apps out from under the transfer).
+  [[nodiscard]] bool app_in_flight(workload::AppId app) const {
+    return apps_in_flight_.contains(app);
+  }
+
+  /// Force a supply adaptation now (tests; scenario warm-up).
+  void force_supply_adaptation(Watts available_supply) {
+    supply_adaptation(available_supply);
+  }
+
+ private:
+  struct PlanItem {
+    workload::AppId app;
+    NodeId source;
+    Watts size;  ///< demand + migration cost (what a bin must absorb)
+    Watts demand;
+    MigrationCause cause;
+  };
+
+  void supply_adaptation(Watts available_supply);
+  void update_hard_limits();
+  /// Degrade/drop unplaceable leftovers per SheddingPolicy, lowest priority
+  /// first, releasing just enough to cover each source's deficit.
+  void shed_leftovers(std::vector<PlanItem>& pending);
+  /// Per-ΔD local thermal throttling: clamp each active server's budget to
+  /// its freshly derived thermal/circuit limit.  A clamp is a tightening
+  /// event (marks the node budget-reduced), which is what drives workload
+  /// out of hot zones between supply periods.
+  void enforce_thermal_limits();
+  void demand_adaptation();
+  void consolidate();
+  void revive_dropped();
+
+  /// Select apps on `server` whose combined demand covers `needed`;
+  /// largest-demand-first, skipping dropped apps.
+  std::vector<PlanItem> select_victims(NodeId server, Watts needed,
+                                       MigrationCause cause);
+
+  /// Target eligibility under the unidirectional rule within `scope`.
+  [[nodiscard]] bool eligible_target(NodeId target_server, NodeId scope) const;
+
+  /// Pack `items` into the surpluses of `targets` and apply the resulting
+  /// migrations.  Returns the item indices that could not be placed.
+  std::vector<std::size_t> pack_and_apply(std::vector<PlanItem>& items,
+                                          const std::vector<NodeId>& targets);
+
+  void apply_migration(const PlanItem& item, NodeId target);
+
+  /// Land in-flight migrations whose transfer completed (latency mode).
+  void complete_due_migrations();
+
+  /// Remaining spare capacity a target can still absorb this tick:
+  /// surplus - margin - demand already migrated in this tick.
+  [[nodiscard]] Watts target_capacity(NodeId server) const;
+
+  Cluster& cluster_;
+  ControllerConfig config_;
+  ControllerStats stats_;
+  long tick_ = 0;
+  Watts last_supply_{0.0};
+  std::vector<bool> budget_reduced_;
+  Watts root_unallocated_{0.0};
+  std::vector<MigrationRecord> migrations_this_tick_;
+  std::vector<ControlEvent> events_this_tick_;
+  /// Demand already accepted by each server during the current tick (so
+  /// successive packing passes see shrunken surpluses).
+  std::vector<double> absorbed_w_;
+  /// Demand migrated *off* each server during the current tick (credited
+  /// against its observed deficit before shedding).
+  std::vector<double> migrated_from_w_;
+
+  /// Latency-mode state: transfers in progress.
+  struct InFlight {
+    workload::AppId app;
+    NodeId source;
+    NodeId target;
+    long completes_at;
+    Watts demand;
+  };
+  std::vector<InFlight> in_flight_;
+  std::unordered_set<workload::AppId> apps_in_flight_;
+  /// Demand reserved at targets by inbound transfers (persists across ticks).
+  std::vector<double> reserved_in_w_;
+  /// Demand leaving each source via in-flight transfers (credited against
+  /// its deficit so the same load is not shed or re-planned while moving).
+  std::vector<double> outbound_in_flight_w_;
+  /// Servers that received a migration this tick (never consolidation
+  /// sources in the same tick — avoids intra-tick ping-pong).
+  std::unordered_set<NodeId> targets_this_tick_;
+  std::function<void(const MigrationRecord&)> sink_;
+};
+
+}  // namespace willow::core

@@ -1,0 +1,46 @@
+// Delta-convergence analysis — Section V-A1.
+//
+// Definition 1 (after Torres-Rojas & Meneses): a system is delta-convergent
+// if any update at time t is perceived by all sites by t + delta.  In Willow
+// the update paths are one-way (demand reports leaf->root, budget directives
+// root->leaf), so with at most `alpha` propagation time per level and h
+// levels, delta <= h * alpha.  The paper recommends choosing the demand
+// period Delta_D at least ~10x that bound (e.g. delta <= 50 ms for h <= 5
+// and per-level updates of a few tens of ms, so Delta_D >= 500 ms).
+#pragma once
+
+#include <vector>
+
+#include "hier/tree.h"
+#include "util/units.h"
+
+namespace willow::hier {
+
+using util::Seconds;
+
+struct ConvergenceReport {
+  int levels = 0;                 ///< h
+  Seconds per_level_latency{0};   ///< alpha
+  Seconds delta{0};               ///< h * alpha
+  Seconds recommended_period{0};  ///< safety_factor * delta
+};
+
+/// Conservative bound from the paper's argument: delta = h * alpha,
+/// Delta_D >= safety_factor * delta (paper uses 10).
+ConvergenceReport analyze_convergence(const Tree& tree,
+                                      Seconds per_level_latency,
+                                      double safety_factor = 10.0);
+
+/// Simulated propagation: an update enters at `origin` at time 0 and crosses
+/// one level per `per_level_latency` toward the root, then fans back down.
+/// Returns, for every node, the time it first perceives the update.  The max
+/// entry is the measured delta (<= the analytic 2 h alpha for up+down, or
+/// h alpha one-way if origin is the root).
+std::vector<Seconds> propagation_times(const Tree& tree, NodeId origin,
+                                       Seconds per_level_latency);
+
+/// True when the chosen demand period leaves the recommended margin over the
+/// measured one-way delta.
+bool period_is_safe(const ConvergenceReport& report, Seconds demand_period);
+
+}  // namespace willow::hier

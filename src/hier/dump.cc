@@ -1,0 +1,54 @@
+#include "hier/dump.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace willow::hier {
+
+namespace {
+
+void dump_node(const Tree& tree, NodeId id, std::ostream& os,
+               const DumpOptions& options, const std::string& prefix,
+               bool last) {
+  const Node& n = tree.node(id);
+  if (!n.is_root()) {
+    os << prefix << "+- ";
+  }
+  os << n.name();
+  if (options.mark_inactive && !n.active()) os << "  (asleep)";
+  if (options.include_state) {
+    os << "  [TP " << std::fixed << std::setprecision(options.precision)
+       << n.budget().value() << " CP " << n.smoothed_demand().value();
+    const double cap = n.hard_limit().value();
+    if (std::isfinite(cap)) os << " cap " << cap;
+    os << "]";
+  }
+  os << '\n';
+  const std::string child_prefix =
+      n.is_root() ? "" : prefix + (last ? "   " : "|  ");
+  const auto& children = n.children();
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    dump_node(tree, children[i], os, options, child_prefix,
+              i + 1 == children.size());
+  }
+}
+
+}  // namespace
+
+void dump_tree(const Tree& tree, std::ostream& os, const DumpOptions& options) {
+  if (tree.size() == 0) {
+    os << "(empty tree)\n";
+    return;
+  }
+  dump_node(tree, tree.root(), os, options, "", true);
+}
+
+std::string tree_to_string(const Tree& tree, const DumpOptions& options) {
+  std::ostringstream os;
+  dump_tree(tree, os, options);
+  return os.str();
+}
+
+}  // namespace willow::hier

@@ -1,0 +1,34 @@
+// Human-readable rendering of a power-control hierarchy — the operator's
+// view of Fig. 1 with live control state (budgets, demands, limits) beside
+// each PMU node.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hier/tree.h"
+
+namespace willow::hier {
+
+struct DumpOptions {
+  /// Include TP/CP/hard-limit columns (otherwise structure only).
+  bool include_state = true;
+  /// Mark inactive (sleeping) nodes.
+  bool mark_inactive = true;
+  int precision = 1;
+};
+
+/// Render the tree as an indented ASCII outline:
+///
+///     datacenter  [TP 375.0 CP 400.0 cap 2250.0]
+///     +- rack0  [TP 150.0 CP 180.0 cap 900.0]
+///     |  +- s00  [TP 75.0 CP 110.0 cap 450.0]
+///     ...
+void dump_tree(const Tree& tree, std::ostream& os,
+               const DumpOptions& options = DumpOptions{});
+
+/// Convenience: dump to a string.
+[[nodiscard]] std::string tree_to_string(
+    const Tree& tree, const DumpOptions& options = DumpOptions{});
+
+}  // namespace willow::hier

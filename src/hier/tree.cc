@@ -1,0 +1,144 @@
+#include "hier/tree.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace willow::hier {
+
+Node::Node(NodeId id, NodeId parent, int depth, std::string name, NodeKind kind,
+           double smoothing_alpha)
+    : id_(id),
+      parent_(parent),
+      depth_(depth),
+      name_(std::move(name)),
+      kind_(kind),
+      smoothed_(smoothing_alpha),
+      hard_limit_(Watts{std::numeric_limits<double>::infinity()}) {}
+
+Tree::Tree(double smoothing_alpha) : alpha_(smoothing_alpha) {
+  if (!(smoothing_alpha > 0.0) || smoothing_alpha > 1.0) {
+    throw std::invalid_argument("Tree: smoothing alpha must be in (0,1]");
+  }
+}
+
+NodeId Tree::add_root(std::string name, NodeKind kind) {
+  if (root_ != kNoNode) throw std::logic_error("Tree: root already exists");
+  root_ = 0;
+  nodes_.emplace_back(root_, kNoNode, 0, std::move(name), kind, alpha_);
+  return root_;
+}
+
+NodeId Tree::add_child(NodeId parent, std::string name, NodeKind kind) {
+  if (parent >= nodes_.size()) throw std::out_of_range("Tree: bad parent id");
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.emplace_back(id, parent, nodes_[parent].depth() + 1, std::move(name),
+                      kind, alpha_);
+  nodes_[parent].children_.push_back(id);
+  return id;
+}
+
+std::vector<NodeId> Tree::all_nodes() const {
+  std::vector<NodeId> out(nodes_.size());
+  for (NodeId i = 0; i < nodes_.size(); ++i) out[i] = i;
+  return out;
+}
+
+std::vector<NodeId> Tree::leaves() const {
+  std::vector<NodeId> out;
+  for (const auto& n : nodes_) {
+    if (n.is_leaf()) out.push_back(n.id());
+  }
+  return out;
+}
+
+std::vector<NodeId> Tree::leaves_of_kind(NodeKind kind) const {
+  std::vector<NodeId> out;
+  for (const auto& n : nodes_) {
+    if (n.is_leaf() && n.kind() == kind) out.push_back(n.id());
+  }
+  return out;
+}
+
+int Tree::height() const {
+  int h = 0;
+  for (const auto& n : nodes_) h = std::max(h, n.depth() + 1);
+  return h;
+}
+
+int Tree::level_of(NodeId id) const {
+  return height() - 1 - node(id).depth();
+}
+
+std::vector<NodeId> Tree::nodes_at_level(int level) const {
+  std::vector<NodeId> out;
+  for (const auto& n : nodes_) {
+    if (level_of(n.id()) == level) out.push_back(n.id());
+  }
+  return out;
+}
+
+std::size_t Tree::max_branching_at_level(int level) const {
+  std::size_t best = 0;
+  for (const auto& n : nodes_) {
+    if (!n.children().empty() && level_of(n.children().front()) == level) {
+      best = std::max(best, n.children().size());
+    }
+  }
+  return best;
+}
+
+std::vector<NodeId> Tree::bottom_up() const {
+  // Creation order guarantees parents precede children, so the reverse of
+  // creation order lists children before parents.
+  std::vector<NodeId> out = all_nodes();
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> Tree::top_down() const { return all_nodes(); }
+
+std::vector<NodeId> Tree::siblings(NodeId id) const {
+  const Node& n = node(id);
+  std::vector<NodeId> out;
+  if (n.parent() == kNoNode) return out;
+  for (NodeId c : node(n.parent()).children()) {
+    if (c != id) out.push_back(c);
+  }
+  return out;
+}
+
+bool Tree::is_ancestor(NodeId ancestor, NodeId id) const {
+  for (NodeId cur = id; cur != kNoNode; cur = node(cur).parent()) {
+    if (cur == ancestor) return true;
+  }
+  return false;
+}
+
+void Tree::report_demands() {
+  for (NodeId id : bottom_up()) {
+    Node& n = nodes_[id];
+    if (!n.is_leaf()) {
+      Watts sum{0.0};
+      for (NodeId c : n.children()) {
+        const Node& child = nodes_[c];
+        if (child.active()) sum += child.smoothed_demand();
+      }
+      n.observe_demand(n.active() ? sum : Watts{0.0});
+    } else if (!n.active()) {
+      n.observe_demand(Watts{0.0});
+    }
+    if (!n.is_root()) n.count_up();
+  }
+}
+
+void Tree::count_budget_directives() {
+  for (auto& n : nodes_) {
+    if (!n.is_root()) n.count_down();
+  }
+}
+
+void Tree::reset_link_counters() {
+  for (auto& n : nodes_) n.reset_link();
+}
+
+}  // namespace willow::hier

@@ -1,0 +1,190 @@
+// The multi-level power-control hierarchy — Section IV-A (Fig. 1) and the
+// control-message pattern of Fig. 2.
+//
+// A Tree holds PMU (power-management-unit) nodes: the datacenter PMU at the
+// top, rack PMUs below it, server/switch PMUs at the bottom.  Each node
+// carries the per-node control state the paper names:
+//
+//   TP_{l,i}  power budget assigned by the parent          (budget())
+//   CP_{l,i}  exponentially smoothed power demand, Eq. (4) (smoothed_demand())
+//   hard limit: min(thermal P_limit, circuit rating)       (hard_limit())
+//
+// Demand reports flow leaf -> root, budget directives root -> leaf, once per
+// period each; the tree counts messages per link so Property 3 ("at most 2
+// messages per link per Delta_D") is checkable, and models per-level update
+// latency for the delta-convergence analysis of Section V-A1.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/ewma.h"
+#include "util/units.h"
+
+namespace willow::hier {
+
+using util::Watts;
+
+using NodeId = std::uint32_t;
+constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+enum class NodeKind {
+  kDatacenter,
+  kRack,
+  kServer,
+  kSwitch,
+  kGeneric,
+};
+
+/// Per-link control-message counters (link = node <-> its parent).
+struct LinkCounters {
+  std::uint64_t up = 0;    ///< demand reports child -> parent
+  std::uint64_t down = 0;  ///< budget directives parent -> child
+};
+
+class Node {
+ public:
+  Node(NodeId id, NodeId parent, int depth, std::string name, NodeKind kind,
+       double smoothing_alpha);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] NodeId parent() const { return parent_; }
+  [[nodiscard]] const std::vector<NodeId>& children() const { return children_; }
+  [[nodiscard]] bool is_leaf() const { return children_.empty(); }
+  [[nodiscard]] bool is_root() const { return parent_ == kNoNode; }
+  /// Distance from the root (root = 0).  The paper's "level" counts from the
+  /// bottom; see Tree::level_of().
+  [[nodiscard]] int depth() const { return depth_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] NodeKind kind() const { return kind_; }
+
+  /// TP_{l,i}: the budget currently assigned by the parent.
+  [[nodiscard]] Watts budget() const { return budget_; }
+  /// TP^old: the budget during the previous supply period.
+  [[nodiscard]] Watts previous_budget() const { return previous_budget_; }
+  void set_budget(Watts b) {
+    previous_budget_ = budget_;
+    budget_ = b;
+  }
+
+  /// CP_{l,i}: smoothed demand (Eq. 4).  For internal nodes this is the
+  /// aggregated, smoothed sum of children's reports.
+  [[nodiscard]] Watts smoothed_demand() const { return smoothed_.value(); }
+  /// Latest raw (unsmoothed) demand report.
+  [[nodiscard]] Watts raw_demand() const { return raw_demand_; }
+  /// Feed a new raw demand observation; updates the EWMA.
+  void observe_demand(Watts d) {
+    raw_demand_ = d;
+    smoothed_.update(d);
+  }
+  /// Clear smoothing history (scenario reset).
+  void reset_demand() {
+    raw_demand_ = Watts{0.0};
+    smoothed_.reset();
+  }
+
+  /// Hard constraint on this node's budget: min(thermal limit over the next
+  /// window, power-circuit rating).  Sec. IV-D "Hard Constraints".
+  [[nodiscard]] Watts hard_limit() const { return hard_limit_; }
+  void set_hard_limit(Watts h) { hard_limit_ = h; }
+
+  /// Deactivated nodes (deep sleep S3/S4 after consolidation) hold no budget
+  /// and report zero demand.
+  [[nodiscard]] bool active() const { return active_; }
+  void set_active(bool a) { active_ = a; }
+
+  /// Control-message counters on the link to the parent.
+  [[nodiscard]] const LinkCounters& link() const { return link_; }
+  void count_up() { ++link_.up; }
+  void count_down() { ++link_.down; }
+  void reset_link() { link_ = {}; }
+
+ private:
+  friend class Tree;
+
+  NodeId id_;
+  NodeId parent_;
+  std::vector<NodeId> children_;
+  int depth_;
+  std::string name_;
+  NodeKind kind_;
+
+  Watts budget_{0.0};
+  Watts previous_budget_{0.0};
+  Watts raw_demand_{0.0};
+  util::Ewma<Watts> smoothed_;
+  Watts hard_limit_{std::numeric_limits<double>::infinity()};
+  bool active_ = true;
+  LinkCounters link_;
+};
+
+class Tree {
+ public:
+  /// @param smoothing_alpha Eq. (4) alpha applied at every node.
+  explicit Tree(double smoothing_alpha = 0.7);
+
+  /// Create the root; must be called exactly once, first.
+  NodeId add_root(std::string name, NodeKind kind = NodeKind::kDatacenter);
+  /// Create a child of `parent`.
+  NodeId add_child(NodeId parent, std::string name,
+                   NodeKind kind = NodeKind::kGeneric);
+
+  [[nodiscard]] NodeId root() const { return root_; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] Node& node(NodeId id) { return nodes_.at(id); }
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id); }
+
+  /// All node ids in creation order.
+  [[nodiscard]] std::vector<NodeId> all_nodes() const;
+  /// Leaves in creation order.
+  [[nodiscard]] std::vector<NodeId> leaves() const;
+  /// Leaves of a given kind.
+  [[nodiscard]] std::vector<NodeId> leaves_of_kind(NodeKind kind) const;
+
+  /// Height: number of levels (a root-only tree has height 1).
+  [[nodiscard]] int height() const;
+
+  /// The paper's level numbering: leaves' level is 0 in a uniform-depth tree;
+  /// in general level = height - 1 - depth.
+  [[nodiscard]] int level_of(NodeId id) const;
+
+  /// Nodes at a given paper-level.
+  [[nodiscard]] std::vector<NodeId> nodes_at_level(int level) const;
+
+  /// Maximum branching factor at a given paper-level (over parents whose
+  /// children sit at `level`); used by the complexity analysis (Sec. V-A2).
+  [[nodiscard]] std::size_t max_branching_at_level(int level) const;
+
+  /// Ids in bottom-up order (children before parents).
+  [[nodiscard]] std::vector<NodeId> bottom_up() const;
+  /// Ids in top-down order (parents before children).
+  [[nodiscard]] std::vector<NodeId> top_down() const;
+
+  /// Siblings of `id` (children of its parent, excluding `id`).
+  [[nodiscard]] std::vector<NodeId> siblings(NodeId id) const;
+
+  /// True if `ancestor` lies on the root path of `id` (or equals it).
+  [[nodiscard]] bool is_ancestor(NodeId ancestor, NodeId id) const;
+
+  /// One demand-report sweep (Fig. 2, upward): every active leaf has already
+  /// had observe_demand() called with its measurement; internal nodes then
+  /// observe the sum of their children's *smoothed* demands, bottom-up.
+  /// Counts one `up` message per link.  Inactive nodes report zero.
+  void report_demands();
+
+  /// Count one `down` message per link (called by the budget distributor
+  /// after it pushes budgets; the tree itself does not decide budgets).
+  void count_budget_directives();
+
+  /// Reset all message counters.
+  void reset_link_counters();
+
+ private:
+  double alpha_;
+  std::vector<Node> nodes_;
+  NodeId root_ = kNoNode;
+};
+
+}  // namespace willow::hier

@@ -1,0 +1,54 @@
+// Cooling-infrastructure power model — the paper's Section VI future work:
+// "In order to do a holistic power control, Willow must consider the energy
+// consumed by cooling infrastructure as well in the adaptation."
+//
+// A simple CRAC model: removing Q watts of IT heat costs Q / COP(T_outside)
+// of compressor/pump power plus a fixed fan floor.  The coefficient of
+// performance falls linearly as the outside (heat-rejection) temperature
+// rises — hotter days make every served watt more expensive, the coupling
+// that makes thermal-aware placement pay off at the facility level.
+#pragma once
+
+#include "util/units.h"
+
+namespace willow::power {
+
+using util::Celsius;
+using util::Watts;
+
+struct CoolingConfig {
+  /// COP at the reference outside temperature (typical chiller: ~3-4).
+  double cop_at_reference = 3.5;
+  Celsius reference_outside{25.0};
+  /// COP change per degC of outside temperature (negative: hotter = worse).
+  double cop_slope_per_degc = -0.08;
+  /// COP never falls below this (compressor floor).
+  double min_cop = 1.0;
+  /// Fixed draw of air movers, powered whenever the plant is on.
+  Watts fan_floor{20.0};
+};
+
+class CoolingModel {
+ public:
+  explicit CoolingModel(CoolingConfig config = CoolingConfig{});
+
+  [[nodiscard]] const CoolingConfig& config() const { return config_; }
+
+  /// Effective COP at the given outside temperature (>= min_cop).
+  [[nodiscard]] double cop(Celsius outside) const;
+
+  /// Cooling power needed to remove `it_power` of heat at `outside`.
+  [[nodiscard]] Watts cooling_power(Watts it_power, Celsius outside) const;
+
+  /// Facility power = IT + cooling.
+  [[nodiscard]] Watts facility_power(Watts it_power, Celsius outside) const;
+
+  /// Power usage effectiveness = facility / IT (>= 1); returns +inf for
+  /// zero IT power (fans still spin).
+  [[nodiscard]] double pue(Watts it_power, Celsius outside) const;
+
+ private:
+  CoolingConfig config_;
+};
+
+}  // namespace willow::power

@@ -1,0 +1,98 @@
+// Power-supply profiles — the "supply side" of Energy Adaptive Computing.
+//
+// Section III motivates short-term energy deficiencies from renewable
+// sources, under-provisioned circuits, and cooling limits; Section V drives
+// both the simulation and the testbed with time-varying supply traces
+// (Fig. 15: deficient regime, Fig. 19: plenty regime).  SupplyProfile is the
+// common abstraction; concrete profiles cover constants, recorded step
+// traces, diurnal sinusoids, and a clamped-sine solar model with cloud noise.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/units.h"
+
+namespace willow::power {
+
+using util::Seconds;
+using util::Watts;
+
+/// Available power as a function of time.  Implementations must be pure
+/// (repeatable for the same t) so experiments stay reproducible.
+class SupplyProfile {
+ public:
+  virtual ~SupplyProfile() = default;
+  /// Available power at absolute time t (t >= 0).
+  [[nodiscard]] virtual Watts at(Seconds t) const = 0;
+};
+
+/// Fixed supply.
+class ConstantSupply final : public SupplyProfile {
+ public:
+  explicit ConstantSupply(Watts level) : level_(level) {}
+  [[nodiscard]] Watts at(Seconds) const override { return level_; }
+
+ private:
+  Watts level_;
+};
+
+/// Piecewise-constant recorded trace: value i applies on [i*dt, (i+1)*dt).
+/// Past the end, the last value holds (the trace "persists").
+class SteppedSupply final : public SupplyProfile {
+ public:
+  SteppedSupply(std::vector<Watts> levels, Seconds step);
+  [[nodiscard]] Watts at(Seconds t) const override;
+  [[nodiscard]] const std::vector<Watts>& levels() const { return levels_; }
+  [[nodiscard]] Seconds step() const { return step_; }
+
+ private:
+  std::vector<Watts> levels_;
+  Seconds step_;
+};
+
+/// base + amplitude * sin(2*pi*t/period); clamped at >= 0.  A smooth diurnal
+/// grid-price / demand-response shape.
+class SinusoidSupply final : public SupplyProfile {
+ public:
+  SinusoidSupply(Watts base, Watts amplitude, Seconds period);
+  [[nodiscard]] Watts at(Seconds t) const override;
+
+ private:
+  Watts base_;
+  Watts amplitude_;
+  Seconds period_;
+};
+
+/// Photovoltaic-style profile: a half-sine bump over [dawn, dusk] of each
+/// day, scaled by deterministic pseudo-random "cloud" attenuation, on top of
+/// a fixed grid floor.  Deterministic in (seed, t).
+class SolarSupply final : public SupplyProfile {
+ public:
+  /// @param grid_floor   always-available baseline (grid / battery contract)
+  /// @param solar_peak   clear-sky PV peak at solar noon
+  /// @param day_length   length of a full day in simulation time
+  /// @param cloudiness   in [0,1]: 0 = clear sky, 1 = fully overcast possible
+  SolarSupply(Watts grid_floor, Watts solar_peak, Seconds day_length,
+              double cloudiness, unsigned long long seed);
+  [[nodiscard]] Watts at(Seconds t) const override;
+
+ private:
+  Watts grid_floor_;
+  Watts solar_peak_;
+  Seconds day_length_;
+  double cloudiness_;
+  unsigned long long seed_;
+};
+
+/// The Fig.-15 energy-deficient trace (Section V-C4): 30 one-"time-unit"
+/// steps whose mean is just enough to run the 3-server testbed at ~60%
+/// utilization, with a deep plunge at t=7 persisting through t=10 and further
+/// dips at t=12 and t=25.
+std::unique_ptr<SteppedSupply> paper_fig15_trace();
+
+/// The Fig.-19 energy-plenty trace (Section V-C5): 30 steps with mean close
+/// to the supply needed to run all three servers at 100% (~750 W).
+std::unique_ptr<SteppedSupply> paper_fig19_trace();
+
+}  // namespace willow::power

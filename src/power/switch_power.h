@@ -1,0 +1,40 @@
+// Switch power model — Section V-B5.
+//
+// "We assume that the switch power consumption has two parts: static and
+//  dynamic.  The dynamic portion ... is directly proportional to the amount
+//  of traffic it handles.  The static part is fixed and is very small."
+#pragma once
+
+#include "util/units.h"
+
+namespace willow::power {
+
+using util::Watts;
+
+class SwitchPowerModel {
+ public:
+  /// @param static_power  fixed draw while powered on (paper: "very small").
+  /// @param watts_per_unit_traffic  dynamic slope; traffic is measured in the
+  ///        caller's normalized traffic units (we use utilization-equivalent
+  ///        load, 1.0 == one fully-utilized server's traffic).
+  SwitchPowerModel(Watts static_power, double watts_per_unit_traffic);
+
+  [[nodiscard]] Watts static_power() const { return static_power_; }
+  [[nodiscard]] double slope() const { return watts_per_unit_; }
+
+  /// Power drawn while handling `traffic` units of load (>= 0).
+  [[nodiscard]] Watts power(double traffic) const;
+
+  /// Traffic supportable under `budget` (inverse of power()); >= 0.
+  [[nodiscard]] double capacity_under_budget(Watts budget) const;
+
+  /// Calibration used by the paper's simulation: a level-1 switch serving a
+  /// handful of 450 W-class servers; small static part.
+  static SwitchPowerModel paper_simulation();
+
+ private:
+  Watts static_power_;
+  double watts_per_unit_;
+};
+
+}  // namespace willow::power

@@ -1,0 +1,117 @@
+#include "power/trace_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace willow::power {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error("supply trace line " + std::to_string(line) + ": " +
+                           message);
+}
+
+bool try_parse(const std::string& text, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(text, &used);
+    return used == text.size();
+  } catch (const std::logic_error&) {
+    return false;
+  }
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::unique_ptr<SteppedSupply> read_supply_csv(std::istream& in,
+                                               util::Seconds default_step) {
+  std::vector<double> times;
+  std::vector<Watts> watts;
+  bool two_column = false;
+  bool first_data = true;
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string text = trim(raw);
+    if (text.empty()) continue;
+
+    std::vector<std::string> fields;
+    std::istringstream is(text);
+    std::string field;
+    while (std::getline(is, field, ',')) fields.push_back(trim(field));
+    if (fields.empty()) continue;
+
+    double first_value = 0.0;
+    if (!try_parse(fields[0], first_value)) {
+      if (first_data) continue;  // header line
+      fail(line, "non-numeric field '" + fields[0] + "'");
+    }
+
+    if (fields.size() > 2) fail(line, "expected at most two columns");
+    if (first_data) {
+      two_column = fields.size() == 2;
+      first_data = false;
+    }
+    if (two_column) {
+      if (fields.size() < 2) fail(line, "expected time,watts");
+      double w = 0.0;
+      if (!try_parse(fields[1], w)) fail(line, "bad watts '" + fields[1] + "'");
+      if (w < 0.0) fail(line, "negative watts");
+      times.push_back(first_value);
+      watts.emplace_back(w);
+    } else {
+      if (fields.size() > 1) fail(line, "expected a single watts column");
+      if (first_value < 0.0) fail(line, "negative watts");
+      watts.emplace_back(first_value);
+    }
+  }
+  if (watts.empty()) throw std::runtime_error("supply trace: no samples");
+
+  util::Seconds step = default_step;
+  if (two_column && times.size() >= 2) {
+    const double dt = times[1] - times[0];
+    if (!(dt > 0.0)) throw std::runtime_error("supply trace: non-increasing times");
+    for (std::size_t i = 2; i < times.size(); ++i) {
+      if (std::abs((times[i] - times[i - 1]) - dt) > 1e-6 * std::max(1.0, dt)) {
+        throw std::runtime_error("supply trace: non-uniform time steps");
+      }
+    }
+    step = util::Seconds{dt};
+  }
+  return std::make_unique<SteppedSupply>(std::move(watts), step);
+}
+
+std::unique_ptr<SteppedSupply> load_supply_csv(const std::string& path,
+                                               util::Seconds default_step) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open supply trace: " + path);
+  return read_supply_csv(f, default_step);
+}
+
+void write_supply_csv(std::ostream& out, const SupplyProfile& profile,
+                      util::Seconds step, std::size_t samples) {
+  if (!(step.value() > 0.0)) {
+    throw std::invalid_argument("write_supply_csv: step must be > 0");
+  }
+  out << "t,watts\n";
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double t = static_cast<double>(i) * step.value();
+    out << t << ',' << profile.at(util::Seconds{t}).value() << '\n';
+  }
+}
+
+}  // namespace willow::power

@@ -1,0 +1,34 @@
+// CSV import/export for supply traces.
+//
+// Deployments have real feed recordings (PDU logs, PV inverter exports);
+// this loads them as SteppedSupply profiles so recorded days can be replayed
+// against the controller.  Accepted shapes:
+//   one column:     watts per line (uniform step)
+//   two columns:    time,watts — times must be uniformly spaced
+// A header line is skipped if its first field is not numeric; '#' comment
+// lines and blank lines are ignored.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "power/supply.h"
+
+namespace willow::power {
+
+/// Parse a trace from a stream.  @param default_step step used for
+/// one-column traces.  Throws std::runtime_error (with the line number) on
+/// malformed input or non-uniform two-column timestamps.
+std::unique_ptr<SteppedSupply> read_supply_csv(
+    std::istream& in, util::Seconds default_step = util::Seconds{1.0});
+
+/// Load a trace file; throws std::runtime_error if unreadable.
+std::unique_ptr<SteppedSupply> load_supply_csv(
+    const std::string& path, util::Seconds default_step = util::Seconds{1.0});
+
+/// Write a profile sampled every `step` for `samples` points as "t,watts".
+void write_supply_csv(std::ostream& out, const SupplyProfile& profile,
+                      util::Seconds step, std::size_t samples);
+
+}  // namespace willow::power

@@ -1,0 +1,95 @@
+#include "sim/result_io.h"
+
+#include <ostream>
+
+#include "util/json.h"
+
+namespace willow::sim {
+
+namespace {
+
+void write_series(util::JsonWriter& w, const char* name,
+                  const util::TimeSeries& series) {
+  if (series.empty()) return;
+  w.key(name).begin_object();
+  w.number_array("t", series.times());
+  w.number_array("v", series.values());
+  w.end_object();
+}
+
+}  // namespace
+
+void write_result_json(std::ostream& os, const SimResult& result) {
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("ticks").value(static_cast<long long>(result.ticks));
+  w.key("max_temperature_c").value(result.max_temperature_c);
+  w.key("thermal_violation").value(result.thermal_violation);
+  w.key("quick_remigrations")
+      .value(static_cast<long long>(result.quick_remigrations));
+
+  const auto& st = result.controller_stats;
+  w.key("controller").begin_object();
+  w.key("demand_migrations").value(st.demand_migrations);
+  w.key("consolidation_migrations").value(st.consolidation_migrations);
+  w.key("local_migrations").value(st.local_migrations);
+  w.key("nonlocal_migrations").value(st.nonlocal_migrations);
+  w.key("drops").value(st.drops);
+  w.key("revivals").value(st.revivals);
+  w.key("degrades").value(st.degrades);
+  w.key("restores").value(st.restores);
+  w.key("sleeps").value(st.sleeps);
+  w.key("wakes").value(st.wakes);
+  w.key("dropped_demand_w").value(st.dropped_demand.value());
+  w.key("degraded_demand_w").value(st.degraded_demand.value());
+  w.end_object();
+
+  w.key("servers").begin_array();
+  for (const auto& s : result.servers) {
+    w.begin_object();
+    w.key("mean_power_w").value(s.consumed_power.mean());
+    w.key("mean_temperature_c").value(s.temperature.mean());
+    w.key("max_temperature_c").value(s.temperature.max());
+    w.key("mean_utilization").value(s.utilization.mean());
+    w.key("asleep_fraction").value(s.asleep_fraction);
+    w.key("saved_power_w").value(s.saved_power_w);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("level1_switches").begin_array();
+  for (const auto& s : result.level1_switches) {
+    w.begin_object();
+    w.key("group").value(static_cast<long long>(s.group));
+    w.key("mean_power_w").value(s.power.mean());
+    w.key("mean_traffic").value(s.traffic.mean());
+    w.key("mean_migration_cost_w").value(s.migration_cost.mean());
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("series").begin_object();
+  write_series(w, "supply_w", result.supply_series);
+  write_series(w, "total_power_w", result.total_power);
+  write_series(w, "migrations", result.migrations_per_tick);
+  write_series(w, "demand_migrations", result.demand_migrations_per_tick);
+  write_series(w, "consolidation_migrations",
+               result.consolidation_migrations_per_tick);
+  write_series(w, "normalized_migration_traffic",
+               result.normalized_migration_traffic);
+  write_series(w, "remote_flow_traffic", result.remote_flow_traffic);
+  write_series(w, "mean_flow_hops", result.mean_flow_hops);
+  write_series(w, "imbalance_w", result.imbalance);
+  write_series(w, "intensity", result.intensity_series);
+  write_series(w, "facility_power_w", result.facility_power);
+  write_series(w, "pue", result.pue);
+  write_series(w, "qos_satisfaction", result.qos_satisfaction);
+  write_series(w, "qos_mean_inflation", result.qos_mean_inflation);
+  w.end_object();
+
+  w.end_object();
+  w.finish();
+  os << '\n';
+}
+
+}  // namespace willow::sim

@@ -1,0 +1,15 @@
+// SimResult -> JSON, for downstream analysis without C++.
+#pragma once
+
+#include <iosfwd>
+
+#include "sim/simulation.h"
+
+namespace willow::sim {
+
+/// Serialize the full result: controller stats, per-server summaries, and
+/// every recorded time series (as {t: [...], v: [...]} pairs).  Empty series
+/// (disabled features) are omitted.
+void write_result_json(std::ostream& os, const SimResult& result);
+
+}  // namespace willow::sim

@@ -1,0 +1,315 @@
+#include "sim/scenario_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "power/trace_io.h"
+
+namespace willow::sim {
+
+namespace {
+
+using util::Seconds;
+using util::Watts;
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error("scenario line " + std::to_string(line) + ": " +
+                           message);
+}
+
+double parse_double(const std::string& text, int line) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) fail(line, "trailing junk in number '" + text + "'");
+    return v;
+  } catch (const std::logic_error&) {
+    fail(line, "expected a number, got '" + text + "'");
+  }
+}
+
+long parse_long(const std::string& text, int line) {
+  const double v = parse_double(text, line);
+  const long l = static_cast<long>(v);
+  if (static_cast<double>(l) != v) fail(line, "expected an integer, got '" + text + "'");
+  return l;
+}
+
+bool parse_bool(const std::string& text, int line) {
+  if (text == "true" || text == "1" || text == "yes") return true;
+  if (text == "false" || text == "0" || text == "no") return false;
+  fail(line, "expected a boolean, got '" + text + "'");
+}
+
+std::vector<std::string> split_words(const std::string& text) {
+  std::istringstream is(text);
+  std::vector<std::string> words;
+  std::string w;
+  while (is >> w) words.push_back(w);
+  return words;
+}
+
+std::shared_ptr<const power::SupplyProfile> parse_supply(
+    const std::string& value, int line) {
+  const auto words = split_words(value);
+  if (words.empty()) fail(line, "empty supply specification");
+  const std::string& kind = words[0];
+  auto need = [&](std::size_t n) {
+    if (words.size() != n + 1) {
+      fail(line, "supply '" + kind + "' takes " + std::to_string(n) +
+                     " arguments");
+    }
+  };
+  if (kind == "constant") {
+    need(1);
+    return std::make_shared<power::ConstantSupply>(
+        Watts{parse_double(words[1], line)});
+  }
+  if (kind == "steps") {
+    if (words.size() < 2) fail(line, "steps supply needs at least one level");
+    std::vector<Watts> levels;
+    for (std::size_t i = 1; i < words.size(); ++i) {
+      levels.emplace_back(parse_double(words[i], line));
+    }
+    return std::make_shared<power::SteppedSupply>(std::move(levels),
+                                                  Seconds{1.0});
+  }
+  if (kind == "sine") {
+    need(3);
+    return std::make_shared<power::SinusoidSupply>(
+        Watts{parse_double(words[1], line)},
+        Watts{parse_double(words[2], line)},
+        Seconds{parse_double(words[3], line)});
+  }
+  if (kind == "solar") {
+    need(5);
+    return std::make_shared<power::SolarSupply>(
+        Watts{parse_double(words[1], line)},
+        Watts{parse_double(words[2], line)},
+        Seconds{parse_double(words[3], line)}, parse_double(words[4], line),
+        static_cast<unsigned long long>(parse_long(words[5], line)));
+  }
+  if (kind == "csv") {
+    need(1);
+    return std::shared_ptr<const power::SupplyProfile>(
+        power::load_supply_csv(words[1]).release());
+  }
+  if (kind == "fig15") {
+    need(0);
+    return std::shared_ptr<const power::SupplyProfile>(
+        power::paper_fig15_trace().release());
+  }
+  if (kind == "fig19") {
+    need(0);
+    return std::shared_ptr<const power::SupplyProfile>(
+        power::paper_fig19_trace().release());
+  }
+  fail(line, "unknown supply kind '" + kind + "'");
+}
+
+binpack::Algorithm parse_packing(const std::string& text, int line) {
+  if (text == "ffdlr") return binpack::Algorithm::kFfdlr;
+  if (text == "ff") return binpack::Algorithm::kFirstFit;
+  if (text == "ffd") return binpack::Algorithm::kFirstFitDecreasing;
+  if (text == "bfd") return binpack::Algorithm::kBestFitDecreasing;
+  if (text == "wfd") return binpack::Algorithm::kWorstFitDecreasing;
+  fail(line, "unknown packing algorithm '" + text + "'");
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+SimConfig parse_scenario(std::istream& in) {
+  SimConfig cfg;
+  // Hot-zone directives are applied after layout keys are known.
+  long hot_zone_servers = 0;
+  double hot_ambient_c = 40.0;
+  // Default to the paper's constants; scenario keys can override them.
+  cfg.datacenter.server.thermal.c1 = 0.08;
+  cfg.datacenter.server.thermal.c2 = 0.05;
+  cfg.datacenter.server.power_model =
+      power::ServerPowerModel::paper_simulation();
+
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string text = trim(raw);
+    if (text.empty()) continue;
+    const auto eq = text.find('=');
+    if (eq == std::string::npos) fail(line, "expected 'key = value'");
+    const std::string key = trim(text.substr(0, eq));
+    const std::string value = trim(text.substr(eq + 1));
+    if (key.empty() || value.empty()) fail(line, "empty key or value");
+
+    if (key == "utilization") {
+      cfg.target_utilization = parse_double(value, line);
+      if (cfg.target_utilization < 0.0 || cfg.target_utilization > 1.5) {
+        fail(line, "utilization out of range");
+      }
+    } else if (key == "seed") {
+      cfg.seed = static_cast<unsigned long long>(parse_long(value, line));
+    } else if (key == "warmup_ticks") {
+      cfg.warmup_ticks = parse_long(value, line);
+    } else if (key == "measure_ticks") {
+      cfg.measure_ticks = parse_long(value, line);
+    } else if (key == "zones") {
+      cfg.datacenter.layout.zones =
+          static_cast<std::size_t>(parse_long(value, line));
+    } else if (key == "racks_per_zone") {
+      cfg.datacenter.layout.racks_per_zone =
+          static_cast<std::size_t>(parse_long(value, line));
+    } else if (key == "servers_per_rack") {
+      cfg.datacenter.layout.servers_per_rack =
+          static_cast<std::size_t>(parse_long(value, line));
+    } else if (key == "smoothing_alpha") {
+      cfg.datacenter.smoothing_alpha = parse_double(value, line);
+    } else if (key == "thermal_c1") {
+      cfg.datacenter.server.thermal.c1 = parse_double(value, line);
+    } else if (key == "thermal_c2") {
+      cfg.datacenter.server.thermal.c2 = parse_double(value, line);
+    } else if (key == "ambient_c") {
+      cfg.datacenter.server.thermal.ambient =
+          util::Celsius{parse_double(value, line)};
+    } else if (key == "thermal_limit_c") {
+      cfg.datacenter.server.thermal.limit =
+          util::Celsius{parse_double(value, line)};
+    } else if (key == "nameplate_w") {
+      cfg.datacenter.server.thermal.nameplate =
+          Watts{parse_double(value, line)};
+    } else if (key == "hot_zone_servers") {
+      hot_zone_servers = parse_long(value, line);
+    } else if (key == "hot_ambient_c") {
+      hot_ambient_c = parse_double(value, line);
+    } else if (key == "margin_w") {
+      cfg.controller.margin = Watts{parse_double(value, line)};
+    } else if (key == "migration_cost_w") {
+      cfg.controller.migration_cost = Watts{parse_double(value, line)};
+    } else if (key == "eta1") {
+      cfg.controller.eta1 = static_cast<int>(parse_long(value, line));
+    } else if (key == "eta2") {
+      cfg.controller.eta2 = static_cast<int>(parse_long(value, line));
+    } else if (key == "consolidation_threshold") {
+      cfg.controller.consolidation_threshold = parse_double(value, line);
+    } else if (key == "packing") {
+      cfg.controller.packing = parse_packing(value, line);
+    } else if (key == "allocation") {
+      if (value == "demand") {
+        cfg.controller.allocation = core::AllocationPolicy::kProportionalToDemand;
+      } else if (value == "capacity") {
+        cfg.controller.allocation =
+            core::AllocationPolicy::kProportionalToCapacity;
+      } else {
+        fail(line, "allocation must be 'demand' or 'capacity'");
+      }
+    } else if (key == "prefer_local") {
+      cfg.controller.prefer_local = parse_bool(value, line);
+    } else if (key == "enforce_unidirectional") {
+      cfg.controller.enforce_unidirectional = parse_bool(value, line);
+    } else if (key == "shedding") {
+      if (value == "drop") {
+        cfg.controller.shedding = core::SheddingPolicy::kDropWhole;
+      } else if (value == "degrade") {
+        cfg.controller.shedding = core::SheddingPolicy::kDegradeThenDrop;
+      } else {
+        fail(line, "shedding must be 'drop' or 'degrade'");
+      }
+    } else if (key == "degraded_service_level") {
+      cfg.controller.degraded_service_level = parse_double(value, line);
+    } else if (key == "priority_levels") {
+      cfg.mix.priority_levels = static_cast<int>(parse_long(value, line));
+    } else if (key == "demand_quantum_w") {
+      cfg.demand_quantum = Watts{parse_double(value, line)};
+    } else if (key == "ipc_chain_fraction") {
+      cfg.ipc_chain_fraction = parse_double(value, line);
+    } else if (key == "ipc_flow_units") {
+      cfg.ipc_flow_units = parse_double(value, line);
+    } else if (key == "supply") {
+      cfg.supply = parse_supply(value, line);
+    } else if (key == "intensity") {
+      // constant F | diurnal base amp period [phase] | trace f1 f2 ...
+      const auto words = split_words(value);
+      if (words.empty()) fail(line, "empty intensity specification");
+      if (words[0] == "constant" && words.size() == 2) {
+        cfg.intensity = std::make_shared<workload::ConstantIntensity>(
+            parse_double(words[1], line));
+      } else if (words[0] == "diurnal" &&
+                 (words.size() == 4 || words.size() == 5)) {
+        cfg.intensity = std::make_shared<workload::DiurnalIntensity>(
+            parse_double(words[1], line), parse_double(words[2], line),
+            Seconds{parse_double(words[3], line)},
+            Seconds{words.size() == 5 ? parse_double(words[4], line) : 0.0});
+      } else if (words[0] == "trace" && words.size() >= 2) {
+        std::vector<double> factors;
+        for (std::size_t i = 1; i < words.size(); ++i) {
+          factors.push_back(parse_double(words[i], line));
+        }
+        cfg.intensity = std::make_shared<workload::TraceIntensity>(
+            std::move(factors), Seconds{1.0});
+      } else {
+        fail(line, "intensity must be 'constant F', 'diurnal base amp period"
+                   " [phase]' or 'trace f...'");
+      }
+    } else if (key == "sla_inflation") {
+      cfg.sla_inflation = parse_double(value, line);
+    } else if (key == "report_loss_probability") {
+      cfg.report_loss_probability = parse_double(value, line);
+      if (cfg.report_loss_probability < 0.0 ||
+          cfg.report_loss_probability > 1.0) {
+        fail(line, "report_loss_probability must be in [0,1]");
+      }
+    } else if (key == "churn_probability") {
+      cfg.churn_probability = parse_double(value, line);
+      if (cfg.churn_probability < 0.0 || cfg.churn_probability > 1.0) {
+        fail(line, "churn_probability must be in [0,1]");
+      }
+    } else if (key == "migration_periods_per_gib") {
+      cfg.controller.migration_periods_per_gib = parse_double(value, line);
+    } else if (key == "rack_circuit_w") {
+      cfg.rack_circuit_limit = Watts{parse_double(value, line)};
+    } else if (key == "cooling_cop") {
+      power::CoolingConfig cool;
+      cool.cop_at_reference = parse_double(value, line);
+      cfg.cooling = power::CoolingModel(cool);
+    } else {
+      fail(line, "unknown key '" + key + "'");
+    }
+  }
+
+  if (hot_zone_servers > 0) {
+    const auto total = cfg.datacenter.layout.total_servers();
+    if (static_cast<std::size_t>(hot_zone_servers) > total) {
+      throw std::runtime_error("scenario: hot_zone_servers exceeds fleet size");
+    }
+    cfg.datacenter.ambient_overrides.assign(
+        total, cfg.datacenter.server.thermal.ambient);
+    for (std::size_t i = total - static_cast<std::size_t>(hot_zone_servers);
+         i < total; ++i) {
+      cfg.datacenter.ambient_overrides[i] = util::Celsius{hot_ambient_c};
+    }
+  }
+  try {
+    cfg.controller.validate();
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("scenario: ") + e.what());
+  }
+  return cfg;
+}
+
+SimConfig load_scenario_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open scenario file: " + path);
+  return parse_scenario(f);
+}
+
+}  // namespace willow::sim

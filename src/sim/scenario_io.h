@@ -1,0 +1,33 @@
+// Text scenario descriptions -> SimConfig.
+//
+// Scenarios are small "key = value" files so experiments can be versioned
+// and rerun without recompiling (the willow_cli tool consumes them):
+//
+//     # a hot-zone sweep point
+//     utilization = 0.6
+//     zones = 2
+//     racks_per_zone = 3
+//     servers_per_rack = 3
+//     hot_zone_servers = 4        # last N servers sit in the hot zone
+//     hot_ambient_c = 40
+//     margin_w = 1.5
+//     supply = solar 220 350 48 0.4 11
+//
+// Unknown keys and malformed values fail loudly with the line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/simulation.h"
+
+namespace willow::sim {
+
+/// Parse a scenario from a stream.  Throws std::runtime_error (with the line
+/// number) on unknown keys, malformed values, or out-of-range settings.
+SimConfig parse_scenario(std::istream& in);
+
+/// Parse a scenario file; throws std::runtime_error if unreadable.
+SimConfig load_scenario_file(const std::string& path);
+
+}  // namespace willow::sim

@@ -1,0 +1,327 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "workload/qos.h"
+
+namespace willow::sim {
+
+using util::Seconds;
+using util::Watts;
+
+SimConfig::SimConfig() {
+  // Simulation-scale controller defaults: margins and costs sized to the
+  // ~28 W thermal envelope, utilization judged thermally (see
+  // target_utilization's comment).
+  controller.margin = util::Watts{1.5};
+  controller.migration_cost = util::Watts{0.5};
+  controller.utilization_reference =
+      core::UtilizationReference::kThermalSustainable;
+  // The simulation section leaves the consolidation threshold unspecified;
+  // 0.5 reproduces Fig. 9's crossover ("At 50% utilization ... both demand
+  // and consolidation driven migrations occur almost equally").
+  controller.consolidation_threshold = 0.5;
+  // One relative power unit of the simulation catalog (classes 1, 2, 5, 9)
+  // is one watt at this scale.
+  mix.unit_power = util::Watts{1.0};
+}
+
+Simulation::Simulation(SimConfig config) : config_(std::move(config)) {
+  build();
+}
+
+double Simulation::sustainable_dynamic_w() const {
+  const auto& thermal = config_.datacenter.server.thermal;
+  const double sustainable =
+      thermal.c2 * (thermal.limit.value() - thermal.ambient.value()) /
+      thermal.c1;
+  const double idle =
+      config_.datacenter.server.power_model.static_power().value();
+  return std::max(1e-9, sustainable - idle);
+}
+
+void Simulation::build() {
+  dc_ = build_datacenter(config_.datacenter);
+  auto& cluster = dc_->cluster;
+
+  // Size the workload: mean aggregate app demand per server targets
+  // target_utilization of the baseline thermally sustainable dynamic power.
+  workload::MixConfig mix = config_.mix;
+  mix.target_mean_per_server =
+      Watts{sustainable_dynamic_w() * config_.target_utilization};
+  rng_ = std::make_unique<util::Rng>(config_.seed);
+  auto mixes = workload::build_datacenter_mix(mix, dc_->servers.size(), ids_,
+                                              *rng_);
+  std::vector<std::vector<workload::AppId>> chain_groups;
+  for (std::size_t i = 0; i < dc_->servers.size(); ++i) {
+    if (config_.ipc_chain_fraction > 0.0) {
+      const auto chained = static_cast<std::size_t>(
+          config_.ipc_chain_fraction * static_cast<double>(mixes[i].size()) +
+          0.5);
+      std::vector<workload::AppId> group;
+      for (std::size_t a = 0; a < chained && a < mixes[i].size(); ++a) {
+        group.push_back(mixes[i][a].id());
+      }
+      if (group.size() >= 2) chain_groups.push_back(std::move(group));
+    }
+    for (auto& app : mixes[i]) cluster.place(std::move(app), dc_->servers[i]);
+  }
+  flows_ = workload::chain_flows(chain_groups, config_.ipc_flow_units);
+
+  if (config_.rack_circuit_limit) {
+    for (hier::NodeId rack : dc_->racks) {
+      cluster.set_group_circuit_limit(rack, *config_.rack_circuit_limit);
+    }
+  }
+
+  fabric_ = std::make_unique<net::Fabric>(cluster.tree(), config_.fabric);
+  controller_ = std::make_unique<core::Controller>(cluster, config_.controller);
+  controller_->set_migration_sink([this](const core::MigrationRecord& rec) {
+    const auto* app = dc_->cluster.find_app(rec.app);
+    const double payload =
+        app ? app->image_size().value() / 1024.0 : 1.0;  // GiB units
+    fabric_->add_migration(rec.from, rec.to, payload);
+  });
+}
+
+SimResult Simulation::run() {
+  if (ran_) throw std::logic_error("Simulation::run: already ran");
+  ran_ = true;
+
+  auto& cluster = dc_->cluster;
+  auto& tree = cluster.tree();
+  const auto& model = config_.datacenter.server.power_model;
+  const double sustainable = sustainable_dynamic_w();
+  // Served dynamic power as a fraction of the sustainable envelope — the
+  // simulation's utilization scale for traffic and recording.
+  auto norm_util = [&](const core::ManagedServer& srv, Watts budget) {
+    if (srv.asleep()) return 0.0;
+    const double dynamic =
+        (srv.consumed_power(budget) - srv.idle_floor()).value();
+    return std::clamp(dynamic / sustainable, 0.0, 2.0);
+  };
+
+  // Default supply: plenty (sum of nameplates).
+  Watts plenty{0.0};
+  for (hier::NodeId s : dc_->servers) {
+    plenty += cluster.server(s).thermal().params().nameplate;
+  }
+
+  workload::PoissonDemand demand(config_.demand_quantum);
+  const Seconds dt = config_.controller.demand_period;
+
+  SimResult result;
+  result.servers.resize(dc_->servers.size());
+  const auto l1_groups = fabric_->level1_groups();
+  result.level1_switches.resize(l1_groups.size());
+  for (std::size_t i = 0; i < l1_groups.size(); ++i) {
+    result.level1_switches[i].group = l1_groups[i];
+  }
+
+  const long total_ticks = config_.warmup_ticks + config_.measure_ticks;
+  std::uint64_t prev_dm = 0, prev_cm = 0;
+  std::unordered_map<workload::AppId, long> last_move;
+
+  for (long tick = 0; tick < total_ticks; ++tick) {
+    const double t = static_cast<double>(tick) * dt.value();
+
+    if (config_.churn_probability > 0.0) {
+      const auto& catalog = workload::simulation_catalog();
+      for (hier::NodeId s : dc_->servers) {
+        auto& srv = cluster.server(s);
+        if (srv.asleep() || srv.apps().empty()) continue;
+        if (!rng_->chance(config_.churn_probability)) continue;
+        // Departure: a random app that is not mid-transfer.
+        std::vector<workload::AppId> removable;
+        for (const auto& a : srv.apps()) {
+          if (!controller_->app_in_flight(a.id())) removable.push_back(a.id());
+        }
+        if (!removable.empty()) {
+          cluster.remove_app(removable[rng_->index(removable.size())]);
+          ++result.churn_departures;
+        }
+        // Arrival: a fresh application of a random class, same server.
+        const std::size_t cls = rng_->index(catalog.size());
+        const Watts mean =
+            config_.mix.unit_power * catalog[cls].relative_power;
+        workload::Application fresh(
+            ids_.next(), cls, mean,
+            util::Megabytes{config_.mix.image_per_unit.value() *
+                            catalog[cls].relative_power});
+        if (config_.mix.priority_levels > 1) {
+          fresh.set_priority(
+              rng_->uniform_int(0, config_.mix.priority_levels - 1));
+        }
+        cluster.place(std::move(fresh), s);
+        ++result.churn_arrivals;
+      }
+    }
+
+    for (const auto& ev : config_.ambient_events) {
+      if (ev.tick != tick) continue;
+      for (std::size_t i = ev.first_server;
+           i <= ev.last_server && i < dc_->servers.size(); ++i) {
+        cluster.server(dc_->servers[i]).thermal().set_ambient(ev.ambient);
+      }
+    }
+
+    const double intensity =
+        config_.intensity ? config_.intensity->at(Seconds{t}) : 1.0;
+    cluster.refresh_demands(demand, *rng_, intensity);
+
+    if (config_.report_loss_probability > 0.0) {
+      for (hier::NodeId s : dc_->servers) {
+        cluster.server(s).set_report_fault(
+            rng_->chance(config_.report_loss_probability));
+      }
+    }
+
+    Watts supply = config_.supply ? config_.supply->at(Seconds{t}) : plenty;
+    if (config_.ups) {
+      // The root PMU's demand from the previous reports is the best estimate
+      // of what the load wants from the feed this period.
+      const Watts want = tree.node(tree.root()).smoothed_demand();
+      supply = config_.ups->step(supply, util::max(want, supply), dt);
+    }
+
+    fabric_->begin_period();
+    for (hier::NodeId s : dc_->servers) {
+      const auto& srv = cluster.server(s);
+      if (!srv.asleep()) {
+        fabric_->add_server_traffic(s, norm_util(srv, tree.node(s).budget()));
+      }
+    }
+
+    controller_->tick(supply);
+
+    // IPC flows between now-separated endpoints cross the fabric.
+    double remote_units = 0.0;
+    double flow_hops = 0.0;
+    for (const auto& flow : flows_.flows()) {
+      const auto ha = cluster.host_of(flow.a);
+      const auto hb = cluster.host_of(flow.b);
+      if (ha == hier::kNoNode || hb == hier::kNoNode) continue;
+      const auto hops = fabric_->add_flow_traffic(ha, hb, flow.traffic_units);
+      flow_hops += static_cast<double>(hops);
+      if (hops > 0) remote_units += flow.traffic_units;
+    }
+
+    cluster.step_thermal(dt);
+
+    for (const auto& rec : controller_->migrations_this_tick()) {
+      auto it = last_move.find(rec.app);
+      if (it != last_move.end() && controller_->tick_count() - it->second < 3) {
+        ++result.quick_remigrations;
+      }
+      last_move[rec.app] = controller_->tick_count();
+    }
+
+    if (tick < config_.warmup_ticks) continue;
+
+    // --- Recording ---
+    const auto& st = controller_->stats();
+    const auto dm = st.demand_migrations - prev_dm;
+    const auto cm = st.consolidation_migrations - prev_cm;
+    prev_dm = st.demand_migrations;
+    prev_cm = st.consolidation_migrations;
+    result.migrations_per_tick.record(t, static_cast<double>(dm + cm));
+    result.demand_migrations_per_tick.record(t, static_cast<double>(dm));
+    result.consolidation_migrations_per_tick.record(t, static_cast<double>(cm));
+    result.normalized_migration_traffic.record(
+        t, fabric_->normalized_migration_traffic());
+    result.remote_flow_traffic.record(t, remote_units);
+    result.mean_flow_hops.record(
+        t, flows_.empty()
+               ? 0.0
+               : flow_hops / static_cast<double>(flows_.size()));
+
+    const int server_level = 0;
+    result.imbalance.record(
+        t, core::level_balance(tree, server_level).imbalance.value());
+    if (config_.sla_inflation > 1.0) {
+      workload::SlaTracker tracker(config_.sla_inflation);
+      for (hier::NodeId s : dc_->servers) {
+        const auto& srv = cluster.server(s);
+        double offered = 0.0, denied = 0.0;
+        for (const auto& a : srv.apps()) {
+          if (a.dropped() || srv.asleep()) {
+            denied += a.effective_mean_power().value() * intensity;
+          } else {
+            offered += a.demand().value();
+          }
+        }
+        if (denied > 0.0) tracker.record_denied(denied);
+        if (offered <= 0.0) continue;
+        // Serviceable capacity: what the server may and can sustainably
+        // serve beyond its idle floor.
+        const Watts budget = tree.node(s).budget();
+        const double capacity =
+            std::max(0.0, (util::min(budget,
+                                     srv.thermal().steady_state_power_limit()) -
+                           srv.idle_floor())
+                              .value());
+        const double rho = capacity > 0.0 ? offered / capacity : 2.0;
+        tracker.record(offered, rho);
+      }
+      result.qos_satisfaction.record(t, tracker.satisfaction());
+      result.qos_mean_inflation.record(t, tracker.mean_inflation());
+    }
+
+    const Watts it_power = cluster.total_consumed();
+    result.total_power.record(t, it_power.value());
+    result.supply_series.record(t, supply.value());
+    result.intensity_series.record(t, intensity);
+    if (config_.cooling) {
+      const auto outside = config_.datacenter.server.thermal.ambient;
+      result.facility_power.record(
+          t, config_.cooling->facility_power(it_power, outside).value());
+      result.pue.record(t, config_.cooling->pue(it_power, outside));
+    }
+
+    for (std::size_t i = 0; i < dc_->servers.size(); ++i) {
+      const hier::NodeId s = dc_->servers[i];
+      const auto& srv = cluster.server(s);
+      auto& m = result.servers[i];
+      const Watts budget = tree.node(s).budget();
+      m.consumed_power.add(srv.consumed_power(budget).value());
+      m.temperature.add(srv.thermal().temperature().value());
+      m.utilization.add(norm_util(srv, budget));
+      if (srv.asleep()) {
+        m.asleep_fraction += 1.0;
+        // What the server would have drawn at the scenario's offered load.
+        m.saved_power_w += model.static_power().value() +
+                           sustainable * config_.target_utilization;
+      }
+      const double temp = srv.thermal().temperature().value();
+      result.max_temperature_c = std::max(result.max_temperature_c, temp);
+      if (temp > srv.thermal().params().limit.value() + 0.5) {
+        result.thermal_violation = true;
+      }
+    }
+    for (std::size_t i = 0; i < l1_groups.size(); ++i) {
+      auto& m = result.level1_switches[i];
+      m.power.add(fabric_->switch_power(l1_groups[i]).value());
+      const auto& gs = fabric_->stats(l1_groups[i]);
+      m.traffic.add(gs.period_traffic);
+      m.migration_cost.add(gs.period_migration_cost.value());
+    }
+    ++result.ticks;
+  }
+
+  if (result.ticks > 0) {
+    for (auto& m : result.servers) {
+      m.asleep_fraction /= static_cast<double>(result.ticks);
+      m.saved_power_w /= static_cast<double>(result.ticks);
+    }
+  }
+  result.controller_stats = controller_->stats();
+  return result;
+}
+
+SimResult run_simulation(SimConfig config) {
+  Simulation sim(std::move(config));
+  return sim.run();
+}
+
+}  // namespace willow::sim

@@ -1,0 +1,206 @@
+// The discrete-time simulation engine behind every Sec. V-B figure.
+//
+// One Simulation owns the plant (Datacenter), its workload, the switch
+// fabric, the supply profile (optionally buffered by a UPS), and the Willow
+// controller, and advances them in demand-period ticks:
+//
+//   1. Poisson demand refresh (workload)
+//   2. fabric period reset + base query traffic deposition
+//   3. controller.tick(available supply)   — migrations flow to the fabric
+//   4. thermal stepping under consumed power
+//   5. metric recording (after an optional warm-up)
+//
+// The recorded SimResult carries everything Figures 5–12 plot.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/controller.h"
+#include "net/fabric.h"
+#include "power/cooling.h"
+#include "power/supply.h"
+#include "power/ups.h"
+#include "sim/datacenter.h"
+#include "util/stats.h"
+#include "workload/demand.h"
+#include "workload/flows.h"
+#include "workload/intensity.h"
+#include "workload/mix.h"
+
+namespace willow::sim {
+
+struct SimConfig {
+  SimConfig();
+
+  /// Plant shape; the paper's Fig. 3 by default.
+  DatacenterOptions datacenter{};
+  /// Target mean utilization per server, interpreted against the *thermally
+  /// sustainable* dynamic power of the baseline (cool-ambient) server.
+  ///
+  /// With the paper's constants the sustainable steady-state draw is
+  /// c2/c1 * (T_limit - Ta) ~ 28 W per 450 W-rated server, so utilization in
+  /// the simulation figures is a fraction of that envelope — consistent with
+  /// Fig. 5's "power consumed increases ... but only upto the limit provided
+  /// by the thermal constraint".  The 450 W nameplate acts as the transient
+  /// (cold-start) cap of Fig. 4.
+  double target_utilization = 0.5;
+  /// Workload shape knobs (catalog/unit power); target_mean_per_server is
+  /// derived from target_utilization and overwritten.
+  workload::MixConfig mix{};
+  /// Poisson demand quantum (W per in-flight query).  1 W against per-app
+  /// means of 1–9 W gives the visible per-period variance the paper's
+  /// Poisson-demand assumption implies; smaller quanta make demand nearly
+  /// deterministic.
+  util::Watts demand_quantum{1.0};
+  /// Supply profile; nullptr means "plenty": sum of server nameplates.
+  std::shared_ptr<const power::SupplyProfile> supply{};
+  /// Optional UPS between the raw supply and the root PMU.
+  std::optional<power::Ups> ups{};
+  /// Demand-intensity profile; nullptr means constant 1.0 (stationary load).
+  std::shared_ptr<const workload::IntensityProfile> intensity{};
+  /// Optional cooling plant: when set, facility power and PUE are recorded
+  /// (heat rejection at the baseline ambient temperature).
+  std::optional<power::CoolingModel> cooling{};
+  /// Controller parameters (ΔD/η1/η2/margins/packing...).
+  core::ControllerConfig controller{};
+  /// Optional under-designed rack feed rating applied to every rack (the
+  /// Sec.-I lean-design scenario); nullopt means racks never bind.
+  std::optional<util::Watts> rack_circuit_limit{};
+  /// Switch fabric parameters (Fig. 8 mirror of the PMU tree).
+  net::FabricConfig fabric{};
+  /// Fraction of each server's applications wired into an IPC chain
+  /// (tiers of one service, initially co-located).  0 keeps the paper's
+  /// transactional assumption of no inter-server traffic; > 0 exercises the
+  /// future-work scenario where migrations can separate chatty tiers.
+  double ipc_chain_fraction = 0.0;
+  /// Traffic units per IPC flow (1.0 == one fully utilized server's query
+  /// traffic).
+  double ipc_flow_units = 0.25;
+  /// Scheduled ambient-temperature changes (heat waves, cooling failures and
+  /// repairs): at `tick`, servers with index in [first_server, last_server]
+  /// (0-based, inclusive) get the new ambient.  The other half of the
+  /// paper's title — *thermal* adaptation — under a changing environment.
+  struct AmbientEvent {
+    long tick = 0;
+    std::size_t first_server = 0;
+    std::size_t last_server = 0;
+    util::Celsius ambient{25.0};
+  };
+  std::vector<AmbientEvent> ambient_events{};
+
+  /// SLA response-time inflation bound for the QoS tracker; 0 disables QoS
+  /// recording (see workload/qos.h).  A typical interactive SLA: 5.0 (the
+  /// server may run up to 80% of its serviceable capacity).
+  double sla_inflation = 0.0;
+  /// Per-server, per-tick probability of a lost demand report (fault
+  /// injection; the PMU acts on stale state until the next report).
+  double report_loss_probability = 0.0;
+  /// Workload churn: per-server, per-tick probability that one hosted
+  /// application departs and a fresh one (random class) arrives on the same
+  /// server — the paper's "variations in workload ... characteristics".
+  double churn_probability = 0.0;
+  /// RNG seed for workload build + demand draws.
+  unsigned long long seed = 42;
+  /// Ticks ignored before recording starts.
+  long warmup_ticks = 20;
+  /// Ticks recorded.
+  long measure_ticks = 200;
+};
+
+struct ServerMetrics {
+  util::RunningStats consumed_power;   ///< W, over recorded ticks
+  util::RunningStats temperature;      ///< degC
+  util::RunningStats utilization;      ///< served dynamic / sustainable dynamic
+  double asleep_fraction = 0.0;        ///< recorded ticks spent asleep
+  /// Consolidation saving proxy: mean over recorded ticks of the power the
+  /// server would have drawn at the scenario's target utilization while it
+  /// was actually asleep (Fig. 7's quantity).
+  double saved_power_w = 0.0;
+};
+
+struct SwitchMetrics {
+  hier::NodeId group = hier::kNoNode;
+  util::RunningStats power;            ///< per-physical-switch W
+  util::RunningStats traffic;          ///< period traffic units
+  util::RunningStats migration_cost;   ///< W of temporary demand per period
+};
+
+struct SimResult {
+  std::vector<ServerMetrics> servers;          ///< paper numbering order
+  std::vector<SwitchMetrics> level1_switches;  ///< Fig. 11 / Fig. 12
+  util::TimeSeries migrations_per_tick;
+  util::TimeSeries demand_migrations_per_tick;
+  util::TimeSeries consolidation_migrations_per_tick;
+  util::TimeSeries normalized_migration_traffic;  ///< Fig. 10's series
+  util::TimeSeries remote_flow_traffic;  ///< IPC units crossing the fabric
+  util::TimeSeries mean_flow_hops;       ///< avg switch hops per IPC flow
+  util::TimeSeries imbalance;                     ///< Eq. (9) at server level
+  util::TimeSeries total_power;                   ///< consumed IT W
+  util::TimeSeries supply_series;                 ///< available W at root
+  util::TimeSeries intensity_series;              ///< demand multiplier used
+  util::TimeSeries facility_power;  ///< IT + cooling W (empty w/o cooling)
+  util::TimeSeries pue;             ///< facility / IT (empty w/o cooling)
+  util::TimeSeries qos_satisfaction;   ///< demand-weighted SLA fraction
+  util::TimeSeries qos_mean_inflation; ///< demand-weighted response inflation
+  core::ControllerStats controller_stats;  ///< full run including warm-up
+  long ticks = 0;
+
+  /// Migration counts within the measurement window only (warm-up excluded);
+  /// what Fig. 9 plots.
+  [[nodiscard]] double measured_demand_migrations() const {
+    return demand_migrations_per_tick.stats().sum();
+  }
+  [[nodiscard]] double measured_consolidation_migrations() const {
+    return consolidation_migrations_per_tick.stats().sum();
+  }
+  /// Highest temperature any server ever reached (thermal-safety check).
+  double max_temperature_c = 0.0;
+  /// True if any server exceeded its thermal limit at any recorded tick.
+  bool thermal_violation = false;
+  /// Applications re-migrated within 3 demand periods of their previous move
+  /// (whole run): the ping-pong count Property 4 says margins should keep at
+  /// zero.  The P_min ablation sweeps this.
+  std::uint64_t quick_remigrations = 0;
+  /// Workload churn applied during the run.
+  std::uint64_t churn_departures = 0;
+  std::uint64_t churn_arrivals = 0;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimConfig config);
+
+  /// Run warmup + measurement; callable once.
+  SimResult run();
+
+  /// Access to the plant (tests inspect it after run()).
+  [[nodiscard]] Datacenter& datacenter() { return *dc_; }
+  [[nodiscard]] core::Controller& controller() { return *controller_; }
+  [[nodiscard]] net::Fabric& fabric() { return *fabric_; }
+
+  /// Thermally sustainable dynamic power of the baseline server (W): the
+  /// denominator of the simulation's utilization scale.
+  [[nodiscard]] double sustainable_dynamic_w() const;
+
+  /// The IPC flows wired at build time (empty unless ipc_chain_fraction > 0).
+  [[nodiscard]] const workload::FlowSet& flows() const { return flows_; }
+
+ private:
+  void build();
+
+  SimConfig config_;
+  workload::FlowSet flows_;
+  workload::AppIdAllocator ids_;
+  std::unique_ptr<Datacenter> dc_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<core::Controller> controller_;
+  std::unique_ptr<util::Rng> rng_;
+  bool ran_ = false;
+};
+
+/// Convenience: configure-and-run in one call.
+SimResult run_simulation(SimConfig config);
+
+}  // namespace willow::sim

@@ -1,0 +1,127 @@
+// Emulation of the paper's experimental testbed — Section V-C (Fig. 13).
+//
+// The physical set-up: three Dell servers running VMware ESX 3.5, managed
+// from a remote control plane; a two-level power hierarchy (two level-1
+// switches, one level-2 switch); CPU-bound web applications in VMs with the
+// Table-II power profiles (A1 = 8 W, A2 = 10 W, A3 = 15 W); CPU temperature
+// from the on-board sensor; power measured by an Extech analyzer at ~2 Hz;
+// supply variation injected artificially.
+//
+// What we emulate and why it preserves the evaluated behaviour:
+//  * Servers: ServerPowerModel::paper_testbed() — the linear P(u) line that
+//    Table I records, calibrated so the paper's own consolidation example
+//    (580 W before, ~27.5% saved) holds exactly.
+//  * Thermal: the paper's fitted constants c1 = 0.2, c2 = 0.008 driving the
+//    same RC model the control design assumes, plus Gaussian sensor noise.
+//  * Control plane: the *identical* willow_core controller the simulator
+//    uses — only the plant is emulated, never the control logic.
+//  * Budget division: proportional to capacity — "the available power supply
+//    is divided proportionally between the servers" (three identical Dells),
+//    the reading under which low-utilization servers hold the surplus that
+//    plunges migrate workload into (Fig. 16's narrative).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/controller.h"
+#include "power/supply.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace willow::testbed {
+
+using hier::NodeId;
+using util::Celsius;
+using util::Seconds;
+using util::Watts;
+
+struct TestbedConfig {
+  /// Control parameters; defaults reproduce Sec. V-C: ΔD = 1 time unit,
+  /// capacity-proportional division, 20% consolidation threshold.
+  core::ControllerConfig controller{};
+  /// Stddev of Gaussian noise added to emulated sensors.
+  double sensor_noise_c = 0.3;
+  double power_noise_w = 1.5;
+  unsigned long long seed = 7;
+
+  TestbedConfig();
+};
+
+/// Thermal parameters of one emulated Dell server (the *plant*): 25 degC
+/// ambient, 70 degC limit, and rate constants chosen so the testbed power
+/// range is thermally stable (steady-state at full load ~66 degC, max
+/// holdable power ~the 250 W rating).
+///
+/// Note: these are NOT the paper's fitted (c1 = 0.2, c2 = 0.008).  Those
+/// values are dynamically unstable at testbed power levels — they imply a
+/// steady-state temperature rise of c1/c2 = 25 degC *per watt*, i.e. ~5000
+/// degC at 200 W — an artifact of the units of their regression.  We
+/// reproduce the paper's *estimation procedure* (Fig. 14) separately with
+/// paper_fitted_thermal_params() as ground truth.
+thermal::ThermalParams testbed_thermal_params();
+
+/// The constants the paper reports fitting in Sec. V-C2 (c1 = 0.2,
+/// c2 = 0.008).  Used as ground truth for the Fig.-14 calibration
+/// reproduction only; see testbed_thermal_params() for why the plant does
+/// not run on them.
+thermal::ThermalParams paper_fitted_thermal_params();
+
+/// The emulated ESX server's Table-I calibration (see ServerPowerModel).
+power::ServerPowerModel testbed_power_model();
+
+/// Table I regenerated: emulated power-analyzer readings (with noise) at the
+/// given utilization levels; one (utilization, watts) row each.
+std::vector<std::pair<double, Watts>> table1_measurements(
+    const std::vector<double>& utilizations, unsigned long long seed = 7);
+
+/// Table II regenerated: per-application power increments measured by
+/// running each app alone on an idle emulated server.
+std::vector<std::pair<std::string, Watts>> profile_applications(
+    unsigned long long seed = 7);
+
+/// One run's recorded series (Figures 15–18) and end state (Table III).
+struct RunResult {
+  util::TimeSeries supply;            ///< Fig. 15 / Fig. 19 input as applied
+  util::TimeSeries migrations;        ///< Fig. 16
+  util::TimeSeries temperature_a;     ///< Fig. 17 (server A)
+  util::TimeSeries avg_temperature;   ///< Fig. 18
+  util::TimeSeries utilization[3];    ///< per server A, B, C
+  util::TimeSeries consumed[3];       ///< per-server drawn power
+  double final_utilization[3] = {0, 0, 0};  ///< Table III "end of experiment"
+  bool asleep[3] = {false, false, false};
+  core::ControllerStats stats;
+  /// True iff some migrated app moved again within delta_f ticks of its
+  /// previous move (Property 4 violation; expected false).
+  bool ping_pong = false;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config = TestbedConfig());
+
+  [[nodiscard]] core::Cluster& cluster() { return *cluster_; }
+  [[nodiscard]] core::Controller& controller() { return *controller_; }
+  [[nodiscard]] NodeId server(std::size_t i) const { return servers_.at(i); }
+
+  /// Install VMs approximating the target CPU utilizations (composed from
+  /// Table-II applications, largest-first greedy).
+  void load_utilizations(double a, double b, double c);
+
+  /// Run `ticks` demand periods against the given supply profile.
+  /// @param delta_f stability window used for ping-pong detection.
+  RunResult run(const power::SupplyProfile& supply, long ticks,
+                long delta_f = 3);
+
+ private:
+  void install(double utilization, NodeId server);
+
+  TestbedConfig config_;
+  std::unique_ptr<core::Cluster> cluster_;
+  std::unique_ptr<core::Controller> controller_;
+  std::unique_ptr<util::Rng> rng_;
+  workload::AppIdAllocator ids_;
+  std::vector<NodeId> servers_;
+};
+
+}  // namespace willow::testbed

@@ -1,0 +1,129 @@
+#include "thermal/calibration.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace willow::thermal {
+
+FitResult fit_thermal_constants(const std::vector<TraceSample>& trace,
+                                Celsius ambient) {
+  if (trace.size() < 3) {
+    throw std::invalid_argument("fit_thermal_constants: need >= 3 samples");
+  }
+  // Finite differences: y_k = (T_{k+1} - T_k) / dt = c1 * P_k - c2 * (T_k - Ta)
+  // Least squares over unknowns (c1, c2) with regressors x1 = P_k,
+  // x2 = -(T_k - Ta).  Normal equations (2x2):
+  double s11 = 0, s12 = 0, s22 = 0, b1 = 0, b2 = 0;
+  std::size_t n = 0;
+  for (std::size_t k = 0; k + 1 < trace.size(); ++k) {
+    const double dt = trace[k + 1].dt.value();
+    if (!(dt > 0.0)) {
+      throw std::invalid_argument("fit_thermal_constants: dt must be > 0");
+    }
+    const double y =
+        (trace[k + 1].temperature.value() - trace[k].temperature.value()) / dt;
+    const double x1 = trace[k + 1].power.value();
+    const double x2 = -(trace[k].temperature.value() - ambient.value());
+    s11 += x1 * x1;
+    s12 += x1 * x2;
+    s22 += x2 * x2;
+    b1 += x1 * y;
+    b2 += x2 * y;
+    ++n;
+  }
+  const double det = s11 * s22 - s12 * s12;
+  if (std::abs(det) < 1e-12) {
+    throw std::runtime_error(
+        "fit_thermal_constants: trace does not excite both model terms "
+        "(singular normal equations)");
+  }
+  FitResult r;
+  r.c1 = (b1 * s22 - b2 * s12) / det;
+  r.c2 = (s11 * b2 - s12 * b1) / det;
+  r.samples = n;
+
+  double ss = 0.0;
+  for (std::size_t k = 0; k + 1 < trace.size(); ++k) {
+    const double dt = trace[k + 1].dt.value();
+    const double y =
+        (trace[k + 1].temperature.value() - trace[k].temperature.value()) / dt;
+    const double pred =
+        r.c1 * trace[k + 1].power.value() -
+        r.c2 * (trace[k].temperature.value() - ambient.value());
+    ss += (y - pred) * (y - pred);
+  }
+  r.rms_residual = std::sqrt(ss / static_cast<double>(n));
+  return r;
+}
+
+std::vector<TraceSample> synthesize_trace(const ThermalParams& truth,
+                                          const std::vector<Watts>& schedule,
+                                          Seconds hold, Seconds dt,
+                                          double noise_stddev,
+                                          unsigned long long seed) {
+  if (!(dt.value() > 0.0) || hold.value() < dt.value()) {
+    throw std::invalid_argument("synthesize_trace: need 0 < dt <= hold");
+  }
+  util::Rng rng(seed);
+  ThermalModel model(truth);
+  std::vector<TraceSample> trace;
+  trace.push_back({Watts{0.0}, Seconds{0.0},
+                   Celsius{model.temperature().value() +
+                           rng.gaussian(noise_stddev)}});
+  const auto steps_per_level =
+      static_cast<std::size_t>(hold.value() / dt.value());
+  for (const Watts p : schedule) {
+    for (std::size_t i = 0; i < steps_per_level; ++i) {
+      model.step(p, dt);
+      trace.push_back({p, dt,
+                       Celsius{model.temperature().value() +
+                               rng.gaussian(noise_stddev)}});
+    }
+  }
+  return trace;
+}
+
+std::vector<LimitPoint> power_limit_curve(const ThermalParams& params,
+                                          Celsius from, Celsius to,
+                                          std::size_t steps, Seconds window) {
+  if (steps < 2) {
+    throw std::invalid_argument("power_limit_curve: need >= 2 steps");
+  }
+  std::vector<LimitPoint> out;
+  out.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(steps - 1);
+    const Celsius t0{from.value() + f * (to.value() - from.value())};
+    out.push_back({t0, Celsius{params.ambient.value() - t0.value()},
+                   power_limit_from(params, t0, window)});
+  }
+  return out;
+}
+
+std::size_t select_constants(const std::vector<ThermalParams>& candidates,
+                             Seconds window) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("select_constants: no candidates");
+  }
+  std::size_t best = 0;
+  double best_err = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    // Compare the *raw* thermal limit against the rating: clamping by the
+    // nameplate itself would make every over-powered candidate tie at zero.
+    ThermalParams raw = candidates[i];
+    raw.nameplate = Watts{std::numeric_limits<double>::max()};
+    const Watts limit = power_limit_from(raw, raw.ambient, window);
+    const double err = std::abs(limit.value() - candidates[i].nameplate.value());
+    if (err < best_err) {
+      best_err = err;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace willow::thermal

@@ -1,0 +1,77 @@
+// Estimation of the thermal constants c1 and c2 from measurements —
+// Section V-B2 ("Setting Up the Thermal Constants", Fig. 4) and
+// Section V-C2 ("Baseline Experiments", Fig. 14).
+//
+// The testbed procedure in the paper runs a known power schedule, logs the
+// on-board temperature sensor (2 Hz power analyzer + sensor), and fits the
+// first-order model.  We reproduce both directions:
+//
+//  * fit_thermal_constants(): least-squares (c1, c2) from a (P, T) trace.
+//  * power_limit_curve():     P_limit as a function of current temperature
+//    for candidate constants, i.e. the families of curves in Fig. 4 / the
+//    fitted line of Fig. 14.
+//  * select_constants():      the paper's Fig.-4 selection rule — pick the
+//    candidate whose cold-start power limit matches the nameplate rating.
+#pragma once
+
+#include <vector>
+
+#include "thermal/thermal_model.h"
+
+namespace willow::thermal {
+
+/// One sample of a calibration trace: power held at `power` for `dt`, after
+/// which the sensor read `temperature`.
+struct TraceSample {
+  Watts power;
+  Seconds dt;
+  Celsius temperature;
+};
+
+/// Result of a least-squares fit of the thermal ODE to a trace.
+struct FitResult {
+  double c1 = 0.0;
+  double c2 = 0.0;
+  /// Root-mean-square residual of dT/dt predictions (degC per time unit).
+  double rms_residual = 0.0;
+  /// Number of finite-difference equations used.
+  std::size_t samples = 0;
+};
+
+/// Fit (c1, c2) to a trace by ordinary least squares on the finite-difference
+/// form  dT/dt = c1 P - c2 (T - Ta).  Requires >= 3 samples and a trace that
+/// actually excites both terms (varying P or varying T - Ta), otherwise the
+/// normal equations are singular and std::runtime_error is thrown.
+FitResult fit_thermal_constants(const std::vector<TraceSample>& trace,
+                                Celsius ambient);
+
+/// Synthesize a calibration trace from ground-truth params: hold each power
+/// level in `schedule` for `hold` (sampled every `dt`), with optional Gaussian
+/// sensor noise.  Used to emulate the paper's testbed measurement run.
+std::vector<TraceSample> synthesize_trace(const ThermalParams& truth,
+                                          const std::vector<Watts>& schedule,
+                                          Seconds hold, Seconds dt,
+                                          double noise_stddev,
+                                          unsigned long long seed);
+
+/// One point of a Fig.-4 / Fig.-14 style curve.
+struct LimitPoint {
+  Celsius temperature;      ///< current component temperature T0
+  Celsius delta_ambient;    ///< Ta - T0 (the paper's Fig.-14 x-axis)
+  Watts power_limit;        ///< max accommodated power over `window`
+};
+
+/// Sweep current temperature from `from` to `to` in `steps` points and
+/// compute the window-constrained power limit at each (Eq. 3 inverted).
+std::vector<LimitPoint> power_limit_curve(const ThermalParams& params,
+                                          Celsius from, Celsius to,
+                                          std::size_t steps, Seconds window);
+
+/// The paper's selection rule for simulation constants (Sec. V-B2): among
+/// `candidates`, pick the pair whose power limit at cold start (T0 = Ta,
+/// i.e. a component idle long enough to reach ambient) is closest to the
+/// nameplate rating.  Returns the index into `candidates`.
+std::size_t select_constants(const std::vector<ThermalParams>& candidates,
+                             Seconds window);
+
+}  // namespace willow::thermal

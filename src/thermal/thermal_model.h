@@ -1,0 +1,93 @@
+// First-order (RC) thermal model of a server/switch component — Section III-A
+// of the paper.
+//
+// The paper's Eq. (1) is printed as dT = [c1 P + c2 (T - Ta)] dt, but its own
+// closed-form solution (Eq. 2) decays as e^{-c2 t}; the relaxation term must
+// therefore be negative.  We implement
+//
+//     dT/dt = c1 * P(t) - c2 * (T(t) - Ta)
+//
+// which reproduces Eq. (2) and Eq. (3) exactly:
+//
+//     T(t)     = Ta + (T0 - Ta) e^{-c2 t} + c1 e^{-c2 t} \int_0^t P(s) e^{c2 s} ds
+//     T(Delta) = Ta + P c1/c2 (1 - e^{-c2 Delta}) + (T0 - Ta) e^{-c2 Delta}
+//
+// Units: c1 in degC / (W * time-unit), c2 in 1 / time-unit; "time-unit" is
+// whatever the caller's Seconds represent (the paper's simulation uses
+// abstract adjustment windows).
+#pragma once
+
+#include "util/units.h"
+
+namespace willow::thermal {
+
+using util::Celsius;
+using util::Seconds;
+using util::Watts;
+
+/// Static thermal parameters of one component.
+struct ThermalParams {
+  double c1 = 0.08;               ///< heating coefficient (degC per W per unit time)
+  double c2 = 0.05;               ///< cooling rate (per unit time)
+  Celsius ambient{25.0};          ///< Ta: temperature of the medium outside
+  Celsius limit{70.0};            ///< T_limit: hard thermal ceiling
+  Watts nameplate{450.0};         ///< electrical rating; P_limit never exceeds it
+
+  /// Validate invariants (c1, c2 > 0, limit > ambient achievable). Throws
+  /// std::invalid_argument on violation.
+  void validate() const;
+};
+
+/// Stateful thermal integrator for one component.
+///
+/// All evolution uses the exact solution for piecewise-constant power, so a
+/// single step over [0, t] equals any subdivision of it (tested property).
+class ThermalModel {
+ public:
+  explicit ThermalModel(ThermalParams params);
+  ThermalModel(ThermalParams params, Celsius initial);
+
+  [[nodiscard]] const ThermalParams& params() const { return params_; }
+  [[nodiscard]] Celsius temperature() const { return temperature_; }
+
+  /// Reset to a given temperature (e.g. after relocation or at scenario start).
+  void set_temperature(Celsius t) { temperature_ = t; }
+
+  /// Change the ambient temperature (hot/cold zone scenarios, Sec. V-B3).
+  void set_ambient(Celsius ta) { params_.ambient = ta; }
+
+  /// Advance by dt under constant power draw p (exact, Eq. 2).
+  void step(Watts p, Seconds dt);
+
+  /// Predicted temperature after holding power p for dt, without mutating
+  /// state (Eq. 3 used predictively for migration decisions).
+  [[nodiscard]] Celsius predict(Watts p, Seconds dt) const;
+
+  /// Maximum constant power that keeps T(t + window) <= T_limit, clamped to
+  /// [0, nameplate] (Eq. 3 inverted).  This is the thermal *hard constraint*
+  /// on the node's power budget (Sec. IV-D).
+  [[nodiscard]] Watts power_limit(Seconds window) const;
+
+  /// Steady-state temperature under constant power p.
+  [[nodiscard]] Celsius steady_state(Watts p) const;
+
+  /// Power that yields steady-state temperature exactly T_limit
+  /// (= c2 (T_limit - Ta) / c1), unclamped by nameplate.
+  [[nodiscard]] Watts steady_state_power_limit() const;
+
+  /// True when the component is currently at or above its thermal ceiling.
+  [[nodiscard]] bool over_limit() const {
+    return temperature_ >= params_.limit;
+  }
+
+ private:
+  ThermalParams params_;
+  Celsius temperature_;
+};
+
+/// Stateless form of power_limit (used by Fig. 4 / Fig. 14 sweeps): the
+/// maximum constant power over `window` starting from temperature t0.
+[[nodiscard]] Watts power_limit_from(const ThermalParams& params, Celsius t0,
+                                     Seconds window);
+
+}  // namespace willow::thermal

@@ -1,0 +1,150 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace willow::util {
+
+JsonWriter::JsonWriter(std::ostream& os) : os_(os) {}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) return;  // top-level single value
+  if (stack_.back() == Frame::kObject && !pending_key_) {
+    throw std::logic_error("JsonWriter: value in object without a key");
+  }
+  if (stack_.back() == Frame::kArray) {
+    if (has_items_.back()) os_ << ',';
+    has_items_.back() = true;
+  }
+  pending_key_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::kObject) {
+    throw std::logic_error("JsonWriter: end_object without begin_object");
+  }
+  if (pending_key_) throw std::logic_error("JsonWriter: dangling key");
+  os_ << '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::kArray) {
+    throw std::logic_error("JsonWriter: end_array without begin_array");
+  }
+  os_ << ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (stack_.empty() || stack_.back() != Frame::kObject) {
+    throw std::logic_error("JsonWriter: key outside an object");
+  }
+  if (pending_key_) throw std::logic_error("JsonWriter: two keys in a row");
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  write_escaped(name);
+  os_ << ':';
+  pending_key_ = true;
+  return *this;
+}
+
+void JsonWriter::write_escaped(const std::string& s) {
+  os_ << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\r': os_ << "\\r"; break;
+      case '\t': os_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  write_escaped(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    // JSON has no Inf/NaN; emit null like most tooling expects.
+    os_ << "null";
+    return *this;
+  }
+  std::ostringstream tmp;
+  tmp.precision(17);
+  tmp << v;
+  os_ << tmp.str();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::number_array(const std::string& name,
+                                     const std::vector<double>& values) {
+  key(name).begin_array();
+  for (double v : values) value(v);
+  return end_array();
+}
+
+void JsonWriter::finish() const {
+  if (!stack_.empty()) {
+    throw std::logic_error("JsonWriter: unterminated containers at finish");
+  }
+  if (pending_key_) throw std::logic_error("JsonWriter: dangling key");
+}
+
+}  // namespace willow::util

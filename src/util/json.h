@@ -1,0 +1,67 @@
+// Minimal JSON writer — enough to export simulation results for downstream
+// analysis (pandas, jq) without dragging in a dependency.
+//
+// Usage:
+//   JsonWriter w(os);
+//   w.begin_object();
+//   w.key("ticks").value(60);
+//   w.key("series").begin_array();
+//   for (double v : xs) w.value(v);
+//   w.end_array();
+//   w.end_object();
+//
+// The writer validates nesting (begin/end mismatch throws) and emits commas
+// and string escaping correctly.  Numbers are written with enough precision
+// to round-trip doubles.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace willow::util {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os);
+  /// Destructor does NOT auto-close containers; callers must end what they
+  /// begin (checked by finish()).
+  ~JsonWriter() = default;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be inside an object and followed by exactly one value.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(std::size_t v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Convenience: key + numeric array in one call.
+  JsonWriter& number_array(const std::string& name,
+                           const std::vector<double>& values);
+
+  /// Throws std::logic_error if any container is still open.
+  void finish() const;
+
+ private:
+  enum class Frame { kObject, kArray };
+
+  void before_value();
+  void write_escaped(const std::string& s);
+
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace willow::util

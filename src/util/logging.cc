@@ -1,0 +1,34 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace willow::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+    default: return "     ";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& text) {
+  if (log_level() < level) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[willow " << level_name(level) << "] " << text << '\n';
+}
+
+}  // namespace willow::util

@@ -1,0 +1,42 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and its results are reported through metric
+// recorders, so logging exists for narrative traces (what migrated where and
+// why) rather than data.  Off by default; benches/examples raise the level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace willow::util {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+/// Process-wide log threshold; messages above it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a message at `level` (already filtered by the macros below).
+void log_message(LogLevel level, const std::string& text);
+
+namespace detail {
+struct LogLine {
+  LogLevel level;
+  std::ostringstream os;
+  explicit LogLine(LogLevel l) : level(l) {}
+  ~LogLine() { log_message(level, os.str()); }
+};
+}  // namespace detail
+
+}  // namespace willow::util
+
+#define WILLOW_LOG(level_enum)                                      \
+  if (::willow::util::log_level() < (level_enum)) {                 \
+  } else                                                            \
+    ::willow::util::detail::LogLine(level_enum).os
+
+#define WILLOW_ERROR() WILLOW_LOG(::willow::util::LogLevel::kError)
+#define WILLOW_WARN() WILLOW_LOG(::willow::util::LogLevel::kWarn)
+#define WILLOW_INFO() WILLOW_LOG(::willow::util::LogLevel::kInfo)
+#define WILLOW_DEBUG() WILLOW_LOG(::willow::util::LogLevel::kDebug)
+#define WILLOW_TRACE() WILLOW_LOG(::willow::util::LogLevel::kTrace)

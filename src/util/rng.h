@@ -1,0 +1,72 @@
+// Deterministic random-number utilities.
+//
+// Every stochastic element of the simulator (Poisson demand, application
+// mixes, sensor noise) draws from a Rng seeded explicitly by the scenario, so
+// every experiment in EXPERIMENTS.md is exactly reproducible.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace willow::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Poisson sample with the given mean (the paper models per-node power
+  /// demand as Poisson-distributed, Sec. V-B1).
+  int poisson(double mean) {
+    if (mean <= 0.0) return 0;
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+
+  /// Zero-mean Gaussian with the given standard deviation (sensor noise).
+  double gaussian(double stddev) {
+    if (stddev <= 0.0) return 0.0;
+    return std::normal_distribution<double>(0.0, stddev)(engine_);
+  }
+
+  /// Exponential sample with the given mean.
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Pick a uniformly random index into a container of size n (n > 0).
+  std::size_t index(std::size_t n) {
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Derive an independent child stream (stable: depends only on parent seed
+  /// sequence position).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace willow::util

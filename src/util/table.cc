@@ -1,0 +1,117 @@
+#include "util/table.h"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace willow::util {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  if (columns_.empty()) {
+    throw std::invalid_argument("Table: need at least one column");
+  }
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+Table& Table::add(std::string v) {
+  if (rows_.empty()) row();
+  rows_.back().emplace_back(std::move(v));
+  return *this;
+}
+
+Table& Table::add(const char* v) { return add(std::string(v)); }
+
+Table& Table::add(double v) {
+  if (rows_.empty()) row();
+  rows_.back().emplace_back(v);
+  return *this;
+}
+
+Table& Table::add(long long v) {
+  if (rows_.empty()) row();
+  rows_.back().emplace_back(v);
+  return *this;
+}
+
+std::string Table::format_cell(const Cell& c) const {
+  std::ostringstream os;
+  if (const auto* s = std::get_if<std::string>(&c)) {
+    os << *s;
+  } else if (const auto* d = std::get_if<double>(&c)) {
+    os << std::fixed << std::setprecision(precision_) << *d;
+  } else {
+    os << std::get<long long>(c);
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& r : rows_) {
+    auto& out = rendered.emplace_back();
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      out.push_back(format_cell(r[i]));
+      if (i < widths.size()) widths[i] = std::max(widths[i], out.back().size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      const std::string& text = i < cells.size() ? cells[i] : std::string{};
+      os << (i == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[i]))
+         << text;
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    total += widths[i] + (i == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rendered) emit(r);
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    os << (i ? "," : "") << csv_escape(columns_[i]);
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      os << (i ? "," : "") << csv_escape(format_cell(r[i]));
+    }
+    os << '\n';
+  }
+}
+
+bool Table::write_csv_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_csv(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace willow::util

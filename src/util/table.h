@@ -1,0 +1,53 @@
+// Aligned text tables and CSV output for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figure series;
+// Table renders them the same way the paper reports them (rows of labelled
+// columns), and can also dump machine-readable CSV next to the binary.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace willow::util {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, long long>;
+
+  explicit Table(std::vector<std::string> columns);
+
+  /// Start a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(std::string v);
+  Table& add(const char* v);
+  Table& add(double v);
+  Table& add(long long v);
+  Table& add(int v) { return add(static_cast<long long>(v)); }
+  Table& add(std::size_t v) { return add(static_cast<long long>(v)); }
+
+  /// Number of completed + in-progress rows.
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Fixed decimal places used when printing doubles (default 3).
+  void set_precision(int digits) { precision_ = digits; }
+
+  /// Render as an aligned text table with a header rule.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (RFC-4180-ish quoting of strings containing commas).
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: write_csv to a file path; returns false on I/O failure.
+  bool write_csv_file(const std::string& path) const;
+
+ private:
+  [[nodiscard]] std::string format_cell(const Cell& c) const;
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 3;
+};
+
+}  // namespace willow::util

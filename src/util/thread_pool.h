@@ -1,0 +1,55 @@
+// Fixed-size worker pool with a blocking parallel_for.
+//
+// The simulator itself is sequential (a control period is a causal chain:
+// demand -> reports -> budgets -> migrations), but the bench harnesses sweep
+// independent scenarios (utilization points, seeds, margin values); those
+// sweeps fan out across hardware threads here.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace willow::util {
+
+class ThreadPool {
+ public:
+  /// @param threads worker count; 0 means std::thread::hardware_concurrency()
+  ///        (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; runs on some worker eventually.
+  void submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run body(i) for i in [0, n), partitioned across `pool`; blocks until done.
+/// Exceptions thrown by `body` terminate (tasks must not throw); scenario
+/// code reports failures through its results instead.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace willow::util

@@ -1,0 +1,151 @@
+// Strong unit types for the physical quantities Willow reasons about.
+//
+// The control scheme mixes power budgets (W), temperatures (degrees C),
+// energies (J) and durations (s) in the same expressions; a mixed-up operand
+// is a silent control bug, not a crash.  Each quantity is therefore a
+// distinct arithmetic wrapper: same-unit addition/subtraction and scaling by
+// dimensionless doubles are allowed, cross-unit arithmetic is a compile
+// error.  The few physically meaningful cross-unit products (W x s = J,
+// J / s = W) are provided as explicit free operators.
+#pragma once
+
+#include <compare>
+#include <ostream>
+
+namespace willow::util {
+
+/// CRTP-free tagged quantity: a double with unit identity.
+template <typename Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value_(v) {}
+
+  /// Raw magnitude in the unit's base scale (W, degC, s, J, ...).
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  constexpr Quantity& operator+=(Quantity o) {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    value_ -= o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double k) {
+    value_ *= k;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double k) {
+    value_ /= k;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.value_ + b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.value_ - b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a) { return Quantity{-a.value_}; }
+  friend constexpr Quantity operator*(Quantity a, double k) {
+    return Quantity{a.value_ * k};
+  }
+  friend constexpr Quantity operator*(double k, Quantity a) {
+    return Quantity{k * a.value_};
+  }
+  friend constexpr Quantity operator/(Quantity a, double k) {
+    return Quantity{a.value_ / k};
+  }
+  /// Ratio of two same-unit quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.value_ / b.value_;
+  }
+
+  friend constexpr auto operator<=>(Quantity, Quantity) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+struct WattsTag {};
+struct CelsiusTag {};
+struct SecondsTag {};
+struct JoulesTag {};
+struct MegabytesTag {};
+
+/// Electrical power (also used for power budgets and demands).
+using Watts = Quantity<WattsTag>;
+/// Temperature; we follow the paper and use degrees Celsius throughout.
+using Celsius = Quantity<CelsiusTag>;
+/// Durations and simulation time.
+using Seconds = Quantity<SecondsTag>;
+/// Energy.
+using Joules = Quantity<JoulesTag>;
+/// Data volume (VM images, migration payloads).
+using Megabytes = Quantity<MegabytesTag>;
+
+/// Energy = power x time.
+constexpr Joules operator*(Watts p, Seconds t) {
+  return Joules{p.value() * t.value()};
+}
+constexpr Joules operator*(Seconds t, Watts p) { return p * t; }
+/// Average power = energy / time.
+constexpr Watts operator/(Joules e, Seconds t) {
+  return Watts{e.value() / t.value()};
+}
+
+/// [x]+ operator from Eq. (5)/(6): negative differences are treated as zero.
+template <typename Tag>
+constexpr Quantity<Tag> positive_part(Quantity<Tag> q) {
+  return q.value() > 0.0 ? q : Quantity<Tag>{0.0};
+}
+
+template <typename Tag>
+constexpr Quantity<Tag> min(Quantity<Tag> a, Quantity<Tag> b) {
+  return a < b ? a : b;
+}
+template <typename Tag>
+constexpr Quantity<Tag> max(Quantity<Tag> a, Quantity<Tag> b) {
+  return a < b ? b : a;
+}
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, Quantity<Tag> q) {
+  return os << q.value();
+}
+
+namespace literals {
+constexpr Watts operator""_W(long double v) {
+  return Watts{static_cast<double>(v)};
+}
+constexpr Watts operator""_W(unsigned long long v) {
+  return Watts{static_cast<double>(v)};
+}
+constexpr Celsius operator""_degC(long double v) {
+  return Celsius{static_cast<double>(v)};
+}
+constexpr Celsius operator""_degC(unsigned long long v) {
+  return Celsius{static_cast<double>(v)};
+}
+constexpr Seconds operator""_s(long double v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Seconds operator""_s(unsigned long long v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Joules operator""_J(long double v) {
+  return Joules{static_cast<double>(v)};
+}
+constexpr Joules operator""_J(unsigned long long v) {
+  return Joules{static_cast<double>(v)};
+}
+constexpr Megabytes operator""_MB(long double v) {
+  return Megabytes{static_cast<double>(v)};
+}
+constexpr Megabytes operator""_MB(unsigned long long v) {
+  return Megabytes{static_cast<double>(v)};
+}
+}  // namespace literals
+
+}  // namespace willow::util

@@ -1,0 +1,52 @@
+// Demand processes — Section V-B1: "The power demand in each node was
+// assumed to have a Poisson distribution."
+//
+// PoissonDemand turns an application's mean power m into a random draw
+// q * Poisson(m / q), where q is the power quantum per "query" (the paper's
+// workloads are transactional; each in-flight query adds roughly fixed
+// power).  The draw has mean m and variance q*m, so smaller quanta give
+// steadier demand — the knob the stability tests sweep against P_min.
+#pragma once
+
+#include "util/rng.h"
+#include "util/units.h"
+#include "workload/application.h"
+
+namespace willow::workload {
+
+class PoissonDemand {
+ public:
+  /// @param quantum power per query; must be > 0.
+  explicit PoissonDemand(Watts quantum);
+
+  [[nodiscard]] Watts quantum() const { return quantum_; }
+
+  /// One draw for an application with the given mean power.
+  [[nodiscard]] Watts sample(Watts mean, util::Rng& rng) const;
+
+  /// Refresh `app`'s instantaneous demand (no-op for dropped apps: a shut
+  /// down application draws nothing).  `intensity` scales the mean (see
+  /// workload::IntensityProfile).
+  void refresh(Application& app, util::Rng& rng, double intensity = 1.0) const;
+
+  /// Refresh a whole collection.
+  void refresh_all(std::vector<Application>& apps, util::Rng& rng,
+                   double intensity = 1.0) const;
+
+ private:
+  Watts quantum_;
+};
+
+/// Deterministic demand (always the mean); useful in unit tests and in the
+/// convergence/stability analyses where randomness is controlled separately.
+class ConstantDemand {
+ public:
+  static void refresh(Application& app) {
+    app.set_demand(app.dropped() ? Watts{0.0} : app.effective_mean_power());
+  }
+  static void refresh_all(std::vector<Application>& apps) {
+    for (auto& a : apps) refresh(a);
+  }
+};
+
+}  // namespace willow::workload

@@ -1,0 +1,46 @@
+// Inter-application (IPC) traffic flows — the workload class the paper
+// defers to future work: "We would also like to analyze the performance of
+// Willow under more complex workloads where there is excessive IPC traffic
+// among the servers."
+//
+// A Flow is a steady bidirectional traffic relationship between two
+// applications (e.g. tiers of the same service).  Flows whose endpoints are
+// co-located produce no fabric traffic; when migrations separate them the
+// traffic crosses the switch hierarchy — the cost the locality preference
+// exists to contain.
+#pragma once
+
+#include <vector>
+
+#include "workload/application.h"
+
+namespace willow::workload {
+
+struct Flow {
+  AppId a = kInvalidApp;
+  AppId b = kInvalidApp;
+  /// Steady traffic between the endpoints, in the fabric's traffic units.
+  double traffic_units = 0.0;
+};
+
+class FlowSet {
+ public:
+  void add(Flow flow);
+  [[nodiscard]] const std::vector<Flow>& flows() const { return flows_; }
+  [[nodiscard]] bool empty() const { return flows_.empty(); }
+  [[nodiscard]] std::size_t size() const { return flows_.size(); }
+
+  /// Total traffic over all flows.
+  [[nodiscard]] double total_units() const;
+
+ private:
+  std::vector<Flow> flows_;
+};
+
+/// Wire up flows between consecutive applications of each group (a "service"
+/// whose tiers start co-located): for every group of app ids, each adjacent
+/// pair gets a flow of `units` traffic.
+FlowSet chain_flows(const std::vector<std::vector<AppId>>& groups,
+                    double units);
+
+}  // namespace willow::workload

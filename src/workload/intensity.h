@@ -1,0 +1,63 @@
+// Workload-intensity profiles — the demand-side variation of Section I:
+// "The demand side variations (which themselves drive variability in
+// partitioning) result from variations in workload intensity and
+// characteristics."
+//
+// An IntensityProfile is a dimensionless multiplier on every application's
+// mean demand as a function of time: 1.0 = nominal load, 0.3 = a quiet
+// night, 1.4 = a flash crowd.  The simulator samples it once per demand
+// period and feeds the factor to the Poisson demand generator.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/units.h"
+
+namespace willow::workload {
+
+class IntensityProfile {
+ public:
+  virtual ~IntensityProfile() = default;
+  /// Demand multiplier at absolute time t; must be >= 0 and pure.
+  [[nodiscard]] virtual double at(util::Seconds t) const = 0;
+};
+
+/// Fixed multiplier (default 1.0 = the paper's stationary assumption).
+class ConstantIntensity final : public IntensityProfile {
+ public:
+  explicit ConstantIntensity(double factor = 1.0);
+  [[nodiscard]] double at(util::Seconds) const override { return factor_; }
+
+ private:
+  double factor_;
+};
+
+/// base + amplitude * sin(2*pi*(t - phase)/period), clamped at >= 0 — the
+/// classic diurnal request-rate curve.
+class DiurnalIntensity final : public IntensityProfile {
+ public:
+  DiurnalIntensity(double base, double amplitude, util::Seconds period,
+                   util::Seconds phase = util::Seconds{0.0});
+  [[nodiscard]] double at(util::Seconds t) const override;
+
+ private:
+  double base_;
+  double amplitude_;
+  util::Seconds period_;
+  util::Seconds phase_;
+};
+
+/// Piecewise-constant recorded intensity: value i applies on
+/// [i*step, (i+1)*step); the last value persists.
+class TraceIntensity final : public IntensityProfile {
+ public:
+  TraceIntensity(std::vector<double> factors, util::Seconds step);
+  [[nodiscard]] double at(util::Seconds t) const override;
+
+ private:
+  std::vector<double> factors_;
+  util::Seconds step_;
+};
+
+}  // namespace willow::workload

@@ -1,0 +1,49 @@
+// Placement mixes — Section V-B1: "On each server we placed a random mix of
+// 4 different application types ... The average power demand in a server is
+// the sum of all the average power requirements of the applications that are
+// hosted in it."
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/application.h"
+
+namespace willow::workload {
+
+/// Configuration for building a random per-server mix.
+struct MixConfig {
+  /// Catalog to draw classes from (defaults to simulation_catalog()).
+  const std::vector<AppClass>* catalog = nullptr;
+  /// Watts represented by one relative power unit of the catalog.
+  Watts unit_power{10.0};
+  /// Target mean aggregate demand per server; apps are appended (random
+  /// class each time) until the next app would overshoot the target by more
+  /// than half its own mean.
+  Watts target_mean_per_server{100.0};
+  /// VM image size per relative power unit (bigger apps migrate slower).
+  Megabytes image_per_unit{512.0};
+  /// Number of distinct shedding priorities to assign uniformly at random
+  /// (1 = every app equally important).
+  int priority_levels = 1;
+  /// Relative selection weight per catalog class; empty = uniform.  Must
+  /// match the catalog size when non-empty.
+  std::vector<double> class_weights{};
+};
+
+/// Build one server's worth of applications.
+std::vector<Application> build_mix(const MixConfig& cfg, AppIdAllocator& ids,
+                                   util::Rng& rng);
+
+/// Build mixes for `servers` servers.
+std::vector<std::vector<Application>> build_datacenter_mix(
+    const MixConfig& cfg, std::size_t servers, AppIdAllocator& ids,
+    util::Rng& rng);
+
+/// Sum of mean power over a collection.
+Watts total_mean_power(const std::vector<Application>& apps);
+
+/// Sum of instantaneous demand over a collection (dropped apps contribute 0).
+Watts total_demand(const std::vector<Application>& apps);
+
+}  // namespace willow::workload

@@ -1,0 +1,64 @@
+// Response-time / QoS model — quantifying the paper's objective: "adapt the
+// data center operations to such available power variations as far as
+// possible — while still meeting the desired QoS requirements".
+//
+// The paper's workloads are transactional (user queries); a server throttled
+// below its offered load queues requests.  We model each server as an M/M/1
+// station whose service capacity is the power it is *allowed and able* to
+// serve: response time inflates as 1/(1 - rho) with rho = offered/served
+// capacity, saturating at a cap once the station is overloaded.  An SLA is a
+// bound on that inflation factor; the tracker aggregates how much demand met
+// it.
+#pragma once
+
+#include <cstddef>
+
+namespace willow::workload {
+
+/// M/M/1 response-time inflation R/s = 1/(1 - rho), clamped to
+/// [1, max_inflation].  rho >= 1 (overload) returns max_inflation.
+/// @param utilization offered load over service capacity, >= 0.
+[[nodiscard]] double response_inflation(double utilization,
+                                        double max_inflation = 100.0);
+
+/// The utilization at which inflation reaches a given SLA factor:
+/// rho* = 1 - 1/sla.  Running hotter than this violates the SLA.
+[[nodiscard]] double sla_utilization_limit(double sla_inflation);
+
+/// Aggregates SLA outcomes over servers and periods, demand-weighted.
+class SlaTracker {
+ public:
+  /// @param sla_inflation response-time inflation bound (> 1).
+  explicit SlaTracker(double sla_inflation);
+
+  [[nodiscard]] double sla_inflation() const { return sla_; }
+
+  /// Record one server-period: `offered_w` of demand served at `utilization`
+  /// (offered / capacity).  Dropped demand should be reported separately via
+  /// record_denied (it trivially violates any SLA).
+  void record(double offered_w, double utilization);
+
+  /// Demand that received no service at all this period.
+  void record_denied(double offered_w);
+
+  /// Demand-weighted fraction of offered work that met the SLA; 1 if nothing
+  /// was offered.
+  [[nodiscard]] double satisfaction() const;
+
+  /// Demand-weighted mean inflation over served work; 1 if nothing served.
+  [[nodiscard]] double mean_inflation() const;
+
+  [[nodiscard]] std::size_t samples() const { return samples_; }
+
+  void reset();
+
+ private:
+  double sla_;
+  double offered_total_ = 0.0;
+  double met_total_ = 0.0;
+  double inflation_weighted_ = 0.0;
+  double served_total_ = 0.0;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace willow::workload

@@ -1,0 +1,108 @@
+#include "binpack/exact.h"
+
+#include <gtest/gtest.h>
+
+namespace willow::binpack {
+namespace {
+
+std::vector<Item> items_of(std::initializer_list<double> sizes) {
+  std::vector<Item> items;
+  std::uint64_t key = 1;
+  for (double s : sizes) items.push_back({key++, s, 0});
+  return items;
+}
+
+std::vector<Bin> bins_of(std::initializer_list<double> caps) {
+  std::vector<Bin> bins;
+  std::uint64_t key = 100;
+  for (double c : caps) bins.push_back({key++, c, 0});
+  return bins;
+}
+
+TEST(Exact, GuardsInstanceSize) {
+  std::vector<Item> big(20, {1, 1.0, 0});
+  EXPECT_THROW(exact_pack(big, bins_of({5.0})), std::invalid_argument);
+  EXPECT_NO_THROW(exact_pack(big, bins_of({5.0}), 32));
+}
+
+TEST(Exact, RejectsNegativeSizes) {
+  EXPECT_THROW(exact_pack(items_of({-1.0}), bins_of({5.0})),
+               std::invalid_argument);
+}
+
+TEST(Exact, EmptyInstances) {
+  auto r = exact_pack({}, bins_of({5.0}));
+  EXPECT_DOUBLE_EQ(r.max_placed, 0.0);
+  EXPECT_EQ(r.min_bins, 0u);
+  r = exact_pack(items_of({3.0}), {});
+  EXPECT_DOUBLE_EQ(r.max_placed, 0.0);
+}
+
+TEST(Exact, TrivialFullPlacement) {
+  const auto r = exact_pack(items_of({2.0, 3.0}), bins_of({5.0}));
+  EXPECT_DOUBLE_EQ(r.max_placed, 5.0);
+  EXPECT_EQ(r.min_bins, 1u);
+  EXPECT_EQ(r.assignments.size(), 2u);
+}
+
+TEST(Exact, PicksValueMaximizingSubset) {
+  // Bin 5: best subset of {4, 3, 2} is {3, 2}.
+  const auto r = exact_pack(items_of({4.0, 3.0, 2.0}), bins_of({5.0}));
+  EXPECT_DOUBLE_EQ(r.max_placed, 5.0);
+  EXPECT_EQ(r.min_bins, 1u);
+}
+
+TEST(Exact, MinimizesBinsAmongOptimalPlacements) {
+  // Everything fits into one 10-bin even though three bins are offered.
+  const auto r =
+      exact_pack(items_of({4.0, 3.0, 2.0}), bins_of({10.0, 10.0, 10.0}));
+  EXPECT_DOUBLE_EQ(r.max_placed, 9.0);
+  EXPECT_EQ(r.min_bins, 1u);
+}
+
+TEST(Exact, NeedsTwoBinsWhenOneCannotHoldAll) {
+  const auto r = exact_pack(items_of({4.0, 4.0}), bins_of({5.0, 5.0}));
+  EXPECT_DOUBLE_EQ(r.max_placed, 8.0);
+  EXPECT_EQ(r.min_bins, 2u);
+}
+
+TEST(Exact, WitnessAssignmentIsConsistent) {
+  const auto items = items_of({4.0, 3.0, 3.0, 2.0, 1.0});
+  const auto bins = bins_of({6.0, 5.0, 2.0});
+  const auto r = exact_pack(items, bins);
+  PackResult as_pack;
+  as_pack.assignments = r.assignments;
+  double placed = 0.0;
+  std::vector<bool> used(items.size(), false);
+  for (const auto& a : r.assignments) {
+    placed += items[a.item].size;
+    used[a.item] = true;
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!used[i]) as_pack.unplaced.push_back(i);
+  }
+  as_pack.placed_size = placed;
+  std::vector<bool> touched(bins.size(), false);
+  for (const auto& a : r.assignments) touched[a.bin] = true;
+  for (bool t : touched) as_pack.bins_touched += t ? 1 : 0;
+  EXPECT_TRUE(validate(as_pack, items, bins));
+  EXPECT_DOUBLE_EQ(placed, r.max_placed);
+}
+
+TEST(Exact, SymmetryPruningStillOptimal) {
+  // Many identical bins: pruning must not change the optimum.
+  const auto r = exact_pack(items_of({3.0, 3.0, 3.0, 3.0}),
+                            bins_of({4.0, 4.0, 4.0, 4.0}));
+  EXPECT_DOUBLE_EQ(r.max_placed, 12.0);
+  EXPECT_EQ(r.min_bins, 4u);
+  EXPECT_GT(r.nodes, 0u);
+}
+
+TEST(Exact, ZeroSizeItemsDoNotInflateBins) {
+  const auto r = exact_pack(items_of({0.0, 0.0, 2.0}), bins_of({2.0, 2.0}));
+  EXPECT_DOUBLE_EQ(r.max_placed, 2.0);
+  EXPECT_EQ(r.min_bins, 1u);
+}
+
+}  // namespace
+}  // namespace willow::binpack

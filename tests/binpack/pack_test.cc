@@ -1,0 +1,243 @@
+#include "binpack/pack.h"
+
+#include <gtest/gtest.h>
+
+namespace willow::binpack {
+namespace {
+
+std::vector<Item> items_of(std::initializer_list<double> sizes) {
+  std::vector<Item> items;
+  std::uint64_t key = 1;
+  for (double s : sizes) items.push_back({key++, s, 0});
+  return items;
+}
+
+std::vector<Bin> bins_of(std::initializer_list<double> caps) {
+  std::vector<Bin> bins;
+  std::uint64_t key = 100;
+  for (double c : caps) bins.push_back({key++, c, 0});
+  return bins;
+}
+
+const Algorithm kAll[] = {
+    Algorithm::kFfdlr, Algorithm::kFirstFit, Algorithm::kFirstFitDecreasing,
+    Algorithm::kBestFitDecreasing, Algorithm::kWorstFitDecreasing};
+
+TEST(Pack, RejectsNegativeSizes) {
+  EXPECT_THROW(pack(items_of({-1.0}), bins_of({5.0}), Algorithm::kFfdlr),
+               std::invalid_argument);
+  EXPECT_THROW(pack(items_of({1.0}), {{1, -5.0, 0}}, Algorithm::kFfdlr),
+               std::invalid_argument);
+}
+
+TEST(Pack, EmptyItemsYieldsEmptyResult) {
+  for (auto algo : kAll) {
+    const auto r = pack({}, bins_of({5.0, 3.0}), algo);
+    EXPECT_TRUE(r.assignments.empty());
+    EXPECT_TRUE(r.unplaced.empty());
+    EXPECT_DOUBLE_EQ(r.placed_size, 0.0);
+    EXPECT_EQ(r.bins_touched, 0u);
+  }
+}
+
+TEST(Pack, NoBinsMeansAllUnplaced) {
+  for (auto algo : kAll) {
+    const auto r = pack(items_of({1.0, 2.0}), {}, algo);
+    EXPECT_EQ(r.unplaced.size(), 2u);
+    EXPECT_TRUE(validate(r, items_of({1.0, 2.0}), {}));
+  }
+}
+
+TEST(Pack, ZeroCapacityBinsUnusable) {
+  for (auto algo : kAll) {
+    const auto items = items_of({1.0});
+    const auto bins = bins_of({0.0, 0.0});
+    const auto r = pack(items, bins, algo);
+    EXPECT_EQ(r.unplaced.size(), 1u);
+    EXPECT_TRUE(validate(r, items, bins));
+  }
+}
+
+TEST(Pack, SingleItemSingleBin) {
+  for (auto algo : kAll) {
+    const auto items = items_of({3.0});
+    const auto bins = bins_of({5.0});
+    const auto r = pack(items, bins, algo);
+    ASSERT_EQ(r.assignments.size(), 1u);
+    EXPECT_EQ(r.assignments[0].item, 0u);
+    EXPECT_EQ(r.assignments[0].bin, 0u);
+    EXPECT_DOUBLE_EQ(r.placed_size, 3.0);
+    EXPECT_EQ(r.bins_touched, 1u);
+  }
+}
+
+TEST(Pack, OversizedItemUnplaced) {
+  for (auto algo : kAll) {
+    const auto items = items_of({10.0, 2.0});
+    const auto bins = bins_of({5.0});
+    const auto r = pack(items, bins, algo);
+    ASSERT_EQ(r.unplaced.size(), 1u);
+    EXPECT_EQ(r.unplaced[0], 0u);
+    EXPECT_DOUBLE_EQ(r.placed_size, 2.0);
+    EXPECT_TRUE(validate(r, items, bins));
+  }
+}
+
+TEST(Pack, NeverOverfillsBins) {
+  const auto items = items_of({4.0, 3.0, 3.0, 2.0, 2.0, 1.0});
+  const auto bins = bins_of({5.0, 5.0, 4.0});
+  for (auto algo : kAll) {
+    const auto r = pack(items, bins, algo);
+    EXPECT_TRUE(validate(r, items, bins)) << static_cast<int>(algo);
+  }
+}
+
+TEST(Pack, ExactFitFillsCompletely) {
+  // Items sum exactly to total capacity and a perfect packing exists.
+  const auto items = items_of({4.0, 3.0, 3.0, 2.0});
+  const auto bins = bins_of({7.0, 5.0});
+  const auto r = pack(items, bins, Algorithm::kFfdlr);
+  EXPECT_TRUE(r.all_placed());
+  EXPECT_DOUBLE_EQ(r.placed_size, 12.0);
+}
+
+TEST(Pack, FfdlrPrefersFewBins) {
+  // Everything fits into the single large bin; FFDLR's virtual-bin phase
+  // groups items and the repack chooses one real bin.
+  const auto items = items_of({3.0, 2.0, 2.0, 1.0});
+  const auto bins = bins_of({8.0, 8.0, 8.0});
+  const auto r = pack(items, bins, Algorithm::kFfdlr);
+  EXPECT_TRUE(r.all_placed());
+  EXPECT_EQ(r.bins_touched, 1u);
+}
+
+TEST(Pack, FfdlrRepacksIntoSmallestFeasibleBin) {
+  // Group content = 4; smallest feasible bin is the 4.5, not the 10.
+  const auto items = items_of({4.0});
+  const auto bins = bins_of({10.0, 4.5});
+  const auto r = pack(items, bins, Algorithm::kFfdlr);
+  ASSERT_EQ(r.assignments.size(), 1u);
+  EXPECT_EQ(bins[r.assignments[0].bin].capacity, 4.5);
+}
+
+TEST(Pack, WorstFitSpreadsLoad) {
+  const auto items = items_of({2.0, 2.0});
+  const auto bins = bins_of({5.0, 5.0});
+  const auto r = pack(items, bins, Algorithm::kWorstFitDecreasing);
+  EXPECT_EQ(r.bins_touched, 2u);
+}
+
+TEST(Pack, BestFitPicksTightestBin) {
+  const auto items = items_of({3.0});
+  const auto bins = bins_of({10.0, 3.5, 5.0});
+  const auto r = pack(items, bins, Algorithm::kBestFitDecreasing);
+  ASSERT_EQ(r.assignments.size(), 1u);
+  EXPECT_DOUBLE_EQ(bins[r.assignments[0].bin].capacity, 3.5);
+}
+
+TEST(Pack, FirstFitRespectsInputOrder) {
+  // kFirstFit does not sort: the 1.0 lands first and blocks the 4.0 only if
+  // capacities force it.
+  const auto items = items_of({1.0, 4.0});
+  const auto bins = bins_of({4.5});
+  const auto r = pack(items, bins, Algorithm::kFirstFit);
+  ASSERT_EQ(r.assignments.size(), 1u);
+  EXPECT_EQ(r.assignments[0].item, 0u);  // the 1.0 got there first
+  EXPECT_EQ(r.unplaced.size(), 1u);
+}
+
+TEST(Pack, FfdDecreasingBeatsPlainFirstFitHere) {
+  const auto items = items_of({1.0, 4.0});
+  const auto bins = bins_of({4.5});
+  const auto ffd = pack(items, bins, Algorithm::kFirstFitDecreasing);
+  ASSERT_EQ(ffd.assignments.size(), 1u);
+  EXPECT_EQ(ffd.assignments[0].item, 1u);  // the 4.0 placed, better value
+  EXPECT_GT(ffd.placed_size,
+            pack(items, bins, Algorithm::kFirstFit).placed_size);
+}
+
+TEST(Pack, ZeroSizeItemsAlwaysPlaceable) {
+  const auto items = items_of({0.0, 0.0});
+  const auto bins = bins_of({1.0});
+  for (auto algo : kAll) {
+    const auto r = pack(items, bins, algo);
+    EXPECT_TRUE(r.all_placed()) << static_cast<int>(algo);
+  }
+}
+
+TEST(Validate, DetectsCorruptResults) {
+  const auto items = items_of({2.0, 3.0});
+  const auto bins = bins_of({4.0});
+  PackResult r;
+  // Missing items entirely.
+  EXPECT_FALSE(validate(r, items, bins));
+  // Overfilled bin.
+  r.assignments = {{0, 0}, {1, 0}};
+  r.placed_size = 5.0;
+  r.bins_touched = 1;
+  EXPECT_FALSE(validate(r, items, bins));
+  // Double-assigned item.
+  r.assignments = {{0, 0}, {0, 0}};
+  EXPECT_FALSE(validate(r, items, bins));
+  // Consistent result passes.
+  r.assignments = {{1, 0}};
+  r.unplaced = {0};
+  r.placed_size = 3.0;
+  r.bins_touched = 1;
+  EXPECT_TRUE(validate(r, items, bins));
+}
+
+TEST(Pack, KeysArePreservedNotInterpreted) {
+  // The packer must key results by *index*; caller keys are opaque payload.
+  std::vector<Item> items{{999, 2.0, 0}, {999, 3.0, 0}};  // duplicate keys
+  std::vector<Bin> bins{{7, 6.0, 0}};
+  const auto r = pack(items, bins, Algorithm::kFfdlr);
+  EXPECT_TRUE(r.all_placed());
+  EXPECT_TRUE(validate(r, items, bins));
+}
+
+TEST(Pack, ClassicFfdAdversary) {
+  // The textbook FFD stressor: items {6,5,5,4,4,4,...} sized so greedy
+  // grouping wastes space; all algorithms must stay valid and FFDLR must
+  // still place at least as much as plain first-fit.
+  const auto items = items_of({6.0, 5.0, 5.0, 4.0, 4.0, 4.0, 3.0, 3.0});
+  const auto bins = bins_of({10.0, 10.0, 10.0});
+  const auto ffdlr = pack(items, bins, Algorithm::kFfdlr);
+  const auto ff = pack(items, bins, Algorithm::kFirstFit);
+  EXPECT_TRUE(validate(ffdlr, items, bins));
+  EXPECT_TRUE(validate(ff, items, bins));
+  EXPECT_GE(ffdlr.placed_size, ff.placed_size);
+}
+
+TEST(Pack, ManyTinyItemsIntoManyTinyBins) {
+  std::vector<Item> items;
+  for (std::uint64_t i = 0; i < 100; ++i) items.push_back({i + 1, 0.01, 0});
+  std::vector<Bin> bins;
+  for (std::uint64_t b = 0; b < 4; ++b) bins.push_back({200 + b, 0.3, 0});
+  for (auto algo : kAll) {
+    const auto r = pack(items, bins, algo);
+    EXPECT_TRUE(validate(r, items, bins)) << static_cast<int>(algo);
+    // 4 x 0.3 holds 120 items of 0.01: everything fits.
+    EXPECT_TRUE(r.all_placed()) << static_cast<int>(algo);
+  }
+}
+
+TEST(Pack, MixedZeroCapacityBinsIgnoredNotFatal) {
+  const auto items = items_of({1.0, 1.0});
+  const auto bins = bins_of({0.0, 2.5, 0.0});
+  for (auto algo : kAll) {
+    const auto r = pack(items, bins, algo);
+    EXPECT_TRUE(r.all_placed()) << static_cast<int>(algo);
+    for (const auto& a : r.assignments) EXPECT_EQ(a.bin, 1u);
+  }
+}
+
+TEST(LowerBound, CeilOfTotalOverLargest) {
+  EXPECT_EQ(capacity_lower_bound(items_of({3.0, 3.0, 3.0}), bins_of({4.0})),
+            3u);
+  EXPECT_EQ(capacity_lower_bound(items_of({2.0, 2.0}), bins_of({4.0})), 1u);
+  EXPECT_EQ(capacity_lower_bound({}, bins_of({4.0})), 0u);
+}
+
+}  // namespace
+}  // namespace willow::binpack

@@ -1,0 +1,93 @@
+#include "binpack/vbp.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace willow::binpack {
+namespace {
+
+TEST(Vbp, Validation) {
+  EXPECT_THROW(vbp_ffdlr({1.0}, {}), std::invalid_argument);
+  EXPECT_THROW(vbp_ffdlr({1.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(vbp_ffdlr({0.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(vbp_ffdlr({2.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(Vbp, EmptyItemsUseNoBins) {
+  const auto r = vbp_ffdlr({}, {1.0, 2.0});
+  EXPECT_EQ(r.bin_count(), 0u);
+  EXPECT_DOUBLE_EQ(r.total_capacity, 0.0);
+  EXPECT_TRUE(vbp_validate(r, {}, {1.0, 2.0}));
+}
+
+TEST(Vbp, SingleItemGetsSmallestFeasibleSize) {
+  const auto r = vbp_ffdlr({0.4}, {0.5, 1.0, 2.0});
+  ASSERT_EQ(r.bin_count(), 1u);
+  EXPECT_DOUBLE_EQ(r.bins[0].size, 0.5);
+  EXPECT_DOUBLE_EQ(r.total_capacity, 0.5);
+}
+
+TEST(Vbp, GroupsRepackedIntoSmallestSizes) {
+  // FFD into unit bins: {0.6, 0.3} and {0.5, 0.2}; repack: 0.9 -> size 1.0,
+  // 0.7 -> size 0.75.
+  const auto r = vbp_ffdlr({0.6, 0.5, 0.3, 0.2}, {0.25, 0.75, 1.0});
+  ASSERT_EQ(r.bin_count(), 2u);
+  EXPECT_TRUE(vbp_validate(r, {0.6, 0.5, 0.3, 0.2}, {0.25, 0.75, 1.0}));
+  EXPECT_NEAR(r.total_capacity, 1.75, 1e-9);
+}
+
+TEST(Vbp, AllItemsAlwaysPacked) {
+  util::Rng rng(3);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<double> items;
+    const int n = rng.uniform_int(1, 40);
+    for (int i = 0; i < n; ++i) items.push_back(rng.uniform(0.05, 1.0));
+    const std::vector<double> sizes{0.25, 0.5, 1.0};
+    const auto r = vbp_ffdlr(items, sizes);
+    ASSERT_TRUE(vbp_validate(r, items, sizes)) << "round " << round;
+  }
+}
+
+TEST(Vbp, CapacityWithinFriesenLangstonBound) {
+  // total capacity <= (3/2) * OPT + largest; OPT >= sum of item sizes.
+  util::Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<double> items;
+    const int n = rng.uniform_int(2, 60);
+    for (int i = 0; i < n; ++i) items.push_back(rng.uniform(0.05, 1.0));
+    const std::vector<double> sizes{0.25, 0.5, 0.75, 1.0};
+    const auto r = vbp_ffdlr(items, sizes);
+    const double lb = vbp_lower_bound(items);
+    // Using the lower bound in place of OPT makes the check conservative in
+    // the right direction (OPT >= lb).
+    EXPECT_LE(r.total_capacity, 1.5 * std::max(lb, 1.0) + 1.0 + 1e-9)
+        << "round " << round;
+  }
+}
+
+TEST(Vbp, PerfectFitUsesExactCapacity) {
+  const auto r = vbp_ffdlr({0.5, 0.5, 0.5, 0.5}, {1.0});
+  EXPECT_EQ(r.bin_count(), 2u);
+  EXPECT_DOUBLE_EQ(r.total_capacity, 2.0);
+}
+
+TEST(Vbp, ValidateDetectsCorruption) {
+  const std::vector<double> items{0.4, 0.3};
+  const std::vector<double> sizes{0.5, 1.0};
+  auto r = vbp_ffdlr(items, sizes);
+  ASSERT_TRUE(vbp_validate(r, items, sizes));
+  auto broken = r;
+  broken.total_capacity += 1.0;
+  EXPECT_FALSE(vbp_validate(broken, items, sizes));
+  broken = r;
+  broken.bins[0].size = 0.33;  // not an offered size
+  EXPECT_FALSE(vbp_validate(broken, items, sizes));
+  broken = r;
+  broken.bins[0].items.clear();  // item lost
+  broken.bins[0].content = 0.0;
+  EXPECT_FALSE(vbp_validate(broken, items, sizes));
+}
+
+}  // namespace
+}  // namespace willow::binpack

@@ -1,0 +1,115 @@
+#include "core/balance.h"
+
+#include <gtest/gtest.h>
+
+namespace willow::core {
+namespace {
+
+using namespace willow::util::literals;
+
+struct Fixture {
+  Tree tree{1.0};  // alpha 1: smoothed == raw, easier arithmetic
+  NodeId root, s0, s1, s2;
+
+  Fixture() {
+    root = tree.add_root("dc");
+    s0 = tree.add_child(root, "s0", hier::NodeKind::kServer);
+    s1 = tree.add_child(root, "s1", hier::NodeKind::kServer);
+    s2 = tree.add_child(root, "s2", hier::NodeKind::kServer);
+  }
+
+  void set(NodeId id, double demand, double budget) {
+    tree.node(id).observe_demand(Watts{demand});
+    tree.node(id).set_budget(Watts{budget});
+  }
+};
+
+TEST(Balance, NodeDeficitEquation5) {
+  Fixture f;
+  f.set(f.s0, 100.0, 80.0);
+  EXPECT_DOUBLE_EQ(node_deficit(f.tree.node(f.s0)).value(), 20.0);
+  f.set(f.s1, 50.0, 80.0);
+  EXPECT_DOUBLE_EQ(node_deficit(f.tree.node(f.s1)).value(), 0.0);
+}
+
+TEST(Balance, NodeSurplusEquation6) {
+  Fixture f;
+  f.set(f.s0, 100.0, 80.0);
+  EXPECT_DOUBLE_EQ(node_surplus(f.tree.node(f.s0)).value(), 0.0);
+  f.set(f.s1, 50.0, 80.0);
+  EXPECT_DOUBLE_EQ(node_surplus(f.tree.node(f.s1)).value(), 30.0);
+}
+
+TEST(Balance, LevelAggregatesAreMaxima) {
+  // Eq. (7)/(8): level deficit/surplus are maxima over nodes.
+  Fixture f;
+  f.set(f.s0, 100.0, 80.0);  // deficit 20
+  f.set(f.s1, 100.0, 90.0);  // deficit 10
+  f.set(f.s2, 40.0, 90.0);   // surplus 50
+  const auto b = level_balance(f.tree, 0);
+  EXPECT_DOUBLE_EQ(b.max_deficit.value(), 20.0);
+  EXPECT_DOUBLE_EQ(b.max_surplus.value(), 50.0);
+  EXPECT_DOUBLE_EQ(b.total_deficit.value(), 30.0);
+  EXPECT_DOUBLE_EQ(b.total_surplus.value(), 50.0);
+}
+
+TEST(Balance, ImbalanceEquation9AsPrinted) {
+  // P_imb = P_def + min(P_def, P_sur).
+  Fixture f;
+  f.set(f.s0, 100.0, 80.0);  // deficit 20
+  f.set(f.s1, 40.0, 90.0);   // surplus 50
+  f.set(f.s2, 50.0, 50.0);
+  const auto b = level_balance(f.tree, 0);
+  EXPECT_DOUBLE_EQ(b.imbalance.value(), 20.0 + std::min(20.0, 50.0));
+}
+
+TEST(Balance, ImbalanceCappedBySurplusWhenSurplusSmall) {
+  Fixture f;
+  f.set(f.s0, 100.0, 70.0);  // deficit 30
+  f.set(f.s1, 40.0, 50.0);   // surplus 10
+  f.set(f.s2, 50.0, 50.0);
+  const auto b = level_balance(f.tree, 0);
+  EXPECT_DOUBLE_EQ(b.imbalance.value(), 30.0 + 10.0);
+}
+
+TEST(Balance, ResidualDeficitMatchesNarrative) {
+  Fixture f;
+  f.set(f.s0, 100.0, 70.0);  // deficit 30
+  f.set(f.s1, 40.0, 50.0);   // surplus 10
+  f.set(f.s2, 50.0, 50.0);
+  EXPECT_DOUBLE_EQ(level_balance(f.tree, 0).residual_deficit.value(), 20.0);
+  f.set(f.s1, 40.0, 90.0);  // surplus 50 covers everything
+  EXPECT_DOUBLE_EQ(level_balance(f.tree, 0).residual_deficit.value(), 0.0);
+}
+
+TEST(Balance, PerfectBalanceIsZeroEverything) {
+  Fixture f;
+  f.set(f.s0, 50.0, 50.0);
+  f.set(f.s1, 60.0, 60.0);
+  f.set(f.s2, 70.0, 70.0);
+  const auto b = level_balance(f.tree, 0);
+  EXPECT_DOUBLE_EQ(b.max_deficit.value(), 0.0);
+  EXPECT_DOUBLE_EQ(b.max_surplus.value(), 0.0);
+  EXPECT_DOUBLE_EQ(b.imbalance.value(), 0.0);
+}
+
+TEST(Balance, InactiveNodesExcluded) {
+  Fixture f;
+  f.set(f.s0, 100.0, 50.0);  // deficit 50
+  f.set(f.s1, 50.0, 50.0);
+  f.set(f.s2, 50.0, 50.0);
+  f.tree.node(f.s0).set_active(false);
+  const auto b = level_balance(f.tree, 0);
+  EXPECT_DOUBLE_EQ(b.max_deficit.value(), 0.0);
+}
+
+TEST(Balance, OtherLevelsComputeIndependently) {
+  Fixture f;
+  f.set(f.root, 100.0, 120.0);
+  const auto b = level_balance(f.tree, 1);  // root level in this 2-level tree
+  EXPECT_DOUBLE_EQ(b.max_surplus.value(), 20.0);
+  EXPECT_DOUBLE_EQ(b.max_deficit.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace willow::core

@@ -1,0 +1,122 @@
+// Under-designed rack/zone power circuits (Sec. I lean-design scenario):
+// an internal node's feed rating caps its subtree's budget and pushes
+// workload out of the rack when it binds.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+
+namespace willow::core {
+namespace {
+
+using namespace willow::util::literals;
+using workload::Application;
+
+ServerConfig lax_server() {
+  ServerConfig cfg;
+  cfg.thermal.c1 = 1e-4;
+  cfg.thermal.c2 = 1.0;
+  cfg.thermal.ambient = 25_degC;
+  cfg.thermal.limit = 70_degC;
+  cfg.thermal.nameplate = 450_W;
+  cfg.power_model = power::ServerPowerModel(10_W, 450_W);
+  return cfg;
+}
+
+struct Fixture {
+  Cluster cluster{1.0};
+  NodeId root, rack0, rack1, s00, s01, s10, s11;
+  workload::AppIdAllocator ids;
+
+  Fixture() {
+    root = cluster.add_root("dc");
+    rack0 = cluster.add_group(root, "rack0");
+    rack1 = cluster.add_group(root, "rack1");
+    s00 = cluster.add_server(rack0, "s00", lax_server());
+    s01 = cluster.add_server(rack0, "s01", lax_server());
+    s10 = cluster.add_server(rack1, "s10", lax_server());
+    s11 = cluster.add_server(rack1, "s11", lax_server());
+  }
+
+  void host(NodeId server, double watts) {
+    cluster.place(Application(ids.next(), 0, Watts{watts}, 512_MB), server);
+  }
+
+  ControllerConfig config() {
+    ControllerConfig cfg;
+    cfg.margin = 5_W;
+    cfg.migration_cost = 2_W;
+    return cfg;
+  }
+};
+
+TEST(GroupCircuitLimit, Validation) {
+  Fixture f;
+  EXPECT_THROW(f.cluster.set_group_circuit_limit(f.s00, 100_W),
+               std::invalid_argument);
+  EXPECT_THROW(f.cluster.set_group_circuit_limit(f.rack0, Watts{-1.0}),
+               std::invalid_argument);
+  EXPECT_FALSE(f.cluster.group_circuit_limit(f.rack0).has_value());
+  f.cluster.set_group_circuit_limit(f.rack0, 150_W);
+  ASSERT_TRUE(f.cluster.group_circuit_limit(f.rack0).has_value());
+  EXPECT_DOUBLE_EQ(f.cluster.group_circuit_limit(f.rack0)->value(), 150.0);
+}
+
+TEST(GroupCircuitLimit, CapsRackBudget) {
+  Fixture f;
+  f.host(f.s00, 200.0);
+  f.host(f.s01, 200.0);
+  f.cluster.set_group_circuit_limit(f.rack0, 150_W);
+  Controller ctl(f.cluster, f.config());
+  ctl.tick(Watts{2000.0});
+  const auto& tree = f.cluster.tree();
+  EXPECT_LE(tree.node(f.rack0).budget().value(), 150.0 + 1e-6);
+  EXPECT_LE(tree.node(f.s00).budget().value() +
+                tree.node(f.s01).budget().value(),
+            150.0 + 1e-6);
+  // The unconstrained rack is unaffected.
+  EXPECT_GT(tree.node(f.rack1).budget().value(), 150.0);
+}
+
+TEST(GroupCircuitLimit, PushesWorkloadOutOfTheRack) {
+  Fixture f;
+  f.host(f.s00, 100.0);
+  f.host(f.s01, 100.0);
+  f.cluster.set_group_circuit_limit(f.rack0, 150_W);  // < 220 W of demand
+  Controller ctl(f.cluster, f.config());
+  for (int t = 0; t < 8; ++t) ctl.tick(Watts{2000.0});
+  // Something crossed into rack1, and nothing was dropped: the feed binds
+  // but the fleet has room.
+  bool crossed = false;
+  for (NodeId s : {f.s10, f.s11}) {
+    crossed |= !f.cluster.server(s).apps().empty();
+  }
+  EXPECT_TRUE(crossed);
+  EXPECT_EQ(ctl.stats().drops, 0u);
+  // Post-migration, the rack lives within its rating.
+  const auto& tree = f.cluster.tree();
+  const double rack0_demand = tree.node(f.rack0).smoothed_demand().value();
+  EXPECT_LE(rack0_demand, 150.0 + 1e-6);
+}
+
+TEST(GroupCircuitLimit, RootRatingCapsEverything) {
+  Fixture f;
+  f.host(f.s00, 50.0);
+  f.host(f.s10, 50.0);
+  f.cluster.set_group_circuit_limit(f.root, 100_W);
+  Controller ctl(f.cluster, f.config());
+  ctl.tick(Watts{5000.0});
+  EXPECT_LE(f.cluster.tree().node(f.root).budget().value(), 100.0 + 1e-6);
+}
+
+TEST(GroupCircuitLimit, GenerousRatingNeverBinds) {
+  Fixture f;
+  f.host(f.s00, 100.0);
+  f.cluster.set_group_circuit_limit(f.rack0, Watts{5000.0});
+  Controller ctl(f.cluster, f.config());
+  ctl.tick(Watts{2000.0});
+  // Hard limit is still the sum of the children (2 x 450).
+  EXPECT_NEAR(f.cluster.tree().node(f.rack0).hard_limit().value(), 900.0, 1.0);
+}
+
+}  // namespace
+}  // namespace willow::core

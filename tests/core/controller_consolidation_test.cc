@@ -1,0 +1,191 @@
+// Consolidation (Sec. IV-C/IV-E/V-C5): draining low-utilization servers into
+// siblings, sleeping them, all-or-nothing placement, and waking on demand.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+
+namespace willow::core {
+namespace {
+
+using namespace willow::util::literals;
+using workload::Application;
+
+ServerConfig lax_server() {
+  ServerConfig cfg;
+  cfg.thermal.c1 = 1e-4;
+  cfg.thermal.c2 = 1.0;
+  cfg.thermal.ambient = 25_degC;
+  cfg.thermal.limit = 70_degC;
+  cfg.thermal.nameplate = 450_W;
+  cfg.power_model = power::ServerPowerModel(10_W, 450_W);
+  return cfg;
+}
+
+struct Fixture {
+  Cluster cluster{1.0};
+  NodeId root, rack0, s00, s01;
+  workload::AppIdAllocator ids;
+
+  Fixture() {
+    root = cluster.add_root("dc");
+    rack0 = cluster.add_group(root, "rack0");
+    s00 = cluster.add_server(rack0, "s00", lax_server());
+    s01 = cluster.add_server(rack0, "s01", lax_server());
+  }
+
+  workload::AppId host(NodeId server, double watts) {
+    const auto id = ids.next();
+    cluster.place(Application(id, 0, Watts{watts}, 512_MB), server);
+    return id;
+  }
+
+  ControllerConfig config() {
+    ControllerConfig cfg;
+    cfg.margin = 5_W;
+    cfg.migration_cost = 2_W;
+    cfg.consolidation_threshold = 0.2;  // the testbed's 20%
+    return cfg;
+  }
+};
+
+TEST(Consolidation, LowUtilizationServerDrainedAndSlept) {
+  Fixture f;
+  f.host(f.s00, 170.0);  // ~39% of the 440 W dynamic range
+  f.host(f.s01, 20.0);   // ~4.5%: candidate
+  Controller ctl(f.cluster, f.config());
+  for (int t = 1; t <= 7; ++t) ctl.tick(880_W);  // ΔA fires at tick 7
+  EXPECT_TRUE(f.cluster.server(f.s01).asleep());
+  EXPECT_EQ(ctl.stats().sleeps, 1u);
+  EXPECT_GT(ctl.stats().consolidation_migrations, 0u);
+  // The drained app now lives on s00.
+  EXPECT_EQ(f.cluster.server(f.s00).apps().size(), 2u);
+  EXPECT_DOUBLE_EQ(f.cluster.tree().node(f.s01).budget().value(), 0.0);
+  // Migration records carry the consolidation cause.
+  bool saw_consolidation = false;
+  for (const auto& r : ctl.migrations_this_tick()) {
+    if (r.cause == MigrationCause::kConsolidation) saw_consolidation = true;
+  }
+  EXPECT_TRUE(saw_consolidation);
+}
+
+TEST(Consolidation, DoesNotFireBeforeDeltaA) {
+  Fixture f;
+  f.host(f.s00, 170.0);
+  f.host(f.s01, 20.0);
+  Controller ctl(f.cluster, f.config());
+  for (int t = 1; t <= 6; ++t) ctl.tick(880_W);
+  EXPECT_FALSE(f.cluster.server(f.s01).asleep());
+  EXPECT_EQ(ctl.stats().consolidation_migrations, 0u);
+}
+
+TEST(Consolidation, BusyServersAreNotCandidates) {
+  Fixture f;
+  f.host(f.s00, 170.0);
+  f.host(f.s01, 160.0);  // 36%: above the 20% threshold
+  Controller ctl(f.cluster, f.config());
+  for (int t = 1; t <= 14; ++t) ctl.tick(880_W);
+  EXPECT_FALSE(f.cluster.server(f.s00).asleep());
+  EXPECT_FALSE(f.cluster.server(f.s01).asleep());
+  EXPECT_EQ(ctl.stats().sleeps, 0u);
+}
+
+TEST(Consolidation, AllOrNothingPlacement) {
+  Fixture f;
+  // s01 idles at 18% with three 27 W apps; s00 has surplus for barely one.
+  f.host(f.s00, 400.0);  // 91%: surplus under an ample budget is small
+  f.host(f.s01, 27.0);
+  f.host(f.s01, 27.0);
+  f.host(f.s01, 27.0);
+  Controller ctl(f.cluster, f.config());
+  for (int t = 1; t <= 14; ++t) ctl.tick(600_W);
+  // Everything-or-nothing: s01 must still host all three apps.
+  EXPECT_FALSE(f.cluster.server(f.s01).asleep());
+  EXPECT_EQ(f.cluster.server(f.s01).apps().size(), 3u);
+  EXPECT_EQ(ctl.stats().consolidation_migrations, 0u);
+}
+
+TEST(Consolidation, EmptyServerSleepsDirectly) {
+  Fixture f;
+  f.host(f.s00, 170.0);
+  Controller ctl(f.cluster, f.config());
+  for (int t = 1; t <= 7; ++t) ctl.tick(880_W);
+  EXPECT_TRUE(f.cluster.server(f.s01).asleep());
+  EXPECT_EQ(ctl.stats().consolidation_migrations, 0u);  // nothing to move
+  EXPECT_EQ(ctl.stats().sleeps, 1u);
+}
+
+TEST(Consolidation, StarvedServerIsNotMistakenForIdle) {
+  // A server whose *budget* is tiny but whose demand is high must not be
+  // consolidated away (utilization is measured against demand, not budget).
+  Fixture f;
+  f.host(f.s00, 200.0);
+  f.host(f.s01, 200.0);
+  ControllerConfig cfg = f.config();
+  cfg.allow_drop = false;  // keep the demand standing instead of degrading
+  Controller ctl(f.cluster, cfg);
+  for (int t = 1; t <= 14; ++t) ctl.tick(100_W);  // heavy starvation
+  EXPECT_EQ(ctl.stats().sleeps, 0u);
+}
+
+TEST(Consolidation, WakeOnUnplaceableDemand) {
+  Fixture f;
+  f.host(f.s00, 170.0);
+  f.host(f.s01, 20.0);
+  ControllerConfig cfg = f.config();
+  Controller ctl(f.cluster, cfg);
+  for (int t = 1; t <= 7; ++t) ctl.tick(880_W);
+  ASSERT_TRUE(f.cluster.server(f.s01).asleep());
+  // New heavy workload arrives on s00: its budget cannot stretch (capacity
+  // cap of the single awake server), so the controller wakes s01.
+  f.host(f.s00, 400.0);
+  for (int t = 8; t <= 16; ++t) ctl.tick(880_W);
+  EXPECT_GT(ctl.stats().wakes, 0u);
+  EXPECT_FALSE(f.cluster.server(f.s01).asleep());
+  // And the woken server actually received workload.
+  EXPECT_FALSE(f.cluster.server(f.s01).apps().empty());
+}
+
+TEST(Consolidation, DisabledWakeLeavesServerAsleep) {
+  Fixture f;
+  f.host(f.s00, 170.0);
+  f.host(f.s01, 20.0);
+  ControllerConfig cfg = f.config();
+  cfg.allow_wake = false;
+  Controller ctl(f.cluster, cfg);
+  for (int t = 1; t <= 7; ++t) ctl.tick(880_W);
+  ASSERT_TRUE(f.cluster.server(f.s01).asleep());
+  f.host(f.s00, 400.0);
+  for (int t = 8; t <= 16; ++t) ctl.tick(880_W);
+  EXPECT_EQ(ctl.stats().wakes, 0u);
+  EXPECT_TRUE(f.cluster.server(f.s01).asleep());
+  EXPECT_GT(ctl.stats().drops, 0u);  // demand had to degrade instead
+}
+
+TEST(Consolidation, IdleServersMergeIntoBusyOneNeverIntoSleepers) {
+  // Three servers: the two low-utilization ones drain into the busy one.
+  // Migration targets must end the tick awake (no migrating onto a server
+  // that then sleeps — the intra-tick ping-pong guard).
+  Fixture f;
+  const NodeId s02 = f.cluster.add_server(f.rack0, "s02", lax_server());
+  f.host(f.s00, 30.0);
+  f.host(f.s01, 25.0);
+  f.host(s02, 170.0);
+  Controller ctl(f.cluster, f.config());
+  for (int t = 1; t <= 7; ++t) ctl.tick(Watts{1320.0});
+  EXPECT_FALSE(f.cluster.server(s02).asleep());
+  for (const auto& r : ctl.migrations_this_tick()) {
+    EXPECT_FALSE(f.cluster.server(r.to).asleep())
+        << "migrated onto a server that then slept";
+  }
+  // All three applications survive, hosted on awake servers.
+  std::size_t hosted = 0;
+  for (NodeId s : f.cluster.server_ids()) {
+    if (!f.cluster.server(s).asleep()) {
+      hosted += f.cluster.server(s).apps().size();
+    }
+  }
+  EXPECT_EQ(hosted, 3u);
+}
+
+}  // namespace
+}  // namespace willow::core

@@ -1,0 +1,202 @@
+// Escalation through a 4-level hierarchy (datacenter -> zones -> racks ->
+// servers): locality is preferred level by level, and the unidirectional
+// rule gates zone boundaries, not just racks.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+
+namespace willow::core {
+namespace {
+
+using namespace willow::util::literals;
+using workload::Application;
+
+ServerConfig lax_server() {
+  ServerConfig cfg;
+  cfg.thermal.c1 = 1e-4;
+  cfg.thermal.c2 = 1.0;
+  cfg.thermal.ambient = 25_degC;
+  cfg.thermal.limit = 70_degC;
+  cfg.thermal.nameplate = 450_W;
+  cfg.power_model = power::ServerPowerModel(10_W, 450_W);
+  return cfg;
+}
+
+/// datacenter -> 2 zones -> 2 racks each -> 2 servers each (8 servers).
+struct DeepFixture {
+  Cluster cluster{1.0};
+  NodeId root;
+  NodeId zone[2];
+  NodeId rack[2][2];
+  NodeId server[2][2][2];
+  workload::AppIdAllocator ids;
+
+  DeepFixture() {
+    root = cluster.add_root("dc");
+    for (int z = 0; z < 2; ++z) {
+      zone[z] = cluster.add_group(root, "zone" + std::to_string(z),
+                                  hier::NodeKind::kGeneric);
+      for (int r = 0; r < 2; ++r) {
+        rack[z][r] = cluster.add_group(zone[z], "rack");
+        for (int s = 0; s < 2; ++s) {
+          server[z][r][s] = cluster.add_server(rack[z][r], "srv", lax_server());
+        }
+      }
+    }
+  }
+
+  void host(NodeId where, double watts) {
+    cluster.place(Application(ids.next(), 0, Watts{watts}, 512_MB), where);
+  }
+
+  ControllerConfig config() {
+    ControllerConfig cfg;
+    cfg.margin = 2_W;
+    cfg.migration_cost = 1_W;
+    cfg.allocation = AllocationPolicy::kProportionalToCapacity;
+    return cfg;
+  }
+
+  [[nodiscard]] bool in_zone(NodeId node, int z) const {
+    return cluster.tree().is_ancestor(zone[z], node);
+  }
+};
+
+TEST(DeepHierarchy, FourLevelsAndPaperNumbering) {
+  DeepFixture f;
+  EXPECT_EQ(f.cluster.tree().height(), 4);
+  EXPECT_EQ(f.cluster.server_ids().size(), 8u);
+  EXPECT_EQ(f.cluster.tree().level_of(f.server[0][0][0]), 0);
+  EXPECT_EQ(f.cluster.tree().level_of(f.rack[0][0]), 1);
+  EXPECT_EQ(f.cluster.tree().level_of(f.zone[0]), 2);
+  EXPECT_EQ(f.cluster.tree().level_of(f.root), 3);
+}
+
+TEST(DeepHierarchy, EscalationPrefersSameZone) {
+  DeepFixture f;
+  f.host(f.server[0][0][0], 80.0);
+  f.host(f.server[0][0][0], 80.0);  // s000: 170 W, deficit at 100 W budget
+  f.host(f.server[0][0][1], 80.0);  // local sibling full
+  f.host(f.server[0][1][1], 80.0);  // other zone-0 rack: one full server...
+  // ...but server[0][1][0] idles: the zone-0 berth that must win over zone 1.
+  Controller ctl(f.cluster, f.config());
+  ctl.tick(800_W);  // 100 W per server
+  ASSERT_FALSE(ctl.migrations_this_tick().empty());
+  for (const auto& rec : ctl.migrations_this_tick()) {
+    EXPECT_EQ(rec.to, f.server[0][1][0]) << "expected the same-zone berth";
+    EXPECT_TRUE(f.in_zone(rec.to, 0));
+    EXPECT_FALSE(rec.local);  // crosses racks within the zone
+  }
+  EXPECT_EQ(ctl.stats().drops, 0u);
+}
+
+TEST(DeepHierarchy, RootEscalationWhenOwnZoneFull) {
+  DeepFixture f;
+  f.host(f.server[0][0][0], 80.0);
+  f.host(f.server[0][0][0], 80.0);  // deficit source
+  f.host(f.server[0][0][1], 80.0);
+  f.host(f.server[0][1][0], 80.0);
+  f.host(f.server[0][1][1], 80.0);  // zone 0 entirely without surplus
+  Controller ctl(f.cluster, f.config());
+  ctl.tick(800_W);
+  ASSERT_FALSE(ctl.migrations_this_tick().empty());
+  for (const auto& rec : ctl.migrations_this_tick()) {
+    EXPECT_TRUE(f.in_zone(rec.to, 1)) << "only zone 1 had surplus";
+  }
+}
+
+TEST(DeepHierarchy, PlungeBlocksCrossZoneIntoDeficitZone) {
+  DeepFixture f;
+  // Zone 0: one overloaded server, three loaded ones (zone-wide deficit
+  // after the plunge, no internal surplus).
+  f.host(f.server[0][0][0], 40.0);
+  f.host(f.server[0][0][0], 40.0);
+  f.host(f.server[0][0][0], 40.0);
+  f.host(f.server[0][0][0], 40.0);  // 170 W
+  f.host(f.server[0][0][1], 80.0);
+  f.host(f.server[0][1][0], 80.0);
+  f.host(f.server[0][1][1], 80.0);
+  // Zone 1: one overloaded rack, one idle rack (individual surpluses that
+  // the rule must fence off because zone 1 is reduced AND deficient).
+  f.host(f.server[1][0][0], 80.0);
+  f.host(f.server[1][0][0], 80.0);  // 170 W
+  f.host(f.server[1][0][1], 80.0);
+  Controller ctl(f.cluster, f.config());
+  ctl.tick(Watts{1600.0});  // comfortable: 200 W per server
+  ctl.tick(Watts{1600.0});
+  ctl.tick(Watts{1600.0});
+  ctl.tick(Watts{480.0});  // ΔS plunge: 60 W per server
+  EXPECT_TRUE(ctl.budget_reduced(f.zone[0]));
+  EXPECT_TRUE(ctl.budget_reduced(f.zone[1]));
+  for (const auto& rec : ctl.migrations_this_tick()) {
+    // Nothing may cross from zone 0 into zone 1 or vice versa.
+    EXPECT_EQ(f.in_zone(rec.from, 0), f.in_zone(rec.to, 0))
+        << "migration crossed a reduced, deficient zone boundary";
+  }
+  EXPECT_GT(ctl.stats().drops, 0u);
+}
+
+TEST(DeepHierarchy, DisabledRuleAllowsCrossZone) {
+  DeepFixture f;
+  f.host(f.server[0][0][0], 40.0);
+  f.host(f.server[0][0][0], 40.0);
+  f.host(f.server[0][0][0], 40.0);
+  f.host(f.server[0][0][0], 40.0);
+  f.host(f.server[0][0][1], 80.0);
+  f.host(f.server[0][1][0], 80.0);
+  f.host(f.server[0][1][1], 80.0);
+  f.host(f.server[1][0][0], 80.0);
+  f.host(f.server[1][0][0], 80.0);
+  f.host(f.server[1][0][1], 80.0);
+  ControllerConfig cfg = f.config();
+  cfg.enforce_unidirectional = false;
+  Controller ctl(f.cluster, cfg);
+  ctl.tick(Watts{1600.0});
+  ctl.tick(Watts{1600.0});
+  ctl.tick(Watts{1600.0});
+  ctl.tick(Watts{480.0});
+  bool crossed_zone = false;
+  for (const auto& rec : ctl.migrations_this_tick()) {
+    if (f.in_zone(rec.from, 0) != f.in_zone(rec.to, 0)) crossed_zone = true;
+  }
+  EXPECT_TRUE(crossed_zone) << "zone 1's idle rack should absorb overflow";
+}
+
+TEST(DeepHierarchy, Property3HoldsAcrossFourLevels) {
+  DeepFixture f;
+  f.host(f.server[0][0][0], 50.0);
+  Controller ctl(f.cluster, f.config());
+  for (int t = 0; t < 12; ++t) ctl.tick(Watts{1600.0});
+  const auto& tree = f.cluster.tree();
+  for (NodeId id : tree.all_nodes()) {
+    if (tree.node(id).is_root()) continue;
+    const auto& link = tree.node(id).link();
+    EXPECT_EQ(link.up, 12u);
+    EXPECT_EQ(link.down, 4u);  // supply events at ticks 1, 4, 8, 12
+    EXPECT_LE(link.up + link.down, 24u);
+  }
+}
+
+TEST(DeepHierarchy, BudgetsNestThroughEveryLevel) {
+  DeepFixture f;
+  for (int z = 0; z < 2; ++z) {
+    for (int r = 0; r < 2; ++r) {
+      for (int s = 0; s < 2; ++s) f.host(f.server[z][r][s], 30.0 + 10 * z);
+    }
+  }
+  Controller ctl(f.cluster, f.config());
+  for (int t = 0; t < 10; ++t) {
+    ctl.tick(Watts{300.0 + 50.0 * t});
+    const auto& tree = f.cluster.tree();
+    for (NodeId id : tree.all_nodes()) {
+      const auto& n = tree.node(id);
+      if (n.is_leaf()) continue;
+      double sum = 0.0;
+      for (NodeId c : n.children()) sum += tree.node(c).budget().value();
+      ASSERT_LE(sum, n.budget().value() + 1e-6) << "node " << id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace willow::core

@@ -1,0 +1,167 @@
+// Remaining controller branches: supply cadence with non-default eta,
+// consolidation without locality preference, revival blocked under reduced
+// ancestors, and capacity-policy interplay with circuit limits.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+
+namespace willow::core {
+namespace {
+
+using namespace willow::util::literals;
+using workload::Application;
+
+ServerConfig lax_server() {
+  ServerConfig cfg;
+  cfg.thermal.c1 = 1e-4;
+  cfg.thermal.c2 = 1.0;
+  cfg.thermal.ambient = 25_degC;
+  cfg.thermal.limit = 70_degC;
+  cfg.thermal.nameplate = 450_W;
+  cfg.power_model = power::ServerPowerModel(10_W, 450_W);
+  return cfg;
+}
+
+struct Fixture {
+  Cluster cluster{1.0};
+  NodeId root, rack0, rack1, s00, s01, s10, s11;
+  workload::AppIdAllocator ids;
+
+  Fixture() {
+    root = cluster.add_root("dc");
+    rack0 = cluster.add_group(root, "rack0");
+    rack1 = cluster.add_group(root, "rack1");
+    s00 = cluster.add_server(rack0, "s00", lax_server());
+    s01 = cluster.add_server(rack0, "s01", lax_server());
+    s10 = cluster.add_server(rack1, "s10", lax_server());
+    s11 = cluster.add_server(rack1, "s11", lax_server());
+  }
+
+  workload::AppId host(NodeId server, double watts) {
+    const auto id = ids.next();
+    cluster.place(Application(id, 0, Watts{watts}, 512_MB), server);
+    return id;
+  }
+};
+
+TEST(SupplyCadence, CustomEtaOneControlsDownMessages) {
+  Fixture f;
+  f.host(f.s00, 50.0);
+  ControllerConfig cfg;
+  cfg.eta1 = 2;
+  cfg.eta2 = 5;
+  Controller ctl(f.cluster, cfg);
+  for (int t = 0; t < 9; ++t) ctl.tick(400_W);
+  // Supply events at ticks 1, 2, 4, 6, 8 -> 5 downward directives per link.
+  for (NodeId id : f.cluster.tree().all_nodes()) {
+    if (f.cluster.tree().node(id).is_root()) continue;
+    EXPECT_EQ(f.cluster.tree().node(id).link().down, 5u);
+  }
+}
+
+TEST(Consolidation, GlobalScopeWhenLocalityDisabled) {
+  Fixture f;
+  f.host(f.s00, 170.0);
+  f.host(f.s10, 20.0);  // candidate in the *other* rack
+  ControllerConfig cfg;
+  cfg.margin = 5_W;
+  cfg.migration_cost = 2_W;
+  cfg.prefer_local = false;
+  Controller ctl(f.cluster, cfg);
+  for (int t = 1; t <= 7; ++t) ctl.tick(Watts{1760.0});
+  EXPECT_TRUE(f.cluster.server(f.s10).asleep());
+  // With no locality preference the drained app may land anywhere; it must
+  // land exactly once.
+  std::size_t hosted = 0;
+  for (NodeId s : f.cluster.server_ids()) {
+    hosted += f.cluster.server(s).apps().size();
+  }
+  EXPECT_EQ(hosted, 2u);
+}
+
+TEST(Revival, BlockedWhileAncestorReduced) {
+  Fixture f;
+  const auto victim = f.host(f.s00, 100.0);
+  f.host(f.s01, 100.0);
+  f.host(f.s10, 100.0);
+  f.host(f.s11, 100.0);
+  ControllerConfig cfg;
+  cfg.margin = 5_W;
+  cfg.allocation = AllocationPolicy::kProportionalToCapacity;
+  Controller ctl(f.cluster, cfg);
+  ctl.tick(Watts{200.0});  // starve: drops everywhere
+  ASSERT_TRUE(f.cluster.find_app(victim)->dropped());
+  // Tick 2-3: budgets unchanged (not a supply period), but the reduced
+  // flags from tick 1... tick 1 set budgets from 0 -> not reduced.  Force a
+  // reducing event and verify revival stays blocked while flags stand even
+  // though headroom exists.
+  f.cluster.refresh_demands_constant();
+  ctl.tick(Watts{195.0});  // tick 2: no ΔS; flags as before
+  ctl.force_supply_adaptation(Watts{190.0});  // everything reduced
+  ASSERT_TRUE(ctl.budget_reduced(f.root));
+  const auto revivals_before = ctl.stats().revivals;
+  f.cluster.refresh_demands_constant();
+  ctl.tick(Watts{190.0});  // tick 3: no ΔS; reduced flags persist
+  EXPECT_EQ(ctl.stats().revivals, revivals_before);
+}
+
+TEST(Revival, ProceedsOnceFlagsClear) {
+  Fixture f;
+  const auto victim = f.host(f.s00, 100.0);
+  f.host(f.s01, 100.0);
+  ControllerConfig cfg;
+  cfg.margin = 5_W;
+  cfg.allocation = AllocationPolicy::kProportionalToCapacity;
+  Controller ctl(f.cluster, cfg);
+  ctl.tick(Watts{100.0});
+  ASSERT_TRUE(f.cluster.find_app(victim)->dropped());
+  for (int t = 0; t < 8; ++t) {
+    f.cluster.refresh_demands_constant();
+    ctl.tick(Watts{500.0});
+  }
+  EXPECT_FALSE(f.cluster.find_app(victim)->dropped());
+}
+
+TEST(CapacityPolicy, CircuitCapsShiftEqualShares) {
+  // Capacity-proportional shares follow hard limits: a server with a small
+  // circuit rating gets proportionally less even with identical demand.
+  ServerConfig small = lax_server();
+  small.circuit_limit = 100_W;
+  Fixture f;
+  const NodeId capped = f.cluster.add_server(f.rack0, "capped", small);
+  f.host(capped, 50.0);
+  f.host(f.s00, 50.0);
+  ControllerConfig cfg;
+  cfg.allocation = AllocationPolicy::kProportionalToCapacity;
+  Controller ctl(f.cluster, cfg);
+  ctl.tick(Watts{5000.0});
+  const auto& tree = f.cluster.tree();
+  EXPECT_LE(tree.node(capped).budget().value(), 100.0 + 1e-6);
+  EXPECT_GT(tree.node(f.s00).budget().value(),
+            tree.node(capped).budget().value());
+}
+
+TEST(Wake, SkippedWhenNoHeadroom) {
+  // A sleeping server exists but the supply is fully consumed by the awake
+  // ones: waking would help nobody, so the controller must not thrash.
+  Fixture f;
+  f.host(f.s00, 170.0);
+  f.host(f.s01, 20.0);
+  ControllerConfig cfg;
+  cfg.margin = 5_W;
+  Controller ctl(f.cluster, cfg);
+  for (int t = 1; t <= 7; ++t) ctl.tick(Watts{1760.0});
+  // Consolidation put some servers to sleep under plenty.
+  ASSERT_GT(ctl.stats().sleeps, 0u);
+  // Now cut the supply to exactly what the two loaded apps need: deficits
+  // appear but waking adds no supply.
+  const auto wakes_before = ctl.stats().wakes;
+  for (int t = 0; t < 8; ++t) {
+    f.cluster.refresh_demands_constant();
+    ctl.tick(Watts{120.0});
+  }
+  EXPECT_EQ(ctl.stats().wakes, wakes_before);
+}
+
+}  // namespace
+}  // namespace willow::core

@@ -1,0 +1,235 @@
+// Supply-side adaptation (Sec. IV-D): proportional division, hard
+// constraints, budget-reduction marking, and message accounting.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+
+namespace willow::core {
+namespace {
+
+using namespace willow::util::literals;
+using workload::Application;
+
+ServerConfig lax_server() {
+  // Thermal never binds: tiny heating coefficient, fast cooling.
+  ServerConfig cfg;
+  cfg.thermal.c1 = 1e-4;
+  cfg.thermal.c2 = 1.0;
+  cfg.thermal.ambient = 25_degC;
+  cfg.thermal.limit = 70_degC;
+  cfg.thermal.nameplate = 450_W;
+  cfg.power_model = power::ServerPowerModel(10_W, 450_W);
+  return cfg;
+}
+
+struct Fixture {
+  Cluster cluster{1.0};
+  NodeId root, rack0, rack1, s00, s01, s10, s11;
+  workload::AppIdAllocator ids;
+
+  explicit Fixture(const ServerConfig& cfg = lax_server()) {
+    root = cluster.add_root("dc");
+    rack0 = cluster.add_group(root, "rack0");
+    rack1 = cluster.add_group(root, "rack1");
+    s00 = cluster.add_server(rack0, "s00", cfg);
+    s01 = cluster.add_server(rack0, "s01", cfg);
+    s10 = cluster.add_server(rack1, "s10", cfg);
+    s11 = cluster.add_server(rack1, "s11", cfg);
+  }
+
+  void host(NodeId server, double watts) {
+    cluster.place(Application(ids.next(), 0, Watts{watts}, 512_MB), server);
+  }
+
+  ControllerConfig config() {
+    ControllerConfig cfg;
+    cfg.margin = 5_W;
+    cfg.migration_cost = 2_W;
+    cfg.allow_drop = false;  // keep supply tests free of drop side-effects
+    return cfg;
+  }
+
+  double budget(NodeId id) { return cluster.tree().node(id).budget().value(); }
+};
+
+TEST(ControllerConfig, Validation) {
+  ControllerConfig cfg;
+  cfg.eta1 = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = ControllerConfig{};
+  cfg.eta2 = cfg.eta1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = ControllerConfig{};
+  cfg.margin = Watts{-1.0};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = ControllerConfig{};
+  cfg.consolidation_threshold = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = ControllerConfig{};
+  cfg.demand_period = Seconds{0.0};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = ControllerConfig{};
+  cfg.migration_cost_periods = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(ControllerConfig{}.validate());
+}
+
+TEST(SupplyAdaptation, DeficitDividedProportionalToDemand) {
+  Fixture f;
+  f.host(f.s00, 90.0);   // reports 100 with idle floor
+  f.host(f.s01, 30.0);   // 40
+  f.host(f.s10, 40.0);   // 50
+  /* s11 idle */         // 10
+  Controller ctl(f.cluster, f.config());
+  ctl.tick(100_W);  // total demand 200, supply 100
+  EXPECT_NEAR(f.budget(f.root), 100.0, 1e-6);
+  EXPECT_NEAR(f.budget(f.rack0), 70.0, 1e-6);  // demand 140 of 200
+  EXPECT_NEAR(f.budget(f.rack1), 30.0, 1e-6);
+  EXPECT_NEAR(f.budget(f.s00), 50.0, 1e-6);
+  EXPECT_NEAR(f.budget(f.s01), 20.0, 1e-6);
+  EXPECT_NEAR(f.budget(f.s10), 25.0, 1e-6);
+  EXPECT_NEAR(f.budget(f.s11), 5.0, 1e-6);
+}
+
+TEST(SupplyAdaptation, SurplusRegimeSatisfiesAllDemands) {
+  Fixture f;
+  f.host(f.s00, 90.0);
+  f.host(f.s01, 30.0);
+  f.host(f.s10, 40.0);
+  Controller ctl(f.cluster, f.config());
+  ctl.tick(400_W);
+  EXPECT_GE(f.budget(f.s00), 100.0 - 1e-6);
+  EXPECT_GE(f.budget(f.s01), 40.0 - 1e-6);
+  EXPECT_GE(f.budget(f.s10), 50.0 - 1e-6);
+  const double sum = f.budget(f.s00) + f.budget(f.s01) + f.budget(f.s10) +
+                     f.budget(f.s11);
+  EXPECT_LE(sum, 400.0 + 1e-6);
+}
+
+TEST(SupplyAdaptation, RootBudgetCappedByAggregateHardLimit) {
+  Fixture f;
+  f.host(f.s00, 50.0);
+  Controller ctl(f.cluster, f.config());
+  ctl.tick(Watts{99999.0});
+  // 4 servers x 450 W nameplate/circuit.
+  EXPECT_NEAR(f.budget(f.root), 4 * 450.0, 1.0);
+}
+
+TEST(SupplyAdaptation, CircuitLimitCapsAndRedirects) {
+  ServerConfig capped = lax_server();
+  capped.circuit_limit = 60_W;
+  Fixture f;
+  // Replace s00's config by adding a capped server to rack0 instead.
+  const NodeId capped_server = f.cluster.add_server(f.rack0, "capped", capped);
+  f.host(capped_server, 200.0);  // wants 210
+  f.host(f.s00, 100.0);          // wants 110
+  Controller ctl(f.cluster, f.config());
+  ctl.tick(Watts{2000.0});
+  EXPECT_LE(f.budget(capped_server), 60.0 + 1e-6);
+  // The excess flows to siblings rather than evaporating.
+  EXPECT_GE(f.budget(f.s00), 110.0 - 1e-6);
+}
+
+TEST(SupplyAdaptation, CapacityProportionalPolicyGivesEqualSharesToTwins) {
+  Fixture f;
+  f.host(f.s00, 200.0);
+  f.host(f.s01, 20.0);
+  auto cfg = f.config();
+  cfg.allocation = AllocationPolicy::kProportionalToCapacity;
+  Controller ctl(f.cluster, cfg);
+  ctl.tick(400_W);
+  // Identical capacities => equal division regardless of demand.
+  EXPECT_NEAR(f.budget(f.s00), f.budget(f.s01), 1e-6);
+  EXPECT_NEAR(f.budget(f.rack0), f.budget(f.rack1), 1e-6);
+}
+
+TEST(SupplyAdaptation, BudgetReducedFlagsMarkTightening) {
+  Fixture f;
+  f.host(f.s00, 90.0);
+  f.host(f.s10, 90.0);
+  Controller ctl(f.cluster, f.config());
+  ctl.tick(400_W);
+  EXPECT_FALSE(ctl.budget_reduced(f.root));
+  ctl.force_supply_adaptation(150_W);
+  EXPECT_TRUE(ctl.budget_reduced(f.root));
+  EXPECT_TRUE(ctl.budget_reduced(f.rack0));
+  EXPECT_TRUE(ctl.budget_reduced(f.s00));
+}
+
+TEST(SupplyAdaptation, IncreaseClearsReducedFlags) {
+  Fixture f;
+  f.host(f.s00, 90.0);
+  Controller ctl(f.cluster, f.config());
+  ctl.tick(100_W);
+  ctl.force_supply_adaptation(50_W);
+  EXPECT_TRUE(ctl.budget_reduced(f.s00));
+  ctl.force_supply_adaptation(300_W);
+  EXPECT_FALSE(ctl.budget_reduced(f.s00));
+  EXPECT_FALSE(ctl.budget_reduced(f.root));
+}
+
+TEST(SupplyAdaptation, SleepingServersGetNoBudget) {
+  Fixture f;
+  f.host(f.s00, 90.0);
+  f.cluster.sleep_server(f.s11);
+  Controller ctl(f.cluster, f.config());
+  ctl.tick(400_W);
+  EXPECT_DOUBLE_EQ(f.budget(f.s11), 0.0);
+}
+
+TEST(SupplyAdaptation, BudgetsNestWithinParents) {
+  Fixture f;
+  f.host(f.s00, 120.0);
+  f.host(f.s01, 60.0);
+  f.host(f.s10, 30.0);
+  Controller ctl(f.cluster, f.config());
+  for (int t = 0; t < 10; ++t) {
+    ctl.tick(Watts{180.0 + 20.0 * t});
+    const auto& tree = f.cluster.tree();
+    for (NodeId id : tree.all_nodes()) {
+      const auto& n = tree.node(id);
+      if (n.is_leaf()) continue;
+      double child_sum = 0.0;
+      for (NodeId c : n.children()) child_sum += tree.node(c).budget().value();
+      EXPECT_LE(child_sum, n.budget().value() + 1e-6);
+    }
+  }
+}
+
+TEST(SupplyAdaptation, ThermalClampReducesHotServerBudget) {
+  // A server already at its thermal limit gets its budget clamped to the
+  // (small) holdable power even mid-supply-period.
+  ServerConfig hot = lax_server();
+  hot.thermal.c1 = 0.08;
+  hot.thermal.c2 = 0.05;
+  Fixture f(hot);
+  f.host(f.s00, 200.0);
+  Controller ctl(f.cluster, f.config());
+  ctl.tick(Watts{2000.0});  // cold start: generous budget
+  EXPECT_GT(f.budget(f.s00), 100.0);
+  // The server heats to its ceiling between supply periods; the next demand
+  // period clamps the budget locally without waiting for ΔS.
+  f.cluster.server(f.s00).thermal().set_temperature(70_degC);
+  ctl.tick(Watts{2000.0});  // tick 2: not a supply period
+  // Holdable power at the limit ~ steady-state level (c2/c1 * 45 = 28 W).
+  EXPECT_LE(f.budget(f.s00), 30.0);
+  EXPECT_TRUE(ctl.budget_reduced(f.s00));
+}
+
+TEST(SupplyAdaptation, MessageCountsObeyProperty3) {
+  Fixture f;
+  f.host(f.s00, 50.0);
+  Controller ctl(f.cluster, f.config());
+  for (int t = 0; t < 8; ++t) ctl.tick(300_W);
+  const auto& tree = f.cluster.tree();
+  for (NodeId id : tree.all_nodes()) {
+    if (tree.node(id).is_root()) continue;
+    const auto& link = tree.node(id).link();
+    EXPECT_EQ(link.up, 8u);                  // one report per ΔD
+    EXPECT_EQ(link.down, 3u);                // supply events at ticks 1, 4, 8
+    EXPECT_LE(link.up + link.down, 2u * 8u); // Property 3
+  }
+}
+
+}  // namespace
+}  // namespace willow::core

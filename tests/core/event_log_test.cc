@@ -1,0 +1,171 @@
+// The controller's per-tick decision log: every action appears, in order,
+// with a readable rendering.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+
+namespace willow::core {
+namespace {
+
+using namespace willow::util::literals;
+using workload::Application;
+
+ServerConfig lax_server() {
+  ServerConfig cfg;
+  cfg.thermal.c1 = 1e-4;
+  cfg.thermal.c2 = 1.0;
+  cfg.thermal.ambient = 25_degC;
+  cfg.thermal.limit = 70_degC;
+  cfg.thermal.nameplate = 450_W;
+  cfg.power_model = power::ServerPowerModel(10_W, 450_W);
+  return cfg;
+}
+
+struct Fixture {
+  Cluster cluster{1.0};
+  NodeId root, rack, s00, s01;
+  workload::AppIdAllocator ids;
+
+  Fixture() {
+    root = cluster.add_root("dc");
+    rack = cluster.add_group(root, "rack");
+    s00 = cluster.add_server(rack, "s00", lax_server());
+    s01 = cluster.add_server(rack, "s01", lax_server());
+  }
+
+  workload::AppId host(NodeId server, double watts) {
+    const auto id = ids.next();
+    cluster.place(Application(id, 0, Watts{watts}, 512_MB), server);
+    return id;
+  }
+
+  ControllerConfig config() {
+    ControllerConfig cfg;
+    cfg.margin = 5_W;
+    cfg.migration_cost = 2_W;
+    cfg.allocation = AllocationPolicy::kProportionalToCapacity;
+    return cfg;
+  }
+};
+
+std::size_t count(const std::vector<ControlEvent>& events, EventKind kind) {
+  std::size_t n = 0;
+  for (const auto& e : events) n += e.kind == kind ? 1 : 0;
+  return n;
+}
+
+TEST(EventLog, MigrationInitiatedRecorded) {
+  Fixture f;
+  const auto app = f.host(f.s00, 50.0);
+  f.host(f.s00, 50.0);
+  Controller ctl(f.cluster, f.config());
+  ctl.tick(200_W);
+  const auto& events = ctl.events_this_tick();
+  ASSERT_EQ(count(events, EventKind::kMigrationInitiated), 1u);
+  const auto& e = events.front();
+  EXPECT_EQ(e.kind, EventKind::kMigrationInitiated);
+  EXPECT_EQ(e.node, f.s00);
+  EXPECT_EQ(e.node2, f.s01);
+  EXPECT_EQ(e.tick, 1);
+  EXPECT_TRUE(e.app == app || e.app != 0);
+  EXPECT_DOUBLE_EQ(e.amount.value(), 50.0);
+}
+
+TEST(EventLog, DropAndReviveRecorded) {
+  Fixture f;
+  f.host(f.s00, 100.0);
+  f.host(f.s01, 100.0);
+  Controller ctl(f.cluster, f.config());
+  ctl.tick(100_W);  // starve: drops
+  EXPECT_GT(count(ctl.events_this_tick(), EventKind::kDrop), 0u);
+  for (int t = 0; t < 8; ++t) {
+    f.cluster.refresh_demands_constant();
+    ctl.tick(400_W);
+    if (count(ctl.events_this_tick(), EventKind::kRevive) > 0) break;
+  }
+  EXPECT_GT(ctl.stats().revivals, 0u);
+}
+
+TEST(EventLog, DegradeAndRestoreRecorded) {
+  Fixture f;
+  f.host(f.s00, 100.0);
+  f.host(f.s01, 100.0);
+  ControllerConfig cfg = f.config();
+  cfg.shedding = SheddingPolicy::kDegradeThenDrop;
+  Controller ctl(f.cluster, cfg);
+  ctl.tick(140_W);
+  EXPECT_GT(count(ctl.events_this_tick(), EventKind::kDegrade), 0u);
+  std::size_t restores = 0;
+  for (int t = 0; t < 8; ++t) {
+    f.cluster.refresh_demands_constant();
+    ctl.tick(400_W);
+    restores += count(ctl.events_this_tick(), EventKind::kRestore);
+  }
+  EXPECT_GT(restores, 0u);
+}
+
+TEST(EventLog, SleepRecordedAtConsolidation) {
+  Fixture f;
+  f.host(f.s00, 170.0);
+  f.host(f.s01, 20.0);
+  Controller ctl(f.cluster, f.config());
+  std::size_t sleeps = 0;
+  for (int t = 1; t <= 7; ++t) {
+    ctl.tick(880_W);
+    sleeps += count(ctl.events_this_tick(), EventKind::kSleep);
+  }
+  EXPECT_EQ(sleeps, 1u);
+}
+
+TEST(EventLog, CompletedEventInLatencyMode) {
+  Fixture f;
+  f.host(f.s00, 50.0);
+  f.host(f.s00, 50.0);
+  ControllerConfig cfg = f.config();
+  cfg.migration_periods_per_gib = 2.0;  // 512 MB image -> 1 period
+  Controller ctl(f.cluster, cfg);
+  ctl.tick(200_W);
+  ASSERT_EQ(count(ctl.events_this_tick(), EventKind::kMigrationInitiated), 1u);
+  std::size_t completed = 0;
+  for (int t = 0; t < 3; ++t) {
+    f.cluster.refresh_demands_constant();
+    ctl.tick(200_W);
+    completed += count(ctl.events_this_tick(), EventKind::kMigrationCompleted);
+  }
+  EXPECT_EQ(completed, 1u);
+}
+
+TEST(EventLog, ClearedEachTick) {
+  Fixture f;
+  f.host(f.s00, 50.0);
+  f.host(f.s00, 50.0);
+  Controller ctl(f.cluster, f.config());
+  ctl.tick(200_W);
+  ASSERT_FALSE(ctl.events_this_tick().empty());
+  f.cluster.refresh_demands_constant();
+  ctl.tick(200_W);  // steady state: nothing to do
+  EXPECT_TRUE(ctl.events_this_tick().empty());
+}
+
+TEST(EventLog, ToStringRendersEveryKind) {
+  ControlEvent e;
+  e.tick = 3;
+  e.app = 7;
+  e.node = 2;
+  e.node2 = 5;
+  e.amount = 12_W;
+  for (auto kind : {EventKind::kMigrationInitiated,
+                    EventKind::kMigrationCompleted, EventKind::kDrop,
+                    EventKind::kDegrade, EventKind::kRevive,
+                    EventKind::kRestore, EventKind::kSleep, EventKind::kWake}) {
+    e.kind = kind;
+    const std::string text = to_string(e);
+    EXPECT_NE(text.find("t=3"), std::string::npos);
+    EXPECT_FALSE(text.empty());
+  }
+  e.kind = EventKind::kDrop;
+  EXPECT_NE(to_string(e).find("drop app 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace willow::core

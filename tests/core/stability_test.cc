@@ -1,0 +1,126 @@
+#include "core/stability.h"
+
+#include <gtest/gtest.h>
+
+#include "util/ewma.h"
+
+namespace willow::core {
+namespace {
+
+using namespace willow::util::literals;
+
+TEST(EwmaStepResponse, ClosedFormMatchesIteration) {
+  const double alpha = 0.3;
+  util::Ewma<double> filter(alpha);
+  filter.update(0.0);
+  for (int k = 1; k <= 20; ++k) {
+    filter.update(1.0);
+    EXPECT_NEAR(filter.value(), ewma_step_response(alpha, k), 1e-12)
+        << "period " << k;
+  }
+}
+
+TEST(EwmaStepResponse, Validation) {
+  EXPECT_THROW((void)ewma_step_response(0.0, 3), std::invalid_argument);
+  EXPECT_THROW((void)ewma_step_response(1.5, 3), std::invalid_argument);
+  EXPECT_THROW((void)ewma_step_response(0.5, -1), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(ewma_step_response(0.5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ewma_step_response(1.0, 1), 1.0);
+}
+
+TEST(EwmaSettling, KnownValues) {
+  // (1 - 0.5)^k <= 0.05 => k >= log(0.05)/log(0.5) ~ 4.32 => 5.
+  EXPECT_EQ(ewma_settling_periods(0.5, 0.05), 5);
+  // alpha = 0.7: (0.3)^k <= 0.05 => k >= 2.49 => 3.
+  EXPECT_EQ(ewma_settling_periods(0.7, 0.05), 3);
+  EXPECT_EQ(ewma_settling_periods(1.0, 0.05), 1);
+}
+
+TEST(EwmaSettling, SettledValueActuallyWithinTolerance) {
+  for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const int k = ewma_settling_periods(alpha, 0.05);
+    EXPECT_GE(ewma_step_response(alpha, k), 0.95) << "alpha " << alpha;
+    EXPECT_LT(ewma_step_response(alpha, k - 1), 0.95) << "alpha " << alpha;
+  }
+}
+
+TEST(EwmaSettling, Validation) {
+  EXPECT_THROW((void)ewma_settling_periods(0.0, 0.05), std::invalid_argument);
+  EXPECT_THROW((void)ewma_settling_periods(0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)ewma_settling_periods(0.5, 1.0), std::invalid_argument);
+}
+
+TEST(StepError, ShrinksWithAlphaAndEta) {
+  const auto e1 = ewma_step_error_after_supply_period(0.5, 4, 100_W);
+  EXPECT_NEAR(e1.value(), 100.0 * std::pow(0.5, 4), 1e-9);
+  const auto e2 = ewma_step_error_after_supply_period(0.7, 4, 100_W);
+  EXPECT_LT(e2, e1);
+  const auto e3 = ewma_step_error_after_supply_period(0.5, 8, 100_W);
+  EXPECT_LT(e3, e1);
+  EXPECT_THROW((void)ewma_step_error_after_supply_period(0.5, 0, 100_W),
+               std::invalid_argument);
+}
+
+hier::Tree four_level_tree() {
+  hier::Tree t(0.7);
+  const auto root = t.add_root("dc");
+  for (int z = 0; z < 2; ++z) {
+    const auto zone = t.add_child(root, "zone");
+    for (int r = 0; r < 3; ++r) {
+      const auto rack = t.add_child(zone, "rack");
+      for (int s = 0; s < 3; ++s) t.add_child(rack, "server");
+    }
+  }
+  return t;
+}
+
+TEST(AssessStability, PaperParametersAreStable) {
+  // The paper's Sec. V-A1 numbers: per-level update ~10 ms, Delta_D 500 ms,
+  // eta1 = 4, alpha = 0.7, margin 10 W against ~3 W fluctuation.
+  const auto tree = four_level_tree();
+  ControllerConfig cfg;
+  cfg.demand_period = Seconds{0.5};
+  cfg.eta1 = 4;
+  cfg.margin = 10_W;
+  const auto a =
+      assess_stability(tree, cfg, Seconds{0.010}, Watts{3.0}, 0.7);
+  EXPECT_TRUE(a.convergence_ok);
+  EXPECT_TRUE(a.estimator_ok);
+  EXPECT_TRUE(a.margin_ok);
+  EXPECT_TRUE(a.stable());
+  EXPECT_NEAR(a.delta.value(), 0.040, 1e-12);
+  EXPECT_EQ(a.estimator_settling_periods, 3);
+  EXPECT_NEAR(a.margin_headroom.value(), 7.0, 1e-12);
+}
+
+TEST(AssessStability, FlagsTooShortPeriod) {
+  const auto tree = four_level_tree();
+  ControllerConfig cfg;
+  cfg.demand_period = Seconds{0.05};  // 50 ms < 10 * 40 ms
+  const auto a = assess_stability(tree, cfg, Seconds{0.010}, Watts{1.0}, 0.7);
+  EXPECT_FALSE(a.convergence_ok);
+  EXPECT_FALSE(a.stable());
+}
+
+TEST(AssessStability, FlagsSluggishEstimator) {
+  const auto tree = four_level_tree();
+  ControllerConfig cfg;
+  cfg.demand_period = Seconds{1.0};
+  cfg.eta1 = 4;
+  // alpha = 0.1 needs ~29 periods to settle to 5%: far beyond eta1.
+  const auto a = assess_stability(tree, cfg, Seconds{0.010}, Watts{1.0}, 0.1);
+  EXPECT_FALSE(a.estimator_ok);
+}
+
+TEST(AssessStability, FlagsInsufficientMargin) {
+  const auto tree = four_level_tree();
+  ControllerConfig cfg;
+  cfg.demand_period = Seconds{1.0};
+  cfg.margin = 2_W;
+  const auto a = assess_stability(tree, cfg, Seconds{0.010}, Watts{5.0}, 0.7);
+  EXPECT_FALSE(a.margin_ok);
+  EXPECT_LT(a.margin_headroom.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace willow::core

@@ -1,0 +1,84 @@
+#include "hier/convergence.h"
+
+#include <gtest/gtest.h>
+
+namespace willow::hier {
+namespace {
+
+using namespace willow::util::literals;
+
+Tree four_levels() {
+  // Fig. 3's shape: root -> 2 zones -> 3 racks -> 3 servers (height 4).
+  Tree t(0.5);
+  const NodeId root = t.add_root("dc");
+  for (int z = 0; z < 2; ++z) {
+    const NodeId zone = t.add_child(root, "zone");
+    for (int r = 0; r < 3; ++r) {
+      const NodeId rack = t.add_child(zone, "rack");
+      for (int s = 0; s < 3; ++s) t.add_child(rack, "server");
+    }
+  }
+  return t;
+}
+
+TEST(Convergence, ValidatesParameters) {
+  const Tree t = four_levels();
+  EXPECT_THROW(analyze_convergence(t, Seconds{-1.0}), std::invalid_argument);
+  EXPECT_THROW(analyze_convergence(t, 1_s, 0.5), std::invalid_argument);
+}
+
+TEST(Convergence, DeltaIsLevelsTimesAlpha) {
+  const Tree t = four_levels();
+  const auto r = analyze_convergence(t, Seconds{0.010});
+  EXPECT_EQ(r.levels, 4);
+  EXPECT_NEAR(r.delta.value(), 0.040, 1e-12);
+  EXPECT_NEAR(r.recommended_period.value(), 0.400, 1e-12);
+}
+
+TEST(Convergence, PaperNumbersAreSafe) {
+  // Sec. V-A1: h <= 5, per-level update ~10 ms => delta <= 50 ms and
+  // Delta_D >= 500 ms is safe.
+  const Tree t = four_levels();
+  const auto r = analyze_convergence(t, Seconds{0.010});
+  EXPECT_TRUE(period_is_safe(r, Seconds{0.500}));
+  EXPECT_FALSE(period_is_safe(r, Seconds{0.050}));
+}
+
+TEST(Convergence, PropagationFromRootReachesLeavesInDepthSteps) {
+  const Tree t = four_levels();
+  const auto times = propagation_times(t, t.root(), Seconds{1.0});
+  for (NodeId id : t.all_nodes()) {
+    EXPECT_NEAR(times[id].value(), t.node(id).depth(), 1e-12);
+  }
+}
+
+TEST(Convergence, PropagationFromLeafCoversTree) {
+  const Tree t = four_levels();
+  const NodeId leaf = t.leaves().front();
+  const auto times = propagation_times(t, leaf, Seconds{1.0});
+  // Origin perceives immediately.
+  EXPECT_DOUBLE_EQ(times[leaf].value(), 0.0);
+  // Every node perceives eventually.
+  double max_time = 0.0;
+  for (NodeId id : t.all_nodes()) {
+    EXPECT_GE(times[id].value(), 0.0);
+    max_time = std::max(max_time, times[id].value());
+  }
+  // Measured delta for up-then-down <= 2 h alpha.
+  EXPECT_LE(max_time, 2.0 * 4 * 1.0 + 1e-12);
+  // A sibling leaf hears via the shared rack: 1 up + 1 down = 2.
+  const NodeId sibling = t.node(t.node(leaf).parent()).children()[1];
+  EXPECT_NEAR(times[sibling].value(), 2.0, 1e-12);
+}
+
+TEST(Convergence, DeeperTreesNeedLongerPeriods) {
+  Tree shallow(0.5);
+  shallow.add_root("dc");
+  shallow.add_child(0, "s");
+  const auto a = analyze_convergence(shallow, Seconds{0.010});
+  const auto b = analyze_convergence(four_levels(), Seconds{0.010});
+  EXPECT_LT(a.recommended_period, b.recommended_period);
+}
+
+}  // namespace
+}  // namespace willow::hier

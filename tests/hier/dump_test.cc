@@ -1,0 +1,86 @@
+#include "hier/dump.h"
+
+#include <gtest/gtest.h>
+
+namespace willow::hier {
+namespace {
+
+using namespace willow::util::literals;
+
+Tree small_tree() {
+  Tree t(1.0);
+  const auto root = t.add_root("dc");
+  const auto rack0 = t.add_child(root, "rack0", NodeKind::kRack);
+  t.add_child(root, "rack1", NodeKind::kRack);
+  t.add_child(rack0, "s00", NodeKind::kServer);
+  t.add_child(rack0, "s01", NodeKind::kServer);
+  return t;
+}
+
+TEST(Dump, EmptyTree) {
+  Tree t(0.5);
+  EXPECT_EQ(tree_to_string(t), "(empty tree)\n");
+}
+
+TEST(Dump, StructureOnly) {
+  auto t = small_tree();
+  DumpOptions opts;
+  opts.include_state = false;
+  const std::string out = tree_to_string(t, opts);
+  EXPECT_NE(out.find("dc\n"), std::string::npos);
+  EXPECT_NE(out.find("+- rack0"), std::string::npos);
+  EXPECT_NE(out.find("+- s00"), std::string::npos);
+  EXPECT_NE(out.find("+- rack1"), std::string::npos);
+  EXPECT_EQ(out.find("["), std::string::npos);  // no state columns
+  // Children indented under their parent.
+  EXPECT_LT(out.find("rack0"), out.find("s00"));
+  EXPECT_LT(out.find("s01"), out.find("rack1"));
+}
+
+TEST(Dump, StateColumns) {
+  auto t = small_tree();
+  t.node(0).set_budget(375_W);
+  t.node(0).observe_demand(400_W);
+  t.node(0).set_hard_limit(2250_W);
+  const std::string out = tree_to_string(t);
+  EXPECT_NE(out.find("TP 375.0"), std::string::npos);
+  EXPECT_NE(out.find("CP 400.0"), std::string::npos);
+  EXPECT_NE(out.find("cap 2250.0"), std::string::npos);
+}
+
+TEST(Dump, InfiniteCapOmitted) {
+  auto t = small_tree();
+  const std::string out = tree_to_string(t);  // fresh nodes: cap = inf
+  EXPECT_EQ(out.find("cap"), std::string::npos);
+}
+
+TEST(Dump, AsleepMark) {
+  auto t = small_tree();
+  t.node(3).set_active(false);  // s00
+  const std::string out = tree_to_string(t);
+  EXPECT_NE(out.find("s00  (asleep)"), std::string::npos);
+  DumpOptions opts;
+  opts.mark_inactive = false;
+  EXPECT_EQ(tree_to_string(t, opts).find("asleep"), std::string::npos);
+}
+
+TEST(Dump, PrecisionControl) {
+  auto t = small_tree();
+  t.node(0).set_budget(util::Watts{123.456});
+  DumpOptions opts;
+  opts.precision = 3;
+  EXPECT_NE(tree_to_string(t, opts).find("123.456"), std::string::npos);
+}
+
+TEST(Dump, LastChildUsesBlankContinuation) {
+  auto t = small_tree();
+  DumpOptions opts;
+  opts.include_state = false;
+  const std::string out = tree_to_string(t, opts);
+  // rack1 is the last child of the root: its subtree lines (none here) and
+  // the rack0 subtree must use "|" continuation while rack0 is not last.
+  EXPECT_NE(out.find("|  +- s0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace willow::hier

@@ -1,0 +1,148 @@
+// Cross-module integration: the qualitative shapes of the paper's evaluation
+// (Sec. V-B) that span multiple utilization points.  These are the slowest
+// tests; each runs several full simulations.
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+
+namespace willow::sim {
+namespace {
+
+using namespace willow::util::literals;
+
+SimConfig hot_zone_config(double utilization, unsigned long long seed = 23) {
+  SimConfig cfg;
+  cfg.datacenter.server.thermal.c1 = 0.08;
+  cfg.datacenter.server.thermal.c2 = 0.05;
+  cfg.datacenter.server.thermal.ambient = 25_degC;
+  cfg.datacenter.server.thermal.limit = 70_degC;
+  cfg.datacenter.server.thermal.nameplate = 450_W;
+  cfg.datacenter.server.power_model = power::ServerPowerModel::paper_simulation();
+  cfg.datacenter.ambient_overrides.assign(18, 25_degC);
+  for (int i = 14; i < 18; ++i) cfg.datacenter.ambient_overrides[i] = 40_degC;
+  cfg.target_utilization = utilization;
+  cfg.warmup_ticks = 15;
+  cfg.measure_ticks = 50;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(PaperShapes, Fig5PowerRisesWithUtilizationAndHotZoneLags) {
+  double prev_cold = 0.0;
+  for (double u : {0.2, 0.5, 0.8}) {
+    auto r = run_simulation(hot_zone_config(u));
+    double cold = 0.0, hot = 0.0;
+    for (int i = 0; i < 14; ++i) cold += r.servers[i].consumed_power.mean();
+    for (int i = 14; i < 18; ++i) hot += r.servers[i].consumed_power.mean();
+    cold /= 14.0;
+    hot /= 4.0;
+    EXPECT_LT(hot, cold) << "u=" << u;
+    EXPECT_GT(cold, prev_cold) << "u=" << u;  // power rises with utilization
+    prev_cold = cold;
+  }
+}
+
+TEST(PaperShapes, Fig6HotServersTrackTheirAmbientAtLowUtilization) {
+  auto r = run_simulation(hot_zone_config(0.15));
+  double hot = 0.0;
+  for (int i = 14; i < 18; ++i) hot += r.servers[i].temperature.mean();
+  hot /= 4.0;
+  // "At low utilization levels the servers in the hot zones are maintained
+  // at a temperature close to the ambient temperature of 40 C."
+  EXPECT_NEAR(hot, 40.0, 5.0);
+}
+
+TEST(PaperShapes, Fig7HotZoneSavesMostFromConsolidation) {
+  // At 40% utilization the paper reports "maximum power savings ... in the
+  // last four servers" because Willow drains the hot zone first.
+  auto r = run_simulation(hot_zone_config(0.4));
+  double cold = 0.0, hot = 0.0;
+  for (int i = 0; i < 14; ++i) cold += r.servers[i].saved_power_w;
+  for (int i = 14; i < 18; ++i) hot += r.servers[i].saved_power_w;
+  cold /= 14.0;
+  hot /= 4.0;
+  EXPECT_GE(hot, cold);
+}
+
+/// Uniform-ambient config (Sections V-B4/V-B5 do not use the hot zone).
+SimConfig uniform_config(double utilization, unsigned long long seed) {
+  auto cfg = hot_zone_config(utilization, seed);
+  cfg.datacenter.ambient_overrides.clear();
+  return cfg;
+}
+
+struct SweepPoint {
+  double demand_migrations = 0.0;
+  double consolidation_migrations = 0.0;
+  double traffic = 0.0;
+  double switch_cost = 0.0;
+};
+
+/// Average a utilization point over a few seeds (single runs are noisy).
+SweepPoint sweep_point(double utilization) {
+  SweepPoint p;
+  const unsigned long long seeds[] = {23, 17, 5};
+  for (auto seed : seeds) {
+    auto r = run_simulation(uniform_config(utilization, seed));
+    p.demand_migrations += r.measured_demand_migrations();
+    p.consolidation_migrations += r.measured_consolidation_migrations();
+    p.traffic += r.normalized_migration_traffic.stats().mean();
+    for (const auto& s : r.level1_switches) p.switch_cost += s.migration_cost.mean();
+  }
+  p.demand_migrations /= 3.0;
+  p.consolidation_migrations /= 3.0;
+  p.traffic /= 3.0;
+  p.switch_cost /= 3.0;
+  return p;
+}
+
+TEST(PaperShapes, Fig9MigrationCausesCrossWithUtilization) {
+  const auto low = sweep_point(0.15);
+  const auto mid = sweep_point(0.7);
+  const auto high = sweep_point(0.9);
+  // Low utilization: consolidation-driven migrations dominate.
+  EXPECT_GT(low.consolidation_migrations, low.demand_migrations);
+  // Demand-driven migrations grow with utilization...
+  EXPECT_GT(mid.demand_migrations, low.demand_migrations);
+  // ...while consolidation-driven ones fall away at high utilization.
+  EXPECT_LT(high.consolidation_migrations, low.consolidation_migrations);
+}
+
+TEST(PaperShapes, Fig10MigrationTrafficPeaksMidRangeThenShrinks) {
+  // "the migrations are increasing with increase in utilization.  However at
+  // high utilization levels the migration traffic is decreasing ... none of
+  // the servers has a surplus to accommodate the workload".
+  const auto low = sweep_point(0.1);
+  const auto peak = sweep_point(0.7);
+  const auto extreme = sweep_point(0.95);
+  EXPECT_GT(peak.traffic, low.traffic);
+  EXPECT_LT(extreme.traffic, peak.traffic + 1e-12);
+}
+
+TEST(PaperShapes, Fig11SwitchPowerRoughlyEqualAcrossLevel1) {
+  // "the average power demand is almost the same in all the switches"
+  // because local migrations spread traffic evenly.
+  auto r = run_simulation(hot_zone_config(0.5));
+  util::RunningStats per_switch;
+  for (const auto& s : r.level1_switches) per_switch.add(s.power.mean());
+  EXPECT_GT(per_switch.mean(), 0.0);
+  // Coefficient of variation across switches stays moderate.
+  EXPECT_LT(per_switch.stddev() / per_switch.mean(), 0.6);
+}
+
+TEST(PaperShapes, Fig12SwitchMigrationCostTracksMigrationTraffic) {
+  // Fig. 12 "corresponds to the trend in total number of migrations ... in
+  // Figure 10": the cost curve follows the traffic curve.
+  const auto low = sweep_point(0.1);
+  const auto peak = sweep_point(0.7);
+  EXPECT_GT(peak.switch_cost, low.switch_cost);
+}
+
+TEST(PaperShapes, ImbalanceStaysBoundedUnderControl) {
+  auto r = run_simulation(hot_zone_config(0.5));
+  // Eq. (9) imbalance at the server level remains bounded (no runaway).
+  EXPECT_LT(r.imbalance.stats().mean(), 450.0);
+}
+
+}  // namespace
+}  // namespace willow::sim

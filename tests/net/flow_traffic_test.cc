@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "net/fabric.h"
+
+namespace willow::net {
+namespace {
+
+using hier::NodeKind;
+using hier::Tree;
+
+struct Fixture {
+  Tree tree{0.5};
+  NodeId root, r0, r1;
+  std::vector<NodeId> servers;
+
+  Fixture() {
+    root = tree.add_root("dc");
+    r0 = tree.add_child(root, "r0", NodeKind::kRack);
+    r1 = tree.add_child(root, "r1", NodeKind::kRack);
+    for (NodeId rack : {r0, r1}) {
+      for (int s = 0; s < 2; ++s) {
+        servers.push_back(tree.add_child(rack, "srv", NodeKind::kServer));
+      }
+    }
+  }
+};
+
+TEST(FlowTraffic, CoLocatedFlowsAreFree) {
+  Fixture f;
+  Fabric fabric(f.tree, FabricConfig{});
+  fabric.begin_period();
+  EXPECT_EQ(fabric.add_flow_traffic(f.servers[0], f.servers[0], 2.0), 0u);
+  EXPECT_DOUBLE_EQ(fabric.stats(f.r0).period_flow_traffic, 0.0);
+}
+
+TEST(FlowTraffic, IntraRackCrossesOneSwitch) {
+  Fixture f;
+  Fabric fabric(f.tree, FabricConfig{});
+  fabric.begin_period();
+  EXPECT_EQ(fabric.add_flow_traffic(f.servers[0], f.servers[1], 2.0), 1u);
+  EXPECT_DOUBLE_EQ(fabric.stats(f.r0).period_flow_traffic, 2.0);
+  EXPECT_DOUBLE_EQ(fabric.stats(f.root).period_flow_traffic, 0.0);
+  // No migration cost for steady flows.
+  EXPECT_DOUBLE_EQ(fabric.stats(f.r0).period_migration_cost.value(), 0.0);
+}
+
+TEST(FlowTraffic, CrossRackClimbsThroughRoot) {
+  Fixture f;
+  Fabric fabric(f.tree, FabricConfig{});
+  fabric.begin_period();
+  EXPECT_EQ(fabric.add_flow_traffic(f.servers[0], f.servers[2], 1.0), 3u);
+  for (NodeId g : {f.r0, f.root, f.r1}) {
+    EXPECT_DOUBLE_EQ(fabric.stats(g).period_flow_traffic, 1.0) << g;
+  }
+}
+
+TEST(FlowTraffic, CountsSeparatelyFromMigrations) {
+  Fixture f;
+  Fabric fabric(f.tree, FabricConfig{});
+  fabric.begin_period();
+  fabric.add_flow_traffic(f.servers[0], f.servers[1], 1.0);
+  fabric.add_migration(f.servers[0], f.servers[1], 2.0);
+  const auto& s = fabric.stats(f.r0);
+  EXPECT_DOUBLE_EQ(s.period_flow_traffic, 1.0);
+  EXPECT_DOUBLE_EQ(s.period_migration_traffic, 2.0);
+  EXPECT_DOUBLE_EQ(s.period_traffic, 3.0);
+  EXPECT_DOUBLE_EQ(s.total_flow_traffic, 1.0);
+  fabric.begin_period();
+  EXPECT_DOUBLE_EQ(fabric.stats(f.r0).period_flow_traffic, 0.0);
+  EXPECT_DOUBLE_EQ(fabric.stats(f.r0).total_flow_traffic, 1.0);
+}
+
+TEST(FlowTraffic, RejectsNegativeUnits) {
+  Fixture f;
+  Fabric fabric(f.tree, FabricConfig{});
+  EXPECT_THROW(fabric.add_flow_traffic(f.servers[0], f.servers[1], -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace willow::net

@@ -1,0 +1,135 @@
+#include "power/supply.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace willow::power {
+namespace {
+
+using namespace willow::util::literals;
+
+TEST(ConstantSupply, AlwaysSameLevel) {
+  ConstantSupply s(500_W);
+  EXPECT_DOUBLE_EQ(s.at(0_s).value(), 500.0);
+  EXPECT_DOUBLE_EQ(s.at(Seconds{1e6}).value(), 500.0);
+}
+
+TEST(SteppedSupply, RejectsBadInputs) {
+  EXPECT_THROW(SteppedSupply({}, 1_s), std::invalid_argument);
+  EXPECT_THROW(SteppedSupply({100_W}, Seconds{0.0}), std::invalid_argument);
+}
+
+TEST(SteppedSupply, StepsAtBoundaries) {
+  SteppedSupply s({100_W, 200_W, 300_W}, 1_s);
+  EXPECT_DOUBLE_EQ(s.at(Seconds{0.0}).value(), 100.0);
+  EXPECT_DOUBLE_EQ(s.at(Seconds{0.99}).value(), 100.0);
+  EXPECT_DOUBLE_EQ(s.at(Seconds{1.0}).value(), 200.0);
+  EXPECT_DOUBLE_EQ(s.at(Seconds{2.5}).value(), 300.0);
+}
+
+TEST(SteppedSupply, LastValuePersistsPastEnd) {
+  SteppedSupply s({100_W, 200_W}, 1_s);
+  EXPECT_DOUBLE_EQ(s.at(Seconds{100.0}).value(), 200.0);
+}
+
+TEST(SteppedSupply, NegativeTimeUsesFirstValue) {
+  SteppedSupply s({100_W, 200_W}, 1_s);
+  EXPECT_DOUBLE_EQ(s.at(Seconds{-5.0}).value(), 100.0);
+}
+
+TEST(SinusoidSupply, RejectsNonPositivePeriod) {
+  EXPECT_THROW(SinusoidSupply(100_W, 10_W, Seconds{0.0}),
+               std::invalid_argument);
+}
+
+TEST(SinusoidSupply, OscillatesAroundBase) {
+  SinusoidSupply s(100_W, 20_W, Seconds{4.0});
+  EXPECT_NEAR(s.at(Seconds{0.0}).value(), 100.0, 1e-9);
+  EXPECT_NEAR(s.at(Seconds{1.0}).value(), 120.0, 1e-9);  // quarter period
+  EXPECT_NEAR(s.at(Seconds{3.0}).value(), 80.0, 1e-9);   // three quarters
+}
+
+TEST(SinusoidSupply, ClampsAtZero) {
+  SinusoidSupply s(10_W, 100_W, Seconds{4.0});
+  EXPECT_DOUBLE_EQ(s.at(Seconds{3.0}).value(), 0.0);
+}
+
+TEST(SolarSupply, ValidatesArguments) {
+  EXPECT_THROW(SolarSupply(10_W, 100_W, Seconds{0.0}, 0.5, 1),
+               std::invalid_argument);
+  EXPECT_THROW(SolarSupply(10_W, 100_W, Seconds{24.0}, 1.5, 1),
+               std::invalid_argument);
+}
+
+TEST(SolarSupply, NightHasOnlyGridFloor) {
+  SolarSupply s(50_W, 400_W, Seconds{24.0}, 0.3, 7);
+  EXPECT_DOUBLE_EQ(s.at(Seconds{0.0}).value(), 50.0);   // midnight
+  EXPECT_DOUBLE_EQ(s.at(Seconds{23.0}).value(), 50.0);  // late night
+}
+
+TEST(SolarSupply, NoonPeaksNearClearSky) {
+  SolarSupply clear(50_W, 400_W, Seconds{24.0}, 0.0, 7);
+  EXPECT_NEAR(clear.at(Seconds{12.0}).value(), 450.0, 1.0);
+}
+
+TEST(SolarSupply, CloudinessOnlyReduces) {
+  SolarSupply clear(50_W, 400_W, Seconds{24.0}, 0.0, 7);
+  SolarSupply cloudy(50_W, 400_W, Seconds{24.0}, 0.8, 7);
+  for (double t = 6.5; t < 18.0; t += 0.5) {
+    EXPECT_LE(cloudy.at(Seconds{t}).value(), clear.at(Seconds{t}).value() + 1e-9);
+    EXPECT_GE(cloudy.at(Seconds{t}).value(), 50.0 - 1e-9);
+  }
+}
+
+TEST(SolarSupply, DeterministicInSeedAndTime) {
+  SolarSupply a(50_W, 400_W, Seconds{24.0}, 0.5, 7);
+  SolarSupply b(50_W, 400_W, Seconds{24.0}, 0.5, 7);
+  for (double t = 0.0; t < 48.0; t += 1.7) {
+    EXPECT_DOUBLE_EQ(a.at(Seconds{t}).value(), b.at(Seconds{t}).value());
+  }
+}
+
+TEST(PaperFig15Trace, HasNarratedFeatures) {
+  auto trace = paper_fig15_trace();
+  ASSERT_EQ(trace->levels().size(), 30u);
+  // Deep plunge at t=7 persisting through t=10.
+  for (int t = 7; t <= 10; ++t) {
+    EXPECT_LT(trace->at(Seconds{static_cast<double>(t)}).value(), 615.0);
+  }
+  // Comfortable before the plunge.
+  for (int t = 0; t <= 6; ++t) {
+    EXPECT_GT(trace->at(Seconds{static_cast<double>(t)}).value(), 650.0);
+  }
+  // Two later dips, each deep enough to tighten budgets.
+  EXPECT_LT(trace->at(Seconds{15.0}).value(),
+            trace->at(Seconds{14.0}).value() - 50.0);
+  EXPECT_LT(trace->at(Seconds{23.0}).value(),
+            trace->at(Seconds{22.0}).value() - 50.0);
+  // Every level keeps the three idle floors (~478 W) powered.
+  for (const auto& w : trace->levels()) EXPECT_GT(w.value(), 480.0);
+}
+
+TEST(PaperFig15Trace, MeanSupportsSixtyPercentUtilization) {
+  // Three testbed servers at 60% draw ~609 W; the trace's mean must sit
+  // above that so 60% is sustainable outside the plunges.
+  auto trace = paper_fig15_trace();
+  util::RunningStats s;
+  for (const auto& w : trace->levels()) s.add(w.value());
+  EXPECT_GT(s.mean(), 609.0);
+  EXPECT_LT(s.mean(), 690.0);
+}
+
+TEST(PaperFig19Trace, MeanNearFullUtilizationSupply) {
+  // Sec. V-C5: mean close to the ~750 W needed for three servers at 100%.
+  auto trace = paper_fig19_trace();
+  ASSERT_EQ(trace->levels().size(), 30u);
+  util::RunningStats s;
+  for (const auto& w : trace->levels()) s.add(w.value());
+  EXPECT_NEAR(s.mean(), 750.0, 15.0);
+  // Energy-plenty: no deficiency episodes.
+  EXPECT_GT(s.min(), 700.0);
+}
+
+}  // namespace
+}  // namespace willow::power

@@ -1,0 +1,97 @@
+#include "power/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace willow::power {
+namespace {
+
+using util::Seconds;
+
+std::unique_ptr<SteppedSupply> parse(const std::string& text,
+                                     Seconds step = Seconds{1.0}) {
+  std::istringstream is(text);
+  return read_supply_csv(is, step);
+}
+
+TEST(TraceIo, OneColumnWithDefaultStep) {
+  const auto trace = parse("100\n200\n300\n", Seconds{2.0});
+  EXPECT_DOUBLE_EQ(trace->at(Seconds{0.0}).value(), 100.0);
+  EXPECT_DOUBLE_EQ(trace->at(Seconds{2.0}).value(), 200.0);
+  EXPECT_DOUBLE_EQ(trace->at(Seconds{5.0}).value(), 300.0);
+  EXPECT_DOUBLE_EQ(trace->step().value(), 2.0);
+}
+
+TEST(TraceIo, TwoColumnsInferStep) {
+  const auto trace = parse("0,100\n0.5,150\n1.0,200\n");
+  EXPECT_DOUBLE_EQ(trace->step().value(), 0.5);
+  EXPECT_DOUBLE_EQ(trace->at(Seconds{0.6}).value(), 150.0);
+}
+
+TEST(TraceIo, HeaderCommentsAndBlanksSkipped) {
+  const auto trace = parse(R"(t,watts
+# recorded at the pdu
+0,100
+
+1,200  # midday
+)");
+  EXPECT_DOUBLE_EQ(trace->at(Seconds{1.0}).value(), 200.0);
+  EXPECT_EQ(trace->levels().size(), 2u);
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), std::runtime_error);                  // empty
+  EXPECT_THROW(parse("# only comments\n"), std::runtime_error);
+  EXPECT_THROW(parse("0,100\nbogus,200\n"), std::runtime_error);
+  EXPECT_THROW(parse("100\n-5\n"), std::runtime_error);         // negative
+  EXPECT_THROW(parse("0,100\n1\n"), std::runtime_error);        // col change
+  EXPECT_THROW(parse("100,1,2\n"), std::runtime_error);         // 3 columns
+  EXPECT_THROW(parse("0,100\n0,200\n"), std::runtime_error);    // dt = 0
+  EXPECT_THROW(parse("0,100\n1,200\n3,300\n"), std::runtime_error);  // jitter
+}
+
+TEST(TraceIo, SingleSampleTwoColumnUsesDefaultStep) {
+  const auto trace = parse("0,440\n", Seconds{3.0});
+  EXPECT_DOUBLE_EQ(trace->step().value(), 3.0);
+  EXPECT_DOUBLE_EQ(trace->at(Seconds{100.0}).value(), 440.0);
+}
+
+TEST(TraceIo, WriteThenReadRoundTrips) {
+  SteppedSupply original({util::Watts{10.0}, util::Watts{20.0},
+                          util::Watts{30.0}},
+                         Seconds{1.0});
+  std::ostringstream out;
+  write_supply_csv(out, original, Seconds{1.0}, 3);
+  const auto reloaded = parse(out.str());
+  for (double t : {0.0, 1.0, 2.0}) {
+    EXPECT_DOUBLE_EQ(reloaded->at(Seconds{t}).value(),
+                     original.at(Seconds{t}).value());
+  }
+}
+
+TEST(TraceIo, WriteValidatesStep) {
+  SteppedSupply s({util::Watts{1.0}}, Seconds{1.0});
+  std::ostringstream out;
+  EXPECT_THROW(write_supply_csv(out, s, Seconds{0.0}, 3),
+               std::invalid_argument);
+}
+
+TEST(TraceIo, LoadFileErrors) {
+  EXPECT_THROW(load_supply_csv("/no/such/trace.csv"), std::runtime_error);
+}
+
+TEST(TraceIo, PaperTraceRoundTripsThroughCsv) {
+  const auto fig15 = paper_fig15_trace();
+  std::ostringstream out;
+  write_supply_csv(out, *fig15, Seconds{1.0}, 30);
+  const auto reloaded = parse(out.str());
+  for (int t = 0; t < 30; ++t) {
+    EXPECT_DOUBLE_EQ(
+        reloaded->at(Seconds{static_cast<double>(t)}).value(),
+        fig15->at(Seconds{static_cast<double>(t)}).value());
+  }
+}
+
+}  // namespace
+}  // namespace willow::power

@@ -1,0 +1,71 @@
+#include "sim/datacenter.h"
+
+#include <gtest/gtest.h>
+
+namespace willow::sim {
+namespace {
+
+TEST(Datacenter, PaperConfigurationMatchesFig3) {
+  auto dc = build_paper_datacenter();
+  // 4 levels, 18 servers (Sec. V-B1).
+  EXPECT_EQ(dc->cluster.tree().height(), 4);
+  EXPECT_EQ(dc->servers.size(), 18u);
+  EXPECT_EQ(dc->zones.size(), 2u);
+  EXPECT_EQ(dc->racks.size(), 6u);
+  EXPECT_EQ(dc->cluster.server_ids().size(), 18u);
+}
+
+TEST(Datacenter, PaperThermalConstants) {
+  auto dc = build_paper_datacenter();
+  const auto& p = dc->cluster.server(dc->servers[0]).thermal().params();
+  EXPECT_DOUBLE_EQ(p.c1, 0.08);
+  EXPECT_DOUBLE_EQ(p.c2, 0.05);
+  EXPECT_DOUBLE_EQ(p.ambient.value(), 25.0);
+  EXPECT_DOUBLE_EQ(p.limit.value(), 70.0);
+  EXPECT_DOUBLE_EQ(p.nameplate.value(), 450.0);
+}
+
+TEST(Datacenter, HotZonePutsLastFourServersAtHotAmbient) {
+  auto dc = build_paper_datacenter_hot_zone();
+  for (std::size_t i = 0; i < 14; ++i) {
+    EXPECT_DOUBLE_EQ(
+        dc->cluster.server(dc->servers[i]).thermal().params().ambient.value(),
+        25.0)
+        << "server " << i + 1;
+  }
+  for (std::size_t i = 14; i < 18; ++i) {
+    EXPECT_DOUBLE_EQ(
+        dc->cluster.server(dc->servers[i]).thermal().params().ambient.value(),
+        40.0)
+        << "server " << i + 1;
+  }
+}
+
+TEST(Datacenter, ServersStartAtTheirAmbient) {
+  auto dc = build_paper_datacenter_hot_zone();
+  EXPECT_DOUBLE_EQ(
+      dc->cluster.server(dc->servers[0]).thermal().temperature().value(), 25.0);
+  EXPECT_DOUBLE_EQ(
+      dc->cluster.server(dc->servers[17]).thermal().temperature().value(),
+      40.0);
+}
+
+TEST(Datacenter, CustomLayouts) {
+  DatacenterOptions options;
+  options.layout.zones = 3;
+  options.layout.racks_per_zone = 2;
+  options.layout.servers_per_rack = 5;
+  auto dc = build_datacenter(options);
+  EXPECT_EQ(dc->servers.size(), 30u);
+  EXPECT_EQ(dc->racks.size(), 6u);
+  EXPECT_EQ(dc->cluster.tree().height(), 4);
+}
+
+TEST(Datacenter, ServerNamesUsePaperNumbering) {
+  auto dc = build_paper_datacenter();
+  EXPECT_EQ(dc->cluster.tree().node(dc->servers[0]).name(), "server1");
+  EXPECT_EQ(dc->cluster.tree().node(dc->servers[17]).name(), "server18");
+}
+
+}  // namespace
+}  // namespace willow::sim

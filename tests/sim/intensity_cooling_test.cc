@@ -1,0 +1,88 @@
+// Simulator integration of the demand-intensity and cooling extensions.
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+
+namespace willow::sim {
+namespace {
+
+using namespace willow::util::literals;
+
+SimConfig base_config(double utilization) {
+  SimConfig cfg;
+  cfg.datacenter.server.thermal.c1 = 0.08;
+  cfg.datacenter.server.thermal.c2 = 0.05;
+  cfg.datacenter.server.thermal.ambient = 25_degC;
+  cfg.datacenter.server.thermal.limit = 70_degC;
+  cfg.datacenter.server.thermal.nameplate = 450_W;
+  cfg.datacenter.server.power_model = power::ServerPowerModel::paper_simulation();
+  cfg.target_utilization = utilization;
+  cfg.warmup_ticks = 10;
+  cfg.measure_ticks = 48;
+  cfg.seed = 17;
+  return cfg;
+}
+
+TEST(Intensity, RecordedSeriesMatchesProfile) {
+  auto cfg = base_config(0.5);
+  cfg.intensity = std::make_shared<workload::DiurnalIntensity>(
+      1.0, 0.4, util::Seconds{48.0});
+  cfg.warmup_ticks = 0;
+  const auto r = run_simulation(std::move(cfg));
+  ASSERT_EQ(r.intensity_series.size(), 48u);
+  EXPECT_NEAR(r.intensity_series.at(0), 1.0, 1e-12);
+  EXPECT_NEAR(r.intensity_series.at(12), 1.4, 1e-12);
+  EXPECT_NEAR(r.intensity_series.at(36), 0.6, 1e-12);
+}
+
+TEST(Intensity, DemandTracksTheCycle) {
+  auto cfg = base_config(0.4);
+  cfg.intensity = std::make_shared<workload::DiurnalIntensity>(
+      1.0, 0.5, util::Seconds{48.0});
+  cfg.warmup_ticks = 0;
+  const auto r = run_simulation(std::move(cfg));
+  // Consumption around the peak (t ~ 12) beats consumption at the trough
+  // (t ~ 36).
+  const double peak = r.total_power.mean_between(9.0, 15.0);
+  const double trough = r.total_power.mean_between(33.0, 39.0);
+  EXPECT_GT(peak, trough * 1.1);
+}
+
+TEST(Intensity, DefaultIsStationary) {
+  const auto r = run_simulation(base_config(0.4));
+  EXPECT_DOUBLE_EQ(r.intensity_series.stats().min(), 1.0);
+  EXPECT_DOUBLE_EQ(r.intensity_series.stats().max(), 1.0);
+}
+
+TEST(Cooling, SeriesEmptyWithoutPlant) {
+  const auto r = run_simulation(base_config(0.4));
+  EXPECT_TRUE(r.facility_power.empty());
+  EXPECT_TRUE(r.pue.empty());
+}
+
+TEST(Cooling, FacilityPowerExceedsItPower) {
+  auto cfg = base_config(0.5);
+  cfg.cooling = power::CoolingModel{};
+  const auto r = run_simulation(std::move(cfg));
+  ASSERT_EQ(r.facility_power.size(), r.total_power.size());
+  for (std::size_t i = 0; i < r.total_power.size(); ++i) {
+    EXPECT_GT(r.facility_power.at(i), r.total_power.at(i));
+  }
+  EXPECT_GT(r.pue.stats().mean(), 1.0);
+  EXPECT_LT(r.pue.stats().mean(), 2.0);
+}
+
+TEST(Cooling, ConsolidationImprovesFacilityDraw) {
+  // At low utilization Willow parks servers; less IT power means less heat
+  // and proportionally less cooling.
+  auto low = base_config(0.15);
+  low.cooling = power::CoolingModel{};
+  auto high = base_config(0.8);
+  high.cooling = power::CoolingModel{};
+  const auto rl = run_simulation(std::move(low));
+  const auto rh = run_simulation(std::move(high));
+  EXPECT_LT(rl.facility_power.stats().mean(), rh.facility_power.stats().mean());
+}
+
+}  // namespace
+}  // namespace willow::sim

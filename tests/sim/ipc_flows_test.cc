@@ -1,0 +1,68 @@
+// Integration of IPC flows with the simulator: chains start co-located
+// (zero fabric traffic); migrations can separate them, and the flow metrics
+// expose the cost.
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+
+namespace willow::sim {
+namespace {
+
+using namespace willow::util::literals;
+
+SimConfig base_config(double utilization, double chain_fraction) {
+  SimConfig cfg;
+  cfg.datacenter.server.thermal.c1 = 0.08;
+  cfg.datacenter.server.thermal.c2 = 0.05;
+  cfg.datacenter.server.thermal.ambient = 25_degC;
+  cfg.datacenter.server.thermal.limit = 70_degC;
+  cfg.datacenter.server.thermal.nameplate = 450_W;
+  cfg.datacenter.server.power_model = power::ServerPowerModel::paper_simulation();
+  cfg.target_utilization = utilization;
+  cfg.ipc_chain_fraction = chain_fraction;
+  cfg.warmup_ticks = 10;
+  cfg.measure_ticks = 40;
+  cfg.seed = 17;
+  return cfg;
+}
+
+TEST(IpcFlows, DisabledByDefault) {
+  Simulation sim(base_config(0.5, 0.0));
+  const auto r = sim.run();
+  EXPECT_TRUE(sim.flows().empty());
+  EXPECT_DOUBLE_EQ(r.remote_flow_traffic.stats().max(), 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_flow_hops.stats().max(), 0.0);
+}
+
+TEST(IpcFlows, ChainsWiredAtBuild) {
+  Simulation sim(base_config(0.5, 1.0));
+  EXPECT_FALSE(sim.flows().empty());
+  // A chain over a whole server's mix has size >= 1 per multi-app server.
+  EXPECT_GE(sim.flows().size(), 10u);
+}
+
+TEST(IpcFlows, StartCoLocatedSeparateUnderPressure) {
+  auto cfg = base_config(0.5, 1.0);
+  cfg.warmup_ticks = 0;
+  cfg.measure_ticks = 50;
+  Simulation sim(std::move(cfg));
+  const auto r = sim.run();
+  // Tick 0: every chain is still co-located on its build server.
+  EXPECT_DOUBLE_EQ(r.remote_flow_traffic.at(0), 0.0);
+  // Consolidation/demand migrations separate some chains over the run.
+  EXPECT_GT(r.remote_flow_traffic.stats().max(), 0.0);
+}
+
+TEST(IpcFlows, FabricSeesFlowTraffic) {
+  auto cfg = base_config(0.4, 1.0);
+  Simulation sim(std::move(cfg));
+  (void)sim.run();
+  double flow_total = 0.0;
+  for (const auto g : sim.fabric().groups()) {
+    flow_total += sim.fabric().stats(g).total_flow_traffic;
+  }
+  EXPECT_GT(flow_total, 0.0);
+}
+
+}  // namespace
+}  // namespace willow::sim

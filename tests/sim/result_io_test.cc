@@ -1,0 +1,68 @@
+#include "sim/result_io.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace willow::sim {
+namespace {
+
+using namespace willow::util::literals;
+
+SimResult small_result() {
+  SimConfig cfg;
+  cfg.datacenter.server.thermal.c1 = 0.08;
+  cfg.datacenter.server.thermal.c2 = 0.05;
+  cfg.datacenter.server.power_model = power::ServerPowerModel::paper_simulation();
+  cfg.target_utilization = 0.4;
+  cfg.warmup_ticks = 2;
+  cfg.measure_ticks = 8;
+  cfg.seed = 3;
+  cfg.sla_inflation = 5.0;
+  return run_simulation(std::move(cfg));
+}
+
+TEST(ResultIo, ProducesWellFormedJson) {
+  const auto r = small_result();
+  std::ostringstream os;
+  write_result_json(os, r);
+  const std::string out = os.str();
+  // Structural sanity (a full parser is out of scope; brace balance and the
+  // expected top-level keys suffice).
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+  EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+            std::count(out.begin(), out.end(), ']'));
+  for (const char* key :
+       {"\"ticks\"", "\"controller\"", "\"servers\"", "\"series\"",
+        "\"supply_w\"", "\"total_power_w\"", "\"qos_satisfaction\"",
+        "\"level1_switches\"", "\"thermal_violation\""}) {
+    EXPECT_NE(out.find(key), std::string::npos) << key;
+  }
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(ResultIo, DisabledSeriesOmitted) {
+  SimConfig cfg;
+  cfg.datacenter.server.thermal.c1 = 0.08;
+  cfg.datacenter.server.thermal.c2 = 0.05;
+  cfg.datacenter.server.power_model = power::ServerPowerModel::paper_simulation();
+  cfg.warmup_ticks = 1;
+  cfg.measure_ticks = 4;
+  const auto r = run_simulation(std::move(cfg));
+  std::ostringstream os;
+  write_result_json(os, r);
+  EXPECT_EQ(os.str().find("\"pue\""), std::string::npos);
+  EXPECT_EQ(os.str().find("\"qos_satisfaction\""), std::string::npos);
+}
+
+TEST(ResultIo, TickCountMatches) {
+  const auto r = small_result();
+  std::ostringstream os;
+  write_result_json(os, r);
+  EXPECT_NE(os.str().find("\"ticks\":8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace willow::sim

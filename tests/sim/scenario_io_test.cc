@@ -1,0 +1,240 @@
+#include "sim/scenario_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace willow::sim {
+namespace {
+
+SimConfig parse(const std::string& text) {
+  std::istringstream is(text);
+  return parse_scenario(is);
+}
+
+TEST(ScenarioIo, EmptyInputYieldsDefaults) {
+  const auto cfg = parse("");
+  EXPECT_DOUBLE_EQ(cfg.target_utilization, 0.5);
+  EXPECT_EQ(cfg.datacenter.layout.total_servers(), 18u);
+  EXPECT_DOUBLE_EQ(cfg.datacenter.server.thermal.c1, 0.08);
+}
+
+TEST(ScenarioIo, CommentsAndBlanksIgnored) {
+  const auto cfg = parse(R"(
+# a comment
+utilization = 0.7   # trailing comment
+
+seed = 99
+)");
+  EXPECT_DOUBLE_EQ(cfg.target_utilization, 0.7);
+  EXPECT_EQ(cfg.seed, 99ull);
+}
+
+TEST(ScenarioIo, LayoutKeys) {
+  const auto cfg = parse(
+      "zones = 3\nracks_per_zone = 2\nservers_per_rack = 4\n");
+  EXPECT_EQ(cfg.datacenter.layout.zones, 3u);
+  EXPECT_EQ(cfg.datacenter.layout.racks_per_zone, 2u);
+  EXPECT_EQ(cfg.datacenter.layout.servers_per_rack, 4u);
+  EXPECT_EQ(cfg.datacenter.layout.total_servers(), 24u);
+}
+
+TEST(ScenarioIo, ControllerKeys) {
+  const auto cfg = parse(R"(
+margin_w = 2.5
+migration_cost_w = 0.75
+eta1 = 3
+eta2 = 9
+consolidation_threshold = 0.3
+packing = bfd
+allocation = capacity
+prefer_local = false
+enforce_unidirectional = no
+shedding = degrade
+degraded_service_level = 0.6
+)");
+  EXPECT_DOUBLE_EQ(cfg.controller.margin.value(), 2.5);
+  EXPECT_DOUBLE_EQ(cfg.controller.migration_cost.value(), 0.75);
+  EXPECT_EQ(cfg.controller.eta1, 3);
+  EXPECT_EQ(cfg.controller.eta2, 9);
+  EXPECT_EQ(cfg.controller.packing, binpack::Algorithm::kBestFitDecreasing);
+  EXPECT_EQ(cfg.controller.allocation,
+            core::AllocationPolicy::kProportionalToCapacity);
+  EXPECT_FALSE(cfg.controller.prefer_local);
+  EXPECT_FALSE(cfg.controller.enforce_unidirectional);
+  EXPECT_EQ(cfg.controller.shedding, core::SheddingPolicy::kDegradeThenDrop);
+  EXPECT_DOUBLE_EQ(cfg.controller.degraded_service_level, 0.6);
+}
+
+TEST(ScenarioIo, HotZoneOverrides) {
+  const auto cfg = parse(
+      "servers_per_rack = 3\nhot_zone_servers = 4\nhot_ambient_c = 40\n");
+  ASSERT_EQ(cfg.datacenter.ambient_overrides.size(), 18u);
+  EXPECT_DOUBLE_EQ(cfg.datacenter.ambient_overrides[13].value(), 25.0);
+  EXPECT_DOUBLE_EQ(cfg.datacenter.ambient_overrides[14].value(), 40.0);
+  EXPECT_DOUBLE_EQ(cfg.datacenter.ambient_overrides[17].value(), 40.0);
+}
+
+TEST(ScenarioIo, HotZoneLargerThanFleetFails) {
+  EXPECT_THROW(parse("hot_zone_servers = 100\n"), std::runtime_error);
+}
+
+TEST(ScenarioIo, SupplyVariants) {
+  auto cfg = parse("supply = constant 500\n");
+  EXPECT_DOUBLE_EQ(cfg.supply->at(util::Seconds{3.0}).value(), 500.0);
+
+  cfg = parse("supply = steps 100 200 300\n");
+  EXPECT_DOUBLE_EQ(cfg.supply->at(util::Seconds{1.5}).value(), 200.0);
+
+  cfg = parse("supply = sine 100 50 4\n");
+  EXPECT_NEAR(cfg.supply->at(util::Seconds{1.0}).value(), 150.0, 1e-9);
+
+  cfg = parse("supply = solar 220 350 48 0.4 11\n");
+  EXPECT_DOUBLE_EQ(cfg.supply->at(util::Seconds{0.0}).value(), 220.0);
+
+  cfg = parse("supply = fig15\n");
+  EXPECT_DOUBLE_EQ(cfg.supply->at(util::Seconds{7.0}).value(), 610.0);
+
+  cfg = parse("supply = fig19\n");
+  EXPECT_NEAR(cfg.supply->at(util::Seconds{0.0}).value(), 760.0, 1e-9);
+}
+
+TEST(ScenarioIo, SupplyFromCsvFile) {
+  const std::string path = ::testing::TempDir() + "/willow_supply_trace.csv";
+  {
+    std::ofstream f(path);
+    f << "t,watts\n0,111\n1,222\n";
+  }
+  const auto cfg = parse("supply = csv " + path + "\n");
+  EXPECT_DOUBLE_EQ(cfg.supply->at(util::Seconds{0.0}).value(), 111.0);
+  EXPECT_DOUBLE_EQ(cfg.supply->at(util::Seconds{1.5}).value(), 222.0);
+  std::remove(path.c_str());
+  EXPECT_THROW(parse("supply = csv /no/such/file.csv\n"), std::runtime_error);
+}
+
+TEST(ScenarioIo, IntensityVariants) {
+  auto cfg = parse("intensity = constant 0.8\n");
+  ASSERT_TRUE(cfg.intensity);
+  EXPECT_DOUBLE_EQ(cfg.intensity->at(util::Seconds{5.0}), 0.8);
+
+  cfg = parse("intensity = diurnal 1 0.4 48\n");
+  EXPECT_NEAR(cfg.intensity->at(util::Seconds{12.0}), 1.4, 1e-12);
+
+  cfg = parse("intensity = diurnal 1 0.4 48 12\n");
+  EXPECT_NEAR(cfg.intensity->at(util::Seconds{24.0}), 1.4, 1e-12);
+
+  cfg = parse("intensity = trace 0.5 1.0 1.5\n");
+  EXPECT_DOUBLE_EQ(cfg.intensity->at(util::Seconds{1.0}), 1.0);
+
+  EXPECT_THROW(parse("intensity = waves 1 2\n"), std::runtime_error);
+  EXPECT_THROW(parse("intensity = diurnal 1\n"), std::runtime_error);
+}
+
+TEST(ScenarioIo, ExtensionKeys) {
+  const auto cfg = parse(
+      "sla_inflation = 5\nreport_loss_probability = 0.1\n"
+      "migration_periods_per_gib = 2\nrack_circuit_w = 120\n");
+  EXPECT_DOUBLE_EQ(cfg.sla_inflation, 5.0);
+  EXPECT_DOUBLE_EQ(cfg.report_loss_probability, 0.1);
+  EXPECT_DOUBLE_EQ(cfg.controller.migration_periods_per_gib, 2.0);
+  ASSERT_TRUE(cfg.rack_circuit_limit.has_value());
+  EXPECT_DOUBLE_EQ(cfg.rack_circuit_limit->value(), 120.0);
+  EXPECT_THROW(parse("report_loss_probability = 1.5\n"), std::runtime_error);
+}
+
+TEST(ScenarioIo, CoolingKey) {
+  auto cfg = parse("cooling_cop = 4.0\n");
+  ASSERT_TRUE(cfg.cooling.has_value());
+  EXPECT_DOUBLE_EQ(cfg.cooling->cop(util::Celsius{25.0}), 4.0);
+  EXPECT_FALSE(parse("").cooling.has_value());
+}
+
+TEST(ScenarioIo, IpcAndWorkloadKeys) {
+  const auto cfg = parse(
+      "ipc_chain_fraction = 0.5\nipc_flow_units = 0.1\n"
+      "priority_levels = 3\ndemand_quantum_w = 0.5\n");
+  EXPECT_DOUBLE_EQ(cfg.ipc_chain_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.ipc_flow_units, 0.1);
+  EXPECT_EQ(cfg.mix.priority_levels, 3);
+  EXPECT_DOUBLE_EQ(cfg.demand_quantum.value(), 0.5);
+}
+
+TEST(ScenarioIo, ErrorsCarryLineNumbers) {
+  try {
+    parse("utilization = 0.5\nbogus_key = 3\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bogus_key"), std::string::npos);
+  }
+}
+
+TEST(ScenarioIo, MalformedInputsFail) {
+  EXPECT_THROW(parse("utilization 0.5\n"), std::runtime_error);      // no '='
+  EXPECT_THROW(parse("utilization = abc\n"), std::runtime_error);    // NaN
+  EXPECT_THROW(parse("utilization = 99\n"), std::runtime_error);     // range
+  EXPECT_THROW(parse("eta1 = 2.5\n"), std::runtime_error);           // non-int
+  EXPECT_THROW(parse("prefer_local = maybe\n"), std::runtime_error); // bool
+  EXPECT_THROW(parse("supply = warp 9\n"), std::runtime_error);      // kind
+  EXPECT_THROW(parse("supply = sine 1\n"), std::runtime_error);      // arity
+  EXPECT_THROW(parse("packing = quantum\n"), std::runtime_error);
+  EXPECT_THROW(parse("= 5\n"), std::runtime_error);
+  // Cross-field validation still applies (eta2 must exceed eta1).
+  EXPECT_THROW(parse("eta1 = 7\neta2 = 7\n"), std::runtime_error);
+}
+
+TEST(ScenarioIo, LoadFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/willow_scenario_test.txt";
+  {
+    std::ofstream f(path);
+    f << "utilization = 0.25\nseed = 7\nsupply = constant 400\n";
+  }
+  const auto cfg = load_scenario_file(path);
+  EXPECT_DOUBLE_EQ(cfg.target_utilization, 0.25);
+  EXPECT_EQ(cfg.seed, 7ull);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_scenario_file("/no/such/file"), std::runtime_error);
+}
+
+TEST(ScenarioIo, FuzzedInputNeverCrashes) {
+  // Random line soup: the parser must always either succeed or throw
+  // runtime_error with a line number — never crash or throw anything else.
+  util::Rng rng(99);
+  const std::vector<std::string> keys{
+      "utilization", "seed",  "zones",   "margin_w", "supply",
+      "packing",     "bogus", "eta1",    "shedding", "intensity",
+      "sla_inflation", "",    "  # c",   "alpha"};
+  const std::vector<std::string> values{
+      "0.5", "abc",      "-3",       "1e9", "constant 100", "ffdlr",
+      "",    "= = =",    "true",     "nan", "diurnal 1",    "0.7",
+      "steps", "csv /no/file", "1.5.2"};
+  for (int round = 0; round < 300; ++round) {
+    std::string text;
+    const int lines = rng.uniform_int(0, 6);
+    for (int l = 0; l < lines; ++l) {
+      text += keys[rng.index(keys.size())];
+      if (rng.chance(0.8)) text += " = ";
+      text += values[rng.index(values.size())];
+      text += "\n";
+    }
+    try {
+      std::istringstream is(text);
+      (void)parse_scenario(is);
+    } catch (const std::runtime_error&) {
+      // expected for malformed soup
+    }
+  }
+  SUCCEED();
+}
+
+TEST(ScenarioIo, ParsedConfigActuallyRuns) {
+  auto cfg = parse(
+      "utilization = 0.3\nwarmup_ticks = 5\nmeasure_ticks = 10\nseed = 1\n");
+  const auto r = run_simulation(std::move(cfg));
+  EXPECT_EQ(r.ticks, 10);
+}
+
+}  // namespace
+}  // namespace willow::sim

@@ -1,0 +1,155 @@
+#include "thermal/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace willow::thermal {
+namespace {
+
+using namespace willow::util::literals;
+
+ThermalParams sim_truth() {
+  ThermalParams p;
+  p.c1 = 0.08;
+  p.c2 = 0.05;
+  p.ambient = 25_degC;
+  p.limit = 70_degC;
+  p.nameplate = 450_W;
+  return p;
+}
+
+ThermalParams testbed_truth() {
+  ThermalParams p;
+  p.c1 = 0.2;
+  p.c2 = 0.008;
+  p.ambient = 25_degC;
+  p.limit = 70_degC;
+  p.nameplate = 250_W;
+  return p;
+}
+
+std::vector<Watts> step_schedule() {
+  return {Watts{0}, Watts{80}, Watts{160}, Watts{240}, Watts{60}, Watts{200}};
+}
+
+TEST(Calibration, FitRejectsTinyTraces) {
+  EXPECT_THROW(fit_thermal_constants({}, 25_degC), std::invalid_argument);
+  std::vector<TraceSample> two = {{0_W, 0_s, 25_degC}, {10_W, 1_s, 26_degC}};
+  EXPECT_THROW(fit_thermal_constants(two, 25_degC), std::invalid_argument);
+}
+
+TEST(Calibration, FitRejectsNonPositiveDt) {
+  std::vector<TraceSample> t = {{0_W, 0_s, 25_degC},
+                                {10_W, Seconds{0.0}, 26_degC},
+                                {10_W, 1_s, 27_degC}};
+  EXPECT_THROW(fit_thermal_constants(t, 25_degC), std::invalid_argument);
+}
+
+TEST(Calibration, FitRejectsUnexcitingTrace) {
+  // Constant temperature at ambient with zero power: singular system.
+  std::vector<TraceSample> t(10, {0_W, 1_s, 25_degC});
+  t.front().dt = 0_s;
+  EXPECT_THROW(fit_thermal_constants(t, 25_degC), std::runtime_error);
+}
+
+TEST(Calibration, RecoversTruthFromCleanTrace) {
+  const auto truth = sim_truth();
+  const auto trace = synthesize_trace(truth, step_schedule(), Seconds{10.0},
+                                      Seconds{0.25}, 0.0, 1);
+  const FitResult fit = fit_thermal_constants(trace, truth.ambient);
+  // Finite differencing of the exact solution carries O(dt) bias.
+  EXPECT_NEAR(fit.c1, truth.c1, truth.c1 * 0.02);
+  EXPECT_NEAR(fit.c2, truth.c2, truth.c2 * 0.02);
+  EXPECT_LT(fit.rms_residual, 0.05);
+}
+
+TEST(Calibration, RecoversTestbedConstantsWithNoise) {
+  // Section V-C2: the experiment fitted c1 = 0.2, c2 = 0.008 from noisy
+  // sensor data.
+  const auto truth = testbed_truth();
+  const auto trace = synthesize_trace(truth, step_schedule(), Seconds{60.0},
+                                      Seconds{0.5}, 0.15, 99);
+  const FitResult fit = fit_thermal_constants(trace, truth.ambient);
+  EXPECT_NEAR(fit.c1, 0.2, 0.03);
+  EXPECT_NEAR(fit.c2, 0.008, 0.004);
+}
+
+class CalibrationNoise : public ::testing::TestWithParam<unsigned long long> {};
+
+TEST_P(CalibrationNoise, FitStaysNearTruthAcrossSeeds) {
+  const auto truth = sim_truth();
+  const auto trace = synthesize_trace(truth, step_schedule(), Seconds{20.0},
+                                      Seconds{0.25}, 0.2, GetParam());
+  const FitResult fit = fit_thermal_constants(trace, truth.ambient);
+  EXPECT_NEAR(fit.c1, truth.c1, truth.c1 * 0.25);
+  EXPECT_NEAR(fit.c2, truth.c2, truth.c2 * 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CalibrationNoise,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Calibration, SynthesizeTraceValidatesArguments) {
+  EXPECT_THROW(synthesize_trace(sim_truth(), step_schedule(), Seconds{1.0},
+                                Seconds{0.0}, 0.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(synthesize_trace(sim_truth(), step_schedule(), Seconds{0.5},
+                                Seconds{1.0}, 0.0, 1),
+               std::invalid_argument);
+}
+
+TEST(Calibration, SynthesizedTraceLengthAndDeterminism) {
+  const auto a = synthesize_trace(sim_truth(), step_schedule(), Seconds{5.0},
+                                  Seconds{1.0}, 0.1, 7);
+  const auto b = synthesize_trace(sim_truth(), step_schedule(), Seconds{5.0},
+                                  Seconds{1.0}, 0.1, 7);
+  ASSERT_EQ(a.size(), 1 + step_schedule().size() * 5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].temperature.value(), b[i].temperature.value());
+  }
+}
+
+TEST(Calibration, PowerLimitCurveShapeMonotone) {
+  const auto curve =
+      power_limit_curve(sim_truth(), 25_degC, 70_degC, 20, Seconds{1.0});
+  ASSERT_EQ(curve.size(), 20u);
+  // Hotter component => lower accommodated power (Fig. 14's falling line).
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].power_limit.value(),
+              curve[i - 1].power_limit.value() + 1e-9);
+  }
+  // delta_ambient axis is Ta - T0 (negative when hotter than ambient).
+  EXPECT_DOUBLE_EQ(curve.front().delta_ambient.value(), 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().delta_ambient.value(), -45.0);
+}
+
+TEST(Calibration, PowerLimitCurveNeedsTwoSteps) {
+  EXPECT_THROW(power_limit_curve(sim_truth(), 25_degC, 70_degC, 1, 1_s),
+               std::invalid_argument);
+}
+
+TEST(Calibration, SelectConstantsPrefersNameplateMatch) {
+  // Candidates around the paper's Fig.-4 choice; the (0.08, 0.05) pair gives
+  // ~450 W at cold start for a ~1.3-unit window and should win.
+  std::vector<ThermalParams> candidates;
+  for (double c1 : {0.04, 0.08, 0.16}) {
+    for (double c2 : {0.025, 0.05, 0.1}) {
+      ThermalParams p = sim_truth();
+      p.c1 = c1;
+      p.c2 = c2;
+      p.nameplate = Watts{1e9};  // unclamped; selection compares against 450
+      candidates.push_back(p);
+    }
+  }
+  for (auto& p : candidates) p.nameplate = 450_W;
+  const std::size_t idx = select_constants(candidates, Seconds{1.3});
+  EXPECT_DOUBLE_EQ(candidates[idx].c1, 0.08);
+  EXPECT_DOUBLE_EQ(candidates[idx].c2, 0.05);
+}
+
+TEST(Calibration, SelectConstantsRejectsEmpty) {
+  EXPECT_THROW(select_constants({}, 1_s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace willow::thermal

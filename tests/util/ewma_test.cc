@@ -1,0 +1,93 @@
+#include "util/ewma.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace willow::util {
+namespace {
+
+using namespace willow::util::literals;
+
+TEST(Ewma, RejectsBadAlpha) {
+  EXPECT_THROW(Ewma<double>(0.0), std::invalid_argument);
+  EXPECT_THROW(Ewma<double>(-0.5), std::invalid_argument);
+  EXPECT_THROW(Ewma<double>(1.5), std::invalid_argument);
+  EXPECT_NO_THROW(Ewma<double>(1.0));
+  EXPECT_NO_THROW(Ewma<double>(0.001));
+}
+
+TEST(Ewma, FirstSampleSeedsWithoutBias) {
+  Ewma<double> s(0.3);
+  EXPECT_FALSE(s.seeded());
+  EXPECT_DOUBLE_EQ(s.update(100.0), 100.0);
+  EXPECT_TRUE(s.seeded());
+}
+
+TEST(Ewma, MatchesEquation4) {
+  // CP = alpha * CP_now + (1 - alpha) * CP_old (Eq. 4 of the paper).
+  Ewma<double> s(0.25);
+  s.update(100.0);
+  EXPECT_DOUBLE_EQ(s.update(200.0), 0.25 * 200.0 + 0.75 * 100.0);
+  const double prev = s.value();
+  EXPECT_DOUBLE_EQ(s.update(80.0), 0.25 * 80.0 + 0.75 * prev);
+}
+
+TEST(Ewma, AlphaOneIsPassThrough) {
+  Ewma<double> s(1.0);
+  s.update(10.0);
+  EXPECT_DOUBLE_EQ(s.update(55.0), 55.0);
+  EXPECT_DOUBLE_EQ(s.update(-3.0), -3.0);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma<double> s(0.3);
+  for (int i = 0; i < 200; ++i) s.update(42.0);
+  EXPECT_NEAR(s.value(), 42.0, 1e-9);
+}
+
+TEST(Ewma, ConvergesFromDifferentSeed) {
+  Ewma<double> s(0.5);
+  s.update(0.0);
+  for (int i = 0; i < 60; ++i) s.update(100.0);
+  EXPECT_NEAR(s.value(), 100.0, 1e-9);
+}
+
+TEST(Ewma, ResetForgetsHistory) {
+  Ewma<double> s(0.5);
+  s.update(100.0);
+  s.reset();
+  EXPECT_FALSE(s.seeded());
+  EXPECT_DOUBLE_EQ(s.update(7.0), 7.0);
+}
+
+TEST(Ewma, WorksWithUnitTypes) {
+  Ewma<Watts> s(0.5);
+  s.update(100_W);
+  EXPECT_DOUBLE_EQ(s.update(200_W).value(), 150.0);
+}
+
+TEST(Ewma, SmallerAlphaRespondsSlower) {
+  Ewma<double> slow(0.1);
+  Ewma<double> fast(0.9);
+  slow.update(0.0);
+  fast.update(0.0);
+  slow.update(100.0);
+  fast.update(100.0);
+  EXPECT_LT(slow.value(), fast.value());
+}
+
+class EwmaConvergence : public ::testing::TestWithParam<double> {};
+
+TEST_P(EwmaConvergence, StepResponseConvergesForAllAlphas) {
+  Ewma<double> s(GetParam());
+  s.update(0.0);
+  for (int i = 0; i < 2000; ++i) s.update(1.0);
+  EXPECT_NEAR(s.value(), 1.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, EwmaConvergence,
+                         ::testing::Values(0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0));
+
+}  // namespace
+}  // namespace willow::util

@@ -1,0 +1,119 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+namespace willow::util {
+namespace {
+
+std::string render(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  body(w);
+  w.finish();
+  return os.str();
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(render([](JsonWriter& w) { w.begin_object().end_object(); }), "{}");
+  EXPECT_EQ(render([](JsonWriter& w) { w.begin_array().end_array(); }), "[]");
+}
+
+TEST(Json, ObjectWithMixedValues) {
+  const auto out = render([](JsonWriter& w) {
+    w.begin_object();
+    w.key("s").value("hi");
+    w.key("i").value(42);
+    w.key("d").value(1.5);
+    w.key("b").value(true);
+    w.key("n").null();
+    w.end_object();
+  });
+  EXPECT_EQ(out, R"({"s":"hi","i":42,"d":1.5,"b":true,"n":null})");
+}
+
+TEST(Json, NestedArraysAndObjects) {
+  const auto out = render([](JsonWriter& w) {
+    w.begin_object();
+    w.key("xs").begin_array();
+    w.value(1).value(2);
+    w.begin_object().key("k").value("v").end_object();
+    w.end_array();
+    w.end_object();
+  });
+  EXPECT_EQ(out, R"({"xs":[1,2,{"k":"v"}]})");
+}
+
+TEST(Json, StringEscaping) {
+  const auto out = render([](JsonWriter& w) {
+    w.begin_array();
+    w.value("a\"b\\c\nd\te");
+    w.value(std::string("ctrl\x01"));
+    w.end_array();
+  });
+  EXPECT_EQ(out, "[\"a\\\"b\\\\c\\nd\\te\",\"ctrl\\u0001\"]");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  const auto out = render([](JsonWriter& w) {
+    w.begin_array();
+    w.value(std::numeric_limits<double>::infinity());
+    w.value(std::nan(""));
+    w.value(3.0);
+    w.end_array();
+  });
+  EXPECT_EQ(out, "[null,null,3]");
+}
+
+TEST(Json, DoublesRoundTrip) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.value(0.1234567890123456789);
+  EXPECT_DOUBLE_EQ(std::stod(os.str()), 0.1234567890123456789);
+}
+
+TEST(Json, NumberArrayHelper) {
+  const auto out = render([](JsonWriter& w) {
+    w.begin_object();
+    w.number_array("xs", {1.0, 2.5});
+    w.end_object();
+  });
+  EXPECT_EQ(out, R"({"xs":[1,2.5]})");
+}
+
+TEST(Json, MisuseThrows) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.value(1), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter w(os);
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key in array
+  }
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    w.key("a");
+    EXPECT_THROW(w.key("b"), std::logic_error);  // two keys
+  }
+  {
+    JsonWriter w(os);
+    EXPECT_THROW(w.end_object(), std::logic_error);
+    EXPECT_THROW(w.end_array(), std::logic_error);
+  }
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.finish(), std::logic_error);  // unterminated
+  }
+}
+
+}  // namespace
+}  // namespace willow::util

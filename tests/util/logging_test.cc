@@ -1,0 +1,61 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace willow::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kOff); }
+};
+
+TEST_F(LoggingTest, DefaultLevelIsOff) {
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, SetAndGetLevel) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, LevelsAreOrdered) {
+  EXPECT_LT(LogLevel::kOff, LogLevel::kError);
+  EXPECT_LT(LogLevel::kError, LogLevel::kWarn);
+  EXPECT_LT(LogLevel::kWarn, LogLevel::kInfo);
+  EXPECT_LT(LogLevel::kInfo, LogLevel::kDebug);
+  EXPECT_LT(LogLevel::kDebug, LogLevel::kTrace);
+}
+
+TEST_F(LoggingTest, SuppressedMacroDoesNotEvaluateStream) {
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "payload";
+  };
+  WILLOW_INFO() << expensive();
+  EXPECT_EQ(evaluations, 0) << "stream expression ran while suppressed";
+  set_log_level(LogLevel::kInfo);
+  WILLOW_INFO() << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, EmitsToStderrAtOrBelowThreshold) {
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  WILLOW_ERROR() << "boom";
+  WILLOW_INFO() << "hello";
+  WILLOW_DEBUG() << "hidden";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("boom"), std::string::npos);
+  EXPECT_NE(out.find("hello"), std::string::npos);
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("ERROR"), std::string::npos);
+  EXPECT_NE(out.find("INFO"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace willow::util

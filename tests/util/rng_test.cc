@@ -1,0 +1,125 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace willow::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0, 1) == b.uniform(0, 1)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(3.0, 9.0);
+    EXPECT_GE(x, 3.0);
+    EXPECT_LT(x, 9.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int x = rng.uniform_int(2, 5);
+    EXPECT_GE(x, 2);
+    EXPECT_LE(x, 5);
+    saw_lo |= x == 2;
+    saw_hi |= x == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, PoissonMeanApproximatesLambda) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.poisson(6.5));
+  EXPECT_NEAR(s.mean(), 6.5, 0.15);
+}
+
+TEST(Rng, PoissonVarianceApproximatesLambda) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.poisson(4.0));
+  EXPECT_NEAR(s.variance(), 4.0, 0.3);
+}
+
+TEST(Rng, PoissonZeroAndNegativeMeanIsZero) {
+  Rng rng(5);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+  EXPECT_EQ(rng.poisson(-3.0), 0);
+}
+
+TEST(Rng, GaussianZeroStddevIsZero) {
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(rng.gaussian(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(rng.gaussian(-1.0), 0.0);
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Rng rng(17);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.gaussian(2.0));
+  EXPECT_NEAR(s.mean(), 0.0, 0.06);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.08);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(19);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.exponential(3.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.12);
+}
+
+TEST(Rng, ChanceProbabilityApproximatesP) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, IndexCoversRange) {
+  Rng rng(29);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) ++counts[rng.index(5)];
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.fork();
+  // The fork consumed state: parent continues, child is distinct.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0, 1) == child.uniform(0, 1)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+}  // namespace
+}  // namespace willow::util

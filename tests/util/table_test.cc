@@ -1,0 +1,90 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace willow::util {
+namespace {
+
+TEST(Table, RejectsEmptyColumns) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, PrintsAlignedHeaderAndRows) {
+  Table t({"name", "watts"});
+  t.row().add("serverA").add(123.456);
+  t.row().add("b").add(1.0);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("watts"), std::string::npos);
+  EXPECT_NE(out.find("serverA"), std::string::npos);
+  EXPECT_NE(out.find("123.456"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, PrecisionControlsDoubles) {
+  Table t({"x"});
+  t.set_precision(1);
+  t.row().add(2.71828);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("2.7"), std::string::npos);
+  EXPECT_EQ(os.str().find("2.71"), std::string::npos);
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"a", "b"});
+  t.row().add("x").add(2LL);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,2\n");
+}
+
+TEST(Table, CsvQuotesSpecialCharacters) {
+  Table t({"a"});
+  t.row().add("hello, \"world\"");
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(Table, ImplicitRowOnFirstAdd) {
+  Table t({"a"});
+  t.add("v");  // no explicit row()
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, IntegerOverloads) {
+  Table t({"a", "b", "c"});
+  t.row().add(1).add(std::size_t{2}).add(3LL);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(Table, WriteCsvFileRoundTrip) {
+  Table t({"k", "v"});
+  t.row().add("key").add(9.5);
+  const std::string path = ::testing::TempDir() + "/willow_table_test.csv";
+  ASSERT_TRUE(t.write_csv_file(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(f, line);
+  EXPECT_EQ(line, "key,9.500");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvFileFailsOnBadPath) {
+  Table t({"a"});
+  EXPECT_FALSE(t.write_csv_file("/nonexistent-dir-xyz/file.csv"));
+}
+
+}  // namespace
+}  // namespace willow::util

@@ -1,0 +1,83 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace willow::util {
+namespace {
+
+TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ExplicitSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, TasksCanSubmitMoreWork) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ParallelFor, ComputesDeterministicResult) {
+  ThreadPool pool(4);
+  std::vector<double> out(1000, 0.0);
+  parallel_for(pool, out.size(),
+               [&](std::size_t i) { out[i] = static_cast<double>(i) * 2.0; });
+  double sum = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 999.0 * 1000.0);
+}
+
+TEST(ThreadPool, ManySmallBatchesDoNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 10; ++i) pool.submit([&] { ++counter; });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+}  // namespace
+}  // namespace willow::util

@@ -1,0 +1,43 @@
+#include "workload/flows.h"
+
+#include <gtest/gtest.h>
+
+namespace willow::workload {
+namespace {
+
+TEST(FlowSet, ValidatesEndpoints) {
+  FlowSet set;
+  EXPECT_THROW(set.add({kInvalidApp, 2, 1.0}), std::invalid_argument);
+  EXPECT_THROW(set.add({1, kInvalidApp, 1.0}), std::invalid_argument);
+  EXPECT_THROW(set.add({3, 3, 1.0}), std::invalid_argument);
+  EXPECT_THROW(set.add({1, 2, -1.0}), std::invalid_argument);
+  EXPECT_NO_THROW(set.add({1, 2, 1.0}));
+}
+
+TEST(FlowSet, TotalsAndSize) {
+  FlowSet set;
+  EXPECT_TRUE(set.empty());
+  set.add({1, 2, 1.5});
+  set.add({2, 3, 0.5});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_DOUBLE_EQ(set.total_units(), 2.0);
+}
+
+TEST(ChainFlows, WiresAdjacentPairs) {
+  const auto set = chain_flows({{1, 2, 3}, {10, 11}}, 0.25);
+  ASSERT_EQ(set.size(), 3u);  // (1,2), (2,3), (10,11)
+  EXPECT_EQ(set.flows()[0].a, 1u);
+  EXPECT_EQ(set.flows()[0].b, 2u);
+  EXPECT_EQ(set.flows()[1].a, 2u);
+  EXPECT_EQ(set.flows()[1].b, 3u);
+  EXPECT_EQ(set.flows()[2].a, 10u);
+  EXPECT_DOUBLE_EQ(set.total_units(), 0.75);
+}
+
+TEST(ChainFlows, SingletonAndEmptyGroupsProduceNothing) {
+  const auto set = chain_flows({{1}, {}}, 0.25);
+  EXPECT_TRUE(set.empty());
+}
+
+}  // namespace
+}  // namespace willow::workload

@@ -1,0 +1,85 @@
+#include "workload/intensity.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workload/demand.h"
+
+namespace willow::workload {
+namespace {
+
+using namespace willow::util::literals;
+using util::Seconds;
+
+TEST(ConstantIntensity, DefaultsToNominal) {
+  ConstantIntensity c;
+  EXPECT_DOUBLE_EQ(c.at(Seconds{0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(c.at(Seconds{1e9}), 1.0);
+  EXPECT_THROW(ConstantIntensity(-0.1), std::invalid_argument);
+}
+
+TEST(DiurnalIntensity, Validation) {
+  EXPECT_THROW(DiurnalIntensity(-1.0, 0.5, Seconds{24.0}),
+               std::invalid_argument);
+  EXPECT_THROW(DiurnalIntensity(1.0, -0.5, Seconds{24.0}),
+               std::invalid_argument);
+  EXPECT_THROW(DiurnalIntensity(1.0, 0.5, Seconds{0.0}),
+               std::invalid_argument);
+}
+
+TEST(DiurnalIntensity, SineShape) {
+  DiurnalIntensity d(1.0, 0.4, Seconds{24.0});
+  EXPECT_NEAR(d.at(Seconds{0.0}), 1.0, 1e-12);
+  EXPECT_NEAR(d.at(Seconds{6.0}), 1.4, 1e-12);   // quarter period peak
+  EXPECT_NEAR(d.at(Seconds{18.0}), 0.6, 1e-12);  // trough
+  EXPECT_NEAR(d.at(Seconds{24.0}), 1.0, 1e-9);   // periodic
+}
+
+TEST(DiurnalIntensity, PhaseShiftsAndClamping) {
+  DiurnalIntensity shifted(1.0, 0.4, Seconds{24.0}, Seconds{6.0});
+  EXPECT_NEAR(shifted.at(Seconds{12.0}), 1.4, 1e-12);
+  DiurnalIntensity deep(0.2, 1.0, Seconds{24.0});
+  EXPECT_DOUBLE_EQ(deep.at(Seconds{18.0}), 0.0);  // clamped at zero
+}
+
+TEST(TraceIntensity, Validation) {
+  EXPECT_THROW(TraceIntensity({}, Seconds{1.0}), std::invalid_argument);
+  EXPECT_THROW(TraceIntensity({1.0}, Seconds{0.0}), std::invalid_argument);
+  EXPECT_THROW(TraceIntensity({1.0, -0.5}, Seconds{1.0}),
+               std::invalid_argument);
+}
+
+TEST(TraceIntensity, StepsAndPersistence) {
+  TraceIntensity t({0.5, 1.0, 1.5}, Seconds{2.0});
+  EXPECT_DOUBLE_EQ(t.at(Seconds{-1.0}), 0.5);
+  EXPECT_DOUBLE_EQ(t.at(Seconds{0.0}), 0.5);
+  EXPECT_DOUBLE_EQ(t.at(Seconds{2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(Seconds{5.5}), 1.5);
+  EXPECT_DOUBLE_EQ(t.at(Seconds{100.0}), 1.5);
+}
+
+TEST(IntensityDemand, ScalesPoissonMean) {
+  PoissonDemand demand(1_W);
+  util::Rng rng(9);
+  Application app(1, 0, 40_W, 512_MB);
+  util::RunningStats low, high;
+  for (int i = 0; i < 5000; ++i) {
+    demand.refresh(app, rng, 0.5);
+    low.add(app.demand().value());
+    demand.refresh(app, rng, 1.5);
+    high.add(app.demand().value());
+  }
+  EXPECT_NEAR(low.mean(), 20.0, 0.5);
+  EXPECT_NEAR(high.mean(), 60.0, 0.8);
+}
+
+TEST(IntensityDemand, NegativeIntensityRejected) {
+  PoissonDemand demand(1_W);
+  util::Rng rng(9);
+  Application app(1, 0, 40_W, 512_MB);
+  EXPECT_THROW(demand.refresh(app, rng, -0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace willow::workload

@@ -1,0 +1,124 @@
+#include "workload/mix.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/stats.h"
+
+namespace willow::workload {
+namespace {
+
+using namespace willow::util::literals;
+
+MixConfig paper_mix(double target_w) {
+  MixConfig cfg;
+  cfg.unit_power = 10_W;
+  cfg.target_mean_per_server = util::Watts{target_w};
+  return cfg;
+}
+
+TEST(Mix, ValidatesInputs) {
+  AppIdAllocator ids;
+  util::Rng rng(1);
+  MixConfig cfg = paper_mix(100.0);
+  cfg.unit_power = Watts{0.0};
+  EXPECT_THROW(build_mix(cfg, ids, rng), std::invalid_argument);
+  std::vector<AppClass> empty;
+  cfg = paper_mix(100.0);
+  cfg.catalog = &empty;
+  EXPECT_THROW(build_mix(cfg, ids, rng), std::invalid_argument);
+}
+
+TEST(Mix, ServerHostsAtLeastOneApp) {
+  AppIdAllocator ids;
+  util::Rng rng(2);
+  // Target below even the smallest app: still one app placed.
+  const auto apps = build_mix(paper_mix(0.1), ids, rng);
+  EXPECT_GE(apps.size(), 1u);
+}
+
+TEST(Mix, TotalMeanNearTarget) {
+  AppIdAllocator ids;
+  util::Rng rng(3);
+  util::RunningStats err;
+  for (int i = 0; i < 200; ++i) {
+    const auto apps = build_mix(paper_mix(200.0), ids, rng);
+    err.add(total_mean_power(apps).value() - 200.0);
+  }
+  // Bias well within half of the largest app (45 W at unit 10).
+  EXPECT_LT(std::abs(err.mean()), 25.0);
+  EXPECT_LT(err.max(), 46.0);
+}
+
+TEST(Mix, AppMeansComeFromCatalog) {
+  AppIdAllocator ids;
+  util::Rng rng(4);
+  const std::set<double> allowed{10.0, 20.0, 50.0, 90.0};
+  const auto apps = build_mix(paper_mix(300.0), ids, rng);
+  for (const auto& a : apps) {
+    EXPECT_TRUE(allowed.contains(a.mean_power().value()))
+        << a.mean_power().value();
+  }
+}
+
+TEST(Mix, UsesAllClassesAcrossManyBuilds) {
+  AppIdAllocator ids;
+  util::Rng rng(5);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 50; ++i) {
+    for (const auto& a : build_mix(paper_mix(150.0), ids, rng)) {
+      seen.insert(a.class_index());
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Mix, ImageSizeScalesWithClass) {
+  AppIdAllocator ids;
+  util::Rng rng(6);
+  MixConfig cfg = paper_mix(300.0);
+  cfg.image_per_unit = 512_MB;
+  for (const auto& a : build_mix(cfg, ids, rng)) {
+    const double rel = a.mean_power().value() / 10.0;
+    EXPECT_DOUBLE_EQ(a.image_size().value(), 512.0 * rel);
+  }
+}
+
+TEST(Mix, DatacenterMixHasUniqueIds) {
+  AppIdAllocator ids;
+  util::Rng rng(7);
+  const auto mixes = build_datacenter_mix(paper_mix(150.0), 18, ids, rng);
+  ASSERT_EQ(mixes.size(), 18u);
+  std::set<AppId> all;
+  for (const auto& server : mixes) {
+    for (const auto& a : server) {
+      EXPECT_TRUE(all.insert(a.id()).second) << "duplicate app id " << a.id();
+    }
+  }
+}
+
+TEST(Mix, Totals) {
+  std::vector<Application> apps;
+  apps.emplace_back(1, 0, 10_W, 512_MB);
+  apps.emplace_back(2, 1, 20_W, 512_MB);
+  apps.back().set_demand(25_W);
+  EXPECT_DOUBLE_EQ(total_mean_power(apps).value(), 30.0);
+  EXPECT_DOUBLE_EQ(total_demand(apps).value(), 35.0);
+  apps.back().set_dropped(true);
+  EXPECT_DOUBLE_EQ(total_demand(apps).value(), 10.0);
+}
+
+TEST(Mix, DeterministicForSeed) {
+  AppIdAllocator ids_a, ids_b;
+  util::Rng rng_a(11), rng_b(11);
+  const auto a = build_mix(paper_mix(200.0), ids_a, rng_a);
+  const auto b = build_mix(paper_mix(200.0), ids_b, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].class_index(), b[i].class_index());
+  }
+}
+
+}  // namespace
+}  // namespace willow::workload

@@ -1,0 +1,97 @@
+#include "workload/qos.h"
+
+#include <gtest/gtest.h>
+
+namespace willow::workload {
+namespace {
+
+TEST(ResponseInflation, MM1Formula) {
+  EXPECT_DOUBLE_EQ(response_inflation(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(response_inflation(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(response_inflation(0.8), 5.0);
+  EXPECT_NEAR(response_inflation(0.9), 10.0, 1e-12);
+}
+
+TEST(ResponseInflation, OverloadSaturates) {
+  EXPECT_DOUBLE_EQ(response_inflation(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(response_inflation(5.0), 100.0);
+  EXPECT_DOUBLE_EQ(response_inflation(0.999, 50.0), 50.0);
+}
+
+TEST(ResponseInflation, Validation) {
+  EXPECT_THROW((void)response_inflation(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)response_inflation(0.5, 0.5), std::invalid_argument);
+}
+
+TEST(ResponseInflation, MonotoneInUtilization) {
+  double prev = 0.0;
+  for (double rho = 0.0; rho < 1.0; rho += 0.05) {
+    const double r = response_inflation(rho);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(SlaUtilizationLimit, InverseOfInflation) {
+  // SLA 5x => may run to 80%.
+  EXPECT_DOUBLE_EQ(sla_utilization_limit(5.0), 0.8);
+  EXPECT_DOUBLE_EQ(sla_utilization_limit(2.0), 0.5);
+  // Consistency: inflation at the limit equals the SLA.
+  for (double sla : {1.5, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(response_inflation(sla_utilization_limit(sla)), sla, 1e-9);
+  }
+  EXPECT_THROW((void)sla_utilization_limit(1.0), std::invalid_argument);
+}
+
+TEST(SlaTracker, Validation) {
+  EXPECT_THROW(SlaTracker(1.0), std::invalid_argument);
+  SlaTracker t(5.0);
+  EXPECT_THROW(t.record(-1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(t.record_denied(-1.0), std::invalid_argument);
+}
+
+TEST(SlaTracker, EmptyIsPerfect) {
+  SlaTracker t(5.0);
+  EXPECT_DOUBLE_EQ(t.satisfaction(), 1.0);
+  EXPECT_DOUBLE_EQ(t.mean_inflation(), 1.0);
+}
+
+TEST(SlaTracker, DemandWeightedSatisfaction) {
+  SlaTracker t(5.0);  // limit = 80% utilization
+  t.record(30.0, 0.5);   // meets
+  t.record(10.0, 0.95);  // violates
+  EXPECT_NEAR(t.satisfaction(), 30.0 / 40.0, 1e-12);
+  EXPECT_EQ(t.samples(), 2u);
+}
+
+TEST(SlaTracker, DeniedDemandViolates) {
+  SlaTracker t(5.0);
+  t.record(50.0, 0.5);
+  t.record_denied(50.0);
+  EXPECT_NEAR(t.satisfaction(), 0.5, 1e-12);
+}
+
+TEST(SlaTracker, MeanInflationWeighted) {
+  SlaTracker t(5.0);
+  t.record(10.0, 0.0);  // inflation 1
+  t.record(10.0, 0.5);  // inflation 2
+  EXPECT_NEAR(t.mean_inflation(), 1.5, 1e-12);
+}
+
+TEST(SlaTracker, ResetClears) {
+  SlaTracker t(5.0);
+  t.record(10.0, 0.95);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.satisfaction(), 1.0);
+  EXPECT_EQ(t.samples(), 0u);
+}
+
+TEST(SlaTracker, ZeroDemandRecordIgnored) {
+  SlaTracker t(5.0);
+  t.record(0.0, 0.99);
+  EXPECT_EQ(t.samples(), 0u);
+  EXPECT_DOUBLE_EQ(t.satisfaction(), 1.0);
+}
+
+}  // namespace
+}  // namespace willow::workload
