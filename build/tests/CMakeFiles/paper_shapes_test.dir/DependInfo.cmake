@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/paper_shapes_test.cc" "tests/CMakeFiles/paper_shapes_test.dir/integration/paper_shapes_test.cc.o" "gcc" "tests/CMakeFiles/paper_shapes_test.dir/integration/paper_shapes_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/willow_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/willow_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/willow_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/willow_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/binpack/CMakeFiles/willow_binpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/willow_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/willow_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/willow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/willow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/willow_testbed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
