@@ -1,8 +1,10 @@
 #include "common.h"
 
+#include <fstream>
 #include <iostream>
 #include <mutex>
 
+#include "util/json.h"
 #include "util/thread_pool.h"
 
 namespace willow::bench {
@@ -22,6 +24,10 @@ sim::SimConfig paper_sim_config(double utilization, unsigned long long seed) {
   cfg.warmup_ticks = 15;
   cfg.measure_ticks = 60;
   cfg.seed = seed;
+  // Benches already fan out across their own ThreadPool (utilization_sweep);
+  // keep every inner simulation serial so pools do not nest.  Results are
+  // bit-identical for any thread count, so this is purely a scheduling choice.
+  cfg.threads = 1;
   return cfg;
 }
 
@@ -86,6 +92,32 @@ void emit(util::Table& table, int argc, char** argv, const std::string& title) {
     }
   }
   std::cout << std::endl;
+}
+
+bool write_perf_json(const std::string& path, const std::string& bench,
+                     const std::vector<PerfPoint>& points) {
+  std::ofstream os(path);
+  if (!os) return false;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("bench").value(bench);
+  w.key("points").begin_array();
+  for (const auto& p : points) {
+    w.begin_object();
+    w.key("scenario").value(p.scenario);
+    w.key("servers").value(p.servers);
+    w.key("threads").value(p.threads);
+    w.key("ticks").value(static_cast<long long>(p.ticks));
+    w.key("wall_seconds").value(p.wall_seconds);
+    w.key("ticks_per_second").value(p.ticks_per_second);
+    w.key("speedup_vs_serial").value(p.speedup_vs_serial);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.finish();
+  os << '\n';
+  return static_cast<bool>(os);
 }
 
 }  // namespace willow::bench

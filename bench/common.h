@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "sim/simulation.h"
 #include "testbed/testbed.h"
@@ -43,5 +44,21 @@ std::vector<SweepPoint> utilization_sweep(const std::vector<double>& points,
 /// Print the table, then write CSV to argv[1] if the caller received one.
 void emit(util::Table& table, int argc, char** argv,
           const std::string& title);
+
+/// One measured configuration of a perf sweep (see perf_tick_scaling.cc).
+struct PerfPoint {
+  std::string scenario;
+  std::size_t servers = 0;
+  std::size_t threads = 0;
+  long ticks = 0;
+  double wall_seconds = 0.0;
+  double ticks_per_second = 0.0;
+  double speedup_vs_serial = 1.0;  ///< vs threads=1 of the same scenario
+};
+
+/// Write a perf sweep as machine-readable JSON (the BENCH_*.json baseline
+/// files the CI smoke run records).  Returns false on I/O failure.
+bool write_perf_json(const std::string& path, const std::string& bench,
+                     const std::vector<PerfPoint>& points);
 
 }  // namespace willow::bench

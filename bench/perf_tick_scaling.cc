@@ -1,0 +1,125 @@
+// Perf baseline for the parallel tick engine: servers x threads scaling.
+//
+// Sweeps datacenter size against tick-engine thread count and times the tick
+// loop (Simulation::run(), construction excluded).  Every configuration of a
+// scenario produces bit-identical SimResults — the engine's determinism
+// guarantee — so only wall time varies; the sanity check below asserts it on
+// the measured runs.  Writes the sweep to BENCH_tick_scaling.json (or
+// argv[1]) via bench::write_perf_json for CI to record.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+
+namespace willow::bench {
+namespace {
+
+struct Scenario {
+  std::string name;
+  sim::DatacenterLayout layout;
+};
+
+sim::SimConfig scaling_config(const Scenario& sc, std::size_t threads) {
+  auto cfg = paper_sim_config(0.7, /*seed=*/12345);
+  cfg.datacenter.layout = sc.layout;
+  cfg.warmup_ticks = 5;
+  cfg.measure_ticks = 45;
+  cfg.churn_probability = 0.08;        // exercise the per-server churn streams
+  cfg.report_loss_probability = 0.02;  // and the fault streams
+  cfg.threads = threads;
+  return cfg;
+}
+
+/// Wall time of the tick loop, best of `reps` fresh runs (run() is
+/// single-shot, so each rep rebuilds the plant outside the timed region).
+double time_tick_loop(const Scenario& sc, std::size_t threads, int reps,
+                      double* checksum) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    sim::Simulation simulation(scaling_config(sc, threads));
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = simulation.run();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    best = std::min(best, elapsed.count());
+    // Cheap determinism fingerprint: identical across reps and thread counts.
+    *checksum = result.total_power.stats().sum() + result.max_temperature_c +
+                static_cast<double>(result.churn_departures);
+  }
+  return best;
+}
+
+int run(int argc, char** argv) {
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::vector<std::size_t> thread_counts{1, 2, 4};
+  if (hw > 4) thread_counts.push_back(hw);
+
+  const std::vector<Scenario> scenarios{
+      {"servers_200", {2, 10, 10}},
+      {"servers_1000", {5, 10, 20}},
+  };
+
+  std::vector<PerfPoint> points;
+  util::Table table(
+      {"scenario", "servers", "threads", "wall_s", "ticks_per_s", "speedup"});
+  bool deterministic = true;
+  for (const auto& sc : scenarios) {
+    double serial_s = 0.0;
+    double serial_checksum = 0.0;
+    for (std::size_t t : thread_counts) {
+      const auto cfg = scaling_config(sc, t);
+      const long ticks = cfg.warmup_ticks + cfg.measure_ticks;
+      double checksum = 0.0;
+      const double wall = time_tick_loop(sc, t, /*reps=*/2, &checksum);
+      if (t == 1) {
+        serial_s = wall;
+        serial_checksum = checksum;
+      } else if (checksum != serial_checksum) {
+        deterministic = false;
+      }
+      PerfPoint p;
+      p.scenario = sc.name;
+      p.servers = sc.layout.total_servers();
+      p.threads = t;
+      p.ticks = ticks;
+      p.wall_seconds = wall;
+      p.ticks_per_second = static_cast<double>(ticks) / wall;
+      p.speedup_vs_serial = serial_s / wall;
+      points.push_back(p);
+      table.row()
+          .add(p.scenario)
+          .add(p.servers)
+          .add(p.threads)
+          .add(p.wall_seconds)
+          .add(p.ticks_per_second)
+          .add(p.speedup_vs_serial);
+    }
+  }
+
+  std::cout << "== tick-engine scaling (tick-loop wall time) ==\n";
+  table.print(std::cout);
+  if (!deterministic) {
+    std::cerr << "ERROR: results differ across thread counts\n";
+    return 1;
+  }
+  std::cout << "(results bit-identical across thread counts)\n";
+
+  const std::string path = argc > 1 ? argv[1] : "BENCH_tick_scaling.json";
+  if (!write_perf_json(path, "tick_scaling", points)) {
+    std::cerr << "failed to write " << path << '\n';
+    return 1;
+  }
+  std::cout << "(json written to " << path << ")\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace willow::bench
+
+int main(int argc, char** argv) { return willow::bench::run(argc, argv); }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Release-mode smoke run of the tick-engine scaling baseline: builds the
+# release preset, runs bench_perf_tick_scaling, and leaves the machine-
+# readable sweep in BENCH_tick_scaling.json (or $1).
+#
+#   scripts/perf_smoke.sh [output.json]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+OUT="${1:-BENCH_tick_scaling.json}"
+
+cmake --preset release
+cmake --build --preset release -j"$(nproc)" --target bench_perf_tick_scaling
+./build-release/bench/bench_perf_tick_scaling "$OUT"

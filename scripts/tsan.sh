@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# ThreadSanitizer gate for the parallel tick engine: builds the tsan preset
+# and runs the tests that exercise sharded phases and the thread pool.
+#
+#   scripts/tsan.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)" \
+  --target determinism_test thread_pool_test simulation_test churn_test
+ctest --test-dir build-tsan --output-on-failure \
+  -R '(determinism_test|thread_pool_test|simulation_test|churn_test)'

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/thread_pool.h"
 #include "workload/mix.h"
 
 namespace willow::core {
@@ -171,6 +172,19 @@ void Cluster::refresh_demands(const workload::PoissonDemand& process,
   for (auto& s : servers_) process.refresh_all(s.apps(), rng, intensity);
 }
 
+void Cluster::refresh_demands(const workload::PoissonDemand& process,
+                              std::uint64_t seed, long tick, double intensity,
+                              util::ThreadPool* pool) {
+  util::parallel_for_ranges(
+      pool, servers_.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          auto rng = util::tick_stream(seed, static_cast<std::uint64_t>(tick),
+                                       i, util::stream_phase::kDemand);
+          process.refresh_all(servers_[i].apps(), rng, intensity);
+        }
+      });
+}
+
 void Cluster::refresh_demands_constant() {
   for (auto& s : servers_) workload::ConstantDemand::refresh_all(s.apps());
 }
@@ -183,11 +197,17 @@ void Cluster::observe_leaf_demands() {
   }
 }
 
-void Cluster::step_thermal(Seconds dt) {
-  for (auto& s : servers_) {
-    const Watts consumed = s.consumed_power(tree_.node(s.node()).budget());
-    s.thermal().step(consumed, dt);
-  }
+void Cluster::step_thermal(Seconds dt) { step_thermal(dt, nullptr); }
+
+void Cluster::step_thermal(Seconds dt, util::ThreadPool* pool) {
+  util::parallel_for_ranges(
+      pool, servers_.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          auto& s = servers_[i];
+          const Watts consumed = s.consumed_power(tree_.node(s.node()).budget());
+          s.thermal().step(consumed, dt);
+        }
+      });
 }
 
 void Cluster::age_temporary_demands() {

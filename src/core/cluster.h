@@ -28,6 +28,10 @@
 #include "workload/application.h"
 #include "workload/demand.h"
 
+namespace willow::util {
+class ThreadPool;
+}
+
 namespace willow::core {
 
 using hier::NodeId;
@@ -126,6 +130,15 @@ class Cluster {
   [[nodiscard]] const ManagedServer& server(NodeId id) const;
   [[nodiscard]] bool is_server(NodeId id) const;
 
+  /// Index-based access in server-creation order (== server_ids() order);
+  /// the sharded tick phases address servers by index to avoid the id hash
+  /// lookup on every touch.
+  [[nodiscard]] std::size_t server_count() const { return servers_.size(); }
+  [[nodiscard]] ManagedServer& server_at(std::size_t i) { return servers_[i]; }
+  [[nodiscard]] const ManagedServer& server_at(std::size_t i) const {
+    return servers_[i];
+  }
+
   /// Place a new application on a server.
   void place(Application app, NodeId server);
 
@@ -154,9 +167,17 @@ class Cluster {
   [[nodiscard]] std::optional<Watts> group_circuit_limit(NodeId group) const;
 
   /// Refresh all application demands for one period; `intensity` scales the
-  /// means (demand-side variation, Sec. I).
+  /// means (demand-side variation, Sec. I).  Sequential form: one shared
+  /// generator, draw order = server order.
   void refresh_demands(const workload::PoissonDemand& process, util::Rng& rng,
                        double intensity = 1.0);
+  /// Streamed form for the parallel tick engine: server i draws from the
+  /// counter-based stream (seed, tick, i, kDemand), so results are
+  /// bit-identical for any thread count (including pool == nullptr, which
+  /// runs serially over the same streams).
+  void refresh_demands(const workload::PoissonDemand& process,
+                       std::uint64_t seed, long tick, double intensity,
+                       util::ThreadPool* pool);
   void refresh_demands_constant();
 
   /// Push each server's power_demand() into its PMU leaf (observe_demand).
@@ -164,6 +185,9 @@ class Cluster {
 
   /// Advance thermal state of every server by dt under its consumed power.
   void step_thermal(Seconds dt);
+  /// Sharded form: per-server state only, so any partition of the server
+  /// range yields identical results; budgets are read, never written.
+  void step_thermal(Seconds dt, util::ThreadPool* pool);
 
   /// Expire aged temporary migration demands (call once per demand period).
   void age_temporary_demands();

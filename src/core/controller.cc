@@ -93,8 +93,37 @@ bool Controller::budget_reduced(NodeId node) const {
   return node < budget_reduced_.size() && budget_reduced_[node];
 }
 
+void Controller::ensure_topology_cache() {
+  const auto& tree = cluster_.tree();
+  if (cache_tree_size_ == tree.size()) return;
+  cache_tree_size_ = tree.size();
+  bottom_up_ = tree.bottom_up();
+  top_down_ = tree.top_down();
+  server_children_.assign(tree.size(), {});
+  subtree_servers_.assign(tree.size(), {});
+  is_group_parent_.assign(tree.size(), 0);
+  group_parents_.clear();
+  for (NodeId s : cluster_.server_ids()) {
+    for (NodeId cur = tree.node(s).parent(); cur != hier::kNoNode;
+         cur = tree.node(cur).parent()) {
+      subtree_servers_[cur].push_back(s);
+    }
+    const NodeId parent = tree.node(s).parent();
+    if (parent != hier::kNoNode) {
+      server_children_[parent].push_back(s);
+      is_group_parent_[parent] = 1;
+    }
+  }
+  for (NodeId id : bottom_up_) {
+    if (!tree.node(id).is_leaf() && is_group_parent_[id]) {
+      group_parents_.push_back(id);
+    }
+  }
+}
+
 void Controller::tick(Watts available_supply) {
   ++tick_;
+  ensure_topology_cache();
   migrations_this_tick_.clear();
   events_this_tick_.clear();
   targets_this_tick_.clear();
@@ -129,7 +158,7 @@ void Controller::update_hard_limits() {
   // cadence at which limits are re-derived.  This also matches Fig. 4, where
   // the chosen constants put the cold-start limit at the 450 W nameplate.
   const Seconds window = config_.demand_period;
-  for (NodeId id : tree.bottom_up()) {
+  for (NodeId id : bottom_up_) {
     auto& n = tree.node(id);
     if (n.is_leaf()) {
       if (cluster_.is_server(id)) {
@@ -154,6 +183,7 @@ void Controller::update_hard_limits() {
 
 void Controller::supply_adaptation(Watts available_supply) {
   auto& tree = cluster_.tree();
+  ensure_topology_cache();
   update_hard_limits();
   if (budget_reduced_.size() != tree.size()) {
     budget_reduced_.assign(tree.size(), false);
@@ -170,7 +200,7 @@ void Controller::supply_adaptation(Watts available_supply) {
   const NodeId root = tree.root();
   mark_and_set(root, util::min(available_supply, tree.node(root).hard_limit()));
 
-  for (NodeId id : tree.top_down()) {
+  for (NodeId id : top_down_) {
     auto& n = tree.node(id);
     if (n.is_leaf()) continue;
     const auto& kids = n.children();
@@ -253,7 +283,8 @@ Watts Controller::target_capacity(NodeId server) const {
 std::vector<Controller::PlanItem> Controller::select_victims(
     NodeId server, Watts needed, MigrationCause cause) {
   auto& apps = cluster_.server(server).apps();
-  std::vector<const Application*> sorted;
+  auto& sorted = victim_scratch_;
+  sorted.clear();
   sorted.reserve(apps.size());
   for (const auto& a : apps) {
     if (a.dropped() || a.demand().value() <= kEps) continue;
@@ -378,46 +409,44 @@ void Controller::apply_migration(const PlanItem& item, NodeId target) {
 
 std::vector<std::size_t> Controller::pack_and_apply(
     std::vector<PlanItem>& items, const std::vector<NodeId>& targets) {
-  std::vector<binpack::Item> bp_items;
-  bp_items.reserve(items.size());
+  bp_items_scratch_.clear();
+  bp_items_scratch_.reserve(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
-    bp_items.push_back({static_cast<std::uint64_t>(i), items[i].size.value(), 0});
+    bp_items_scratch_.push_back(
+        {static_cast<std::uint64_t>(i), items[i].size.value(), 0});
   }
-  std::vector<binpack::Bin> bins;
-  std::vector<NodeId> bin_node;
+  bp_bins_scratch_.clear();
+  bin_node_scratch_.clear();
   for (NodeId t : targets) {
     const Watts cap = target_capacity(t);
     if (cap.value() > kEps) {
-      bins.push_back({static_cast<std::uint64_t>(t), cap.value(), 0});
-      bin_node.push_back(t);
+      bp_bins_scratch_.push_back(
+          {static_cast<std::uint64_t>(t), cap.value(), 0});
+      bin_node_scratch_.push_back(t);
     }
   }
   const binpack::PackResult result =
-      binpack::pack(bp_items, bins, config_.packing);
+      binpack::pack(bp_items_scratch_, bp_bins_scratch_, config_.packing);
   for (const auto& a : result.assignments) {
-    apply_migration(items[a.item], bin_node[a.bin]);
+    apply_migration(items[a.item], bin_node_scratch_[a.bin]);
   }
   return result.unplaced;
 }
 
 void Controller::demand_adaptation() {
   auto& tree = cluster_.tree();
+  ensure_topology_cache();
 
   // Build per-group local problems: every internal node with >= 1 server
-  // child is a "level-1" group.
+  // child is a "level-1" group (precomputed in group_parents_).
   struct Group {
     NodeId parent;
     std::vector<PlanItem> items;
   };
   std::vector<Group> groups;
-  for (NodeId g : tree.bottom_up()) {
-    const auto& n = tree.node(g);
-    if (n.is_leaf()) continue;
-    bool has_server_child = false;
+  for (NodeId g : group_parents_) {
     std::vector<PlanItem> items;
-    for (NodeId c : n.children()) {
-      if (!cluster_.is_server(c)) continue;
-      has_server_child = true;
+    for (NodeId c : server_children_[g]) {
       const auto& leaf = tree.node(c);
       if (!leaf.active()) continue;
       // In-flight outbound demand is already leaving: plan only the rest.
@@ -429,7 +458,7 @@ void Controller::demand_adaptation() {
         items.insert(items.end(), victims.begin(), victims.end());
       }
     }
-    if (has_server_child && !items.empty()) {
+    if (!items.empty()) {
       groups.push_back({g, std::move(items)});
     }
   }
@@ -440,31 +469,22 @@ void Controller::demand_adaptation() {
   if (config_.prefer_local) {
     // Local pass: match each group's deficits against its own surpluses.
     for (auto& grp : groups) {
-      std::vector<NodeId> targets;
-      for (NodeId c : tree.node(grp.parent).children()) {
-        if (cluster_.is_server(c) && tree.node(c).active() &&
-            eligible_target(c, grp.parent)) {
-          targets.push_back(c);
+      target_scratch_.clear();
+      for (NodeId c : server_children_[grp.parent]) {
+        if (tree.node(c).active() && eligible_target(c, grp.parent)) {
+          target_scratch_.push_back(c);
         }
       }
-      const auto unplaced = pack_and_apply(grp.items, targets);
+      const auto unplaced = pack_and_apply(grp.items, target_scratch_);
       for (std::size_t idx : unplaced) pending.push_back(grp.items[idx]);
     }
     // Escalation: climb the hierarchy; at each internal node try the servers
     // of the whole subtree (the local pass already exhausted same-group
     // surpluses, so placements here are effectively non-local).
     if (!pending.empty()) {
-      for (NodeId p : tree.bottom_up()) {
-        const auto& n = tree.node(p);
-        if (n.is_leaf()) continue;
-        bool is_group_parent = false;
-        for (NodeId c : n.children()) {
-          if (cluster_.is_server(c)) {
-            is_group_parent = true;
-            break;
-          }
-        }
-        if (is_group_parent && p != tree.root()) continue;  // local pass done
+      for (NodeId p : bottom_up_) {
+        if (tree.node(p).is_leaf()) continue;
+        if (is_group_parent_[p] && p != tree.root()) continue;  // local pass done
         std::vector<PlanItem> in_scope;
         std::vector<PlanItem> out_of_scope;
         for (auto& item : pending) {
@@ -472,14 +492,13 @@ void Controller::demand_adaptation() {
               .push_back(item);
         }
         if (in_scope.empty()) continue;
-        std::vector<NodeId> targets;
-        for (NodeId s : cluster_.server_ids()) {
-          if (tree.is_ancestor(p, s) && tree.node(s).active() &&
-              eligible_target(s, p)) {
-            targets.push_back(s);
+        target_scratch_.clear();
+        for (NodeId s : subtree_servers_[p]) {
+          if (tree.node(s).active() && eligible_target(s, p)) {
+            target_scratch_.push_back(s);
           }
         }
-        const auto unplaced = pack_and_apply(in_scope, targets);
+        const auto unplaced = pack_and_apply(in_scope, target_scratch_);
         pending = std::move(out_of_scope);
         for (std::size_t idx : unplaced) pending.push_back(in_scope[idx]);
         if (pending.empty()) break;
@@ -490,13 +509,13 @@ void Controller::demand_adaptation() {
     for (auto& grp : groups) {
       pending.insert(pending.end(), grp.items.begin(), grp.items.end());
     }
-    std::vector<NodeId> targets;
+    target_scratch_.clear();
     for (NodeId s : cluster_.server_ids()) {
       if (tree.node(s).active() && eligible_target(s, tree.root())) {
-        targets.push_back(s);
+        target_scratch_.push_back(s);
       }
     }
-    const auto unplaced = pack_and_apply(pending, targets);
+    const auto unplaced = pack_and_apply(pending, target_scratch_);
     std::vector<PlanItem> rest;
     for (std::size_t idx : unplaced) rest.push_back(pending[idx]);
     pending = std::move(rest);
@@ -559,7 +578,8 @@ void Controller::shed_leftovers(std::vector<PlanItem>& pending) {
     // Shed candidates: every running application on the source, lowest
     // priority first; within a priority, biggest release first (fewest
     // applications touched).
-    std::vector<Application*> apps;
+    auto& apps = shed_scratch_;
+    apps.clear();
     for (auto& a : cluster_.server(source).apps()) {
       if (a.dropped()) continue;
       if (apps_in_flight_.contains(a.id())) continue;  // mid-transfer
@@ -701,44 +721,45 @@ void Controller::consolidate() {
                        a.dropped() ? Watts{0.0} : a.demand(),
                        MigrationCause::kConsolidation});
     }
-    auto collect_targets = [&](NodeId scope) {
-      std::vector<NodeId> targets;
-      for (NodeId t : cluster_.server_ids()) {
+    auto collect_targets = [&](NodeId scope) -> const std::vector<NodeId>& {
+      target_scratch_.clear();
+      for (NodeId t : subtree_servers_[scope]) {
         if (t == s) continue;
         if (!tree.node(t).active()) continue;
-        if (!tree.is_ancestor(scope, t)) continue;
         if (!eligible_target(t, scope)) continue;
-        targets.push_back(t);
+        target_scratch_.push_back(t);
       }
-      return targets;
+      return target_scratch_;
     };
+    // Fills bin_node_scratch_ as a side effect; consumed by the apply loop.
     auto dry_run = [&](const std::vector<NodeId>& targets) {
-      std::vector<binpack::Item> bp;
+      bp_items_scratch_.clear();
       for (std::size_t i = 0; i < items.size(); ++i) {
-        bp.push_back({i, items[i].size.value(), 0});
+        bp_items_scratch_.push_back({i, items[i].size.value(), 0});
       }
-      std::vector<binpack::Bin> bins;
-      std::vector<NodeId> bin_node;
+      bp_bins_scratch_.clear();
+      bin_node_scratch_.clear();
       for (NodeId t : targets) {
         const Watts cap = target_capacity(t);
         if (cap.value() > kEps) {
-          bins.push_back({static_cast<std::uint64_t>(t), cap.value(), 0});
-          bin_node.push_back(t);
+          bp_bins_scratch_.push_back(
+              {static_cast<std::uint64_t>(t), cap.value(), 0});
+          bin_node_scratch_.push_back(t);
         }
       }
-      auto result = binpack::pack(bp, bins, config_.packing);
-      return std::pair(result, bin_node);
+      return binpack::pack(bp_items_scratch_, bp_bins_scratch_,
+                           config_.packing);
     };
 
     NodeId scope = config_.prefer_local ? tree.node(s).parent() : tree.root();
-    auto [result, bin_node] = dry_run(collect_targets(scope));
+    auto result = dry_run(collect_targets(scope));
     if (!result.all_placed() && config_.prefer_local && scope != tree.root()) {
       scope = tree.root();
-      std::tie(result, bin_node) = dry_run(collect_targets(scope));
+      result = dry_run(collect_targets(scope));
     }
     if (!result.all_placed()) continue;
     for (const auto& a : result.assignments) {
-      apply_migration(items[a.item], bin_node[a.bin]);
+      apply_migration(items[a.item], bin_node_scratch_[a.bin]);
     }
     if (srv.apps().empty()) {
       cluster_.sleep_server(s);

@@ -282,6 +282,13 @@ class Controller {
   /// surplus - margin - demand already migrated in this tick.
   [[nodiscard]] Watts target_capacity(NodeId server) const;
 
+  /// Rebuild the membership-derived candidate caches if the tree changed
+  /// shape.  Node membership is fixed after construction (only active flags
+  /// and budgets change per tick), so these are computed once and reused by
+  /// every tick instead of re-deriving them with per-node scans; the
+  /// tree-size check invalidates them should a caller ever grow the tree.
+  void ensure_topology_cache();
+
   Cluster& cluster_;
   ControllerConfig config_;
   ControllerStats stats_;
@@ -317,6 +324,30 @@ class Controller {
   /// sources in the same tick — avoids intra-tick ping-pong).
   std::unordered_set<NodeId> targets_this_tick_;
   std::function<void(const MigrationRecord&)> sink_;
+
+  /// Cached topology (see ensure_topology_cache).
+  std::size_t cache_tree_size_ = 0;
+  std::vector<NodeId> bottom_up_;
+  std::vector<NodeId> top_down_;
+  /// Internal nodes with >= 1 server child, in bottom-up order (the "level-1
+  /// groups" demand adaptation plans over).
+  std::vector<NodeId> group_parents_;
+  std::vector<char> is_group_parent_;  ///< by NodeId
+  /// Direct server children per node, in child order.
+  std::vector<std::vector<NodeId>> server_children_;
+  /// Server descendants per internal node, in server-creation order (the
+  /// same order the uncached full-fleet scans visited them, so candidate
+  /// lists — and therefore packing results — are unchanged).
+  std::vector<std::vector<NodeId>> subtree_servers_;
+
+  /// Packing scratch reused across pack_and_apply / dry-run calls (cleared
+  /// per use; sized once the fleet's steady-state planning width is seen).
+  std::vector<binpack::Item> bp_items_scratch_;
+  std::vector<binpack::Bin> bp_bins_scratch_;
+  std::vector<NodeId> bin_node_scratch_;
+  std::vector<NodeId> target_scratch_;
+  std::vector<const workload::Application*> victim_scratch_;
+  std::vector<workload::Application*> shed_scratch_;
 };
 
 }  // namespace willow::core

@@ -273,6 +273,10 @@ SimConfig parse_scenario(std::istream& in) {
       if (cfg.churn_probability < 0.0 || cfg.churn_probability > 1.0) {
         fail(line, "churn_probability must be in [0,1]");
       }
+    } else if (key == "threads") {
+      const long v = parse_long(value, line);
+      if (v < 0) fail(line, "threads must be >= 0");
+      cfg.threads = static_cast<std::size_t>(v);
     } else if (key == "migration_periods_per_gib") {
       cfg.controller.migration_periods_per_gib = parse_double(value, line);
     } else if (key == "rack_circuit_w") {

@@ -77,6 +77,12 @@ void Simulation::build() {
 
   fabric_ = std::make_unique<net::Fabric>(cluster.tree(), config_.fabric);
   controller_ = std::make_unique<core::Controller>(cluster, config_.controller);
+
+  const std::size_t threads =
+      config_.threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : config_.threads;
+  if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
   controller_->set_migration_sink([this](const core::MigrationRecord& rec) {
     const auto* app = dc_->cluster.find_app(rec.app);
     const double payload =
@@ -122,38 +128,79 @@ SimResult Simulation::run() {
   const long total_ticks = config_.warmup_ticks + config_.measure_ticks;
   std::uint64_t prev_dm = 0, prev_cm = 0;
   std::unordered_map<workload::AppId, long> last_move;
+  const std::size_t n_servers = dc_->servers.size();
+
+  // Sharded-phase scratch, reused across ticks.
+  struct ChurnDecision {
+    bool churn = false;          ///< this server churns this tick
+    bool has_departure = false;  ///< a removable app was found
+    workload::AppId departure = 0;
+    std::size_t cls = 0;  ///< catalog class of the arriving app
+    int priority = 0;
+  };
+  std::vector<ChurnDecision> churn_plan;
+  std::vector<double> traffic_units(n_servers, -1.0);
+  std::vector<double> temps(n_servers, 0.0);
 
   for (long tick = 0; tick < total_ticks; ++tick) {
     const double t = static_cast<double>(tick) * dt.value();
 
     if (config_.churn_probability > 0.0) {
       const auto& catalog = workload::simulation_catalog();
-      for (hier::NodeId s : dc_->servers) {
-        auto& srv = cluster.server(s);
-        if (srv.asleep() || srv.apps().empty()) continue;
-        if (!rng_->chance(config_.churn_probability)) continue;
-        // Departure: a random app that is not mid-transfer.
-        std::vector<workload::AppId> removable;
-        for (const auto& a : srv.apps()) {
-          if (!controller_->app_in_flight(a.id())) removable.push_back(a.id());
-        }
-        if (!removable.empty()) {
-          cluster.remove_app(removable[rng_->index(removable.size())]);
+      // Sample phase (sharded, read-only): server i draws from the
+      // counter-based stream (seed, tick, i, kChurn), so outcomes cannot
+      // depend on thread count or visit order.
+      churn_plan.assign(n_servers, {});
+      util::parallel_for_ranges(
+          pool_.get(), n_servers, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              const auto& srv = cluster.server_at(i);
+              if (srv.asleep() || srv.apps().empty()) continue;
+              auto rng = util::tick_stream(config_.seed, tick, i,
+                                           util::stream_phase::kChurn);
+              if (!rng.chance(config_.churn_probability)) continue;
+              auto& d = churn_plan[i];
+              d.churn = true;
+              // Departure: a random app that is not mid-transfer.
+              std::vector<workload::AppId> removable;
+              for (const auto& a : srv.apps()) {
+                if (!controller_->app_in_flight(a.id())) {
+                  removable.push_back(a.id());
+                }
+              }
+              if (!removable.empty()) {
+                d.has_departure = true;
+                d.departure = removable[rng.index(removable.size())];
+              }
+              // Arrival: a fresh application of a random class, same server.
+              d.cls = rng.index(catalog.size());
+              if (config_.mix.priority_levels > 1) {
+                d.priority =
+                    rng.uniform_int(0, config_.mix.priority_levels - 1);
+              }
+            }
+          });
+      // Apply phase (serial, fixed server order): placement mutations and
+      // app-id allocation happen in index order regardless of thread count.
+      for (std::size_t i = 0; i < n_servers; ++i) {
+        const auto& d = churn_plan[i];
+        if (!d.churn) continue;
+        if (d.has_departure) {
+          cluster.remove_app(d.departure);
+          // The app is gone for good: drop its re-migration bookkeeping so
+          // the map does not grow without bound under churn.
+          last_move.erase(d.departure);
           ++result.churn_departures;
         }
-        // Arrival: a fresh application of a random class, same server.
-        const std::size_t cls = rng_->index(catalog.size());
-        const Watts mean =
-            config_.mix.unit_power * catalog[cls].relative_power;
+        const Watts mean = config_.mix.unit_power * catalog[d.cls].relative_power;
         workload::Application fresh(
-            ids_.next(), cls, mean,
+            ids_.next(), d.cls, mean,
             util::Megabytes{config_.mix.image_per_unit.value() *
-                            catalog[cls].relative_power});
+                            catalog[d.cls].relative_power});
         if (config_.mix.priority_levels > 1) {
-          fresh.set_priority(
-              rng_->uniform_int(0, config_.mix.priority_levels - 1));
+          fresh.set_priority(d.priority);
         }
-        cluster.place(std::move(fresh), s);
+        cluster.place(std::move(fresh), dc_->servers[i]);
         ++result.churn_arrivals;
       }
     }
@@ -168,13 +215,19 @@ SimResult Simulation::run() {
 
     const double intensity =
         config_.intensity ? config_.intensity->at(Seconds{t}) : 1.0;
-    cluster.refresh_demands(demand, *rng_, intensity);
+    cluster.refresh_demands(demand, config_.seed, tick, intensity,
+                            pool_.get());
 
     if (config_.report_loss_probability > 0.0) {
-      for (hier::NodeId s : dc_->servers) {
-        cluster.server(s).set_report_fault(
-            rng_->chance(config_.report_loss_probability));
-      }
+      util::parallel_for_ranges(
+          pool_.get(), n_servers, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              auto rng = util::tick_stream(config_.seed, tick, i,
+                                           util::stream_phase::kFault);
+              cluster.server_at(i).set_report_fault(
+                  rng.chance(config_.report_loss_probability));
+            }
+          });
     }
 
     Watts supply = config_.supply ? config_.supply->at(Seconds{t}) : plenty;
@@ -186,10 +239,21 @@ SimResult Simulation::run() {
     }
 
     fabric_->begin_period();
-    for (hier::NodeId s : dc_->servers) {
-      const auto& srv = cluster.server(s);
-      if (!srv.asleep()) {
-        fabric_->add_server_traffic(s, norm_util(srv, tree.node(s).budget()));
+    // Per-server traffic is computed sharded, then deposited serially in
+    // server order: fabric counters are floating-point sums whose value must
+    // not depend on accumulation order.
+    util::parallel_for_ranges(
+        pool_.get(), n_servers, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const auto& srv = cluster.server_at(i);
+            traffic_units[i] =
+                srv.asleep() ? -1.0
+                             : norm_util(srv, tree.node(srv.node()).budget());
+          }
+        });
+    for (std::size_t i = 0; i < n_servers; ++i) {
+      if (traffic_units[i] >= 0.0) {
+        fabric_->add_server_traffic(dc_->servers[i], traffic_units[i]);
       }
     }
 
@@ -207,7 +271,7 @@ SimResult Simulation::run() {
       if (hops > 0) remote_units += flow.traffic_units;
     }
 
-    cluster.step_thermal(dt);
+    cluster.step_thermal(dt, pool_.get());
 
     for (const auto& rec : controller_->migrations_this_tick()) {
       auto it = last_move.find(rec.app);
@@ -279,23 +343,32 @@ SimResult Simulation::run() {
       result.pue.record(t, config_.cooling->pue(it_power, outside));
     }
 
-    for (std::size_t i = 0; i < dc_->servers.size(); ++i) {
-      const hier::NodeId s = dc_->servers[i];
-      const auto& srv = cluster.server(s);
-      auto& m = result.servers[i];
-      const Watts budget = tree.node(s).budget();
-      m.consumed_power.add(srv.consumed_power(budget).value());
-      m.temperature.add(srv.thermal().temperature().value());
-      m.utilization.add(norm_util(srv, budget));
-      if (srv.asleep()) {
-        m.asleep_fraction += 1.0;
-        // What the server would have drawn at the scenario's offered load.
-        m.saved_power_w += model.static_power().value() +
-                           sustainable * config_.target_utilization;
-      }
-      const double temp = srv.thermal().temperature().value();
-      result.max_temperature_c = std::max(result.max_temperature_c, temp);
-      if (temp > srv.thermal().params().limit.value() + 0.5) {
+    // Per-server metric accumulation is sharded (each server owns its
+    // ServerMetrics slot); the max/violation reduction runs serially after.
+    util::parallel_for_ranges(
+        pool_.get(), n_servers, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const hier::NodeId s = dc_->servers[i];
+            const auto& srv = cluster.server_at(i);
+            auto& m = result.servers[i];
+            const Watts budget = tree.node(s).budget();
+            m.consumed_power.add(srv.consumed_power(budget).value());
+            m.temperature.add(srv.thermal().temperature().value());
+            m.utilization.add(norm_util(srv, budget));
+            if (srv.asleep()) {
+              m.asleep_fraction += 1.0;
+              // What the server would have drawn at the scenario's offered
+              // load.
+              m.saved_power_w += model.static_power().value() +
+                                 sustainable * config_.target_utilization;
+            }
+            temps[i] = srv.thermal().temperature().value();
+          }
+        });
+    for (std::size_t i = 0; i < n_servers; ++i) {
+      result.max_temperature_c = std::max(result.max_temperature_c, temps[i]);
+      if (temps[i] >
+          cluster.server_at(i).thermal().params().limit.value() + 0.5) {
         result.thermal_violation = true;
       }
     }

@@ -10,6 +10,14 @@
 //   4. thermal stepping under consumed power
 //   5. metric recording (after an optional warm-up)
 //
+// The per-server parts of phases 1, 2, 4 and 5 (plus churn and fault
+// sampling) are sharded across a thread pool (SimConfig::threads) with
+// bit-deterministic results for any thread count: per-tick randomness comes
+// from counter-based per-server streams (util::tick_stream) and shared
+// accumulators are deposited in fixed server order.  The controller itself
+// stays serial — a control period is a causal chain (demand -> reports ->
+// budgets -> migrations).
+//
 // The recorded SimResult carries everything Figures 5–12 plot.
 #pragma once
 
@@ -24,6 +32,7 @@
 #include "power/ups.h"
 #include "sim/datacenter.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 #include "workload/demand.h"
 #include "workload/flows.h"
 #include "workload/intensity.h"
@@ -107,6 +116,13 @@ struct SimConfig {
   long warmup_ticks = 20;
   /// Ticks recorded.
   long measure_ticks = 200;
+  /// Tick-engine worker threads for the sharded per-server phases (churn
+  /// sampling, demand refresh, fault sampling, traffic accounting, thermal
+  /// stepping).  0 = hardware concurrency; 1 = serial (no pool).  Results
+  /// are bit-identical for every value: all per-tick randomness comes from
+  /// counter-based streams keyed by (seed, tick, server), and shared
+  /// accumulators are reduced in fixed server order.
+  std::size_t threads = 0;
 };
 
 struct ServerMetrics {
@@ -197,6 +213,9 @@ class Simulation {
   std::unique_ptr<net::Fabric> fabric_;
   std::unique_ptr<core::Controller> controller_;
   std::unique_ptr<util::Rng> rng_;
+  /// Worker pool for the sharded tick phases; null when the effective thread
+  /// count is 1 (serial engine, no pool spun up).
+  std::unique_ptr<util::ThreadPool> pool_;
   bool ran_ = false;
 };
 

@@ -25,16 +25,34 @@ void ThermalModel::step(Watts p, Seconds dt) {
   temperature_ = predict(p, dt);
 }
 
+double ThermalModel::decay_for(double dt) const {
+  if (dt != cached_decay_dt_) {
+    cached_decay_ = std::exp(-params_.c2 * dt);
+    cached_decay_dt_ = dt;
+  }
+  return cached_decay_;
+}
+
 Celsius ThermalModel::predict(Watts p, Seconds dt) const {
   if (dt.value() < 0.0) throw std::invalid_argument("ThermalModel: dt < 0");
-  const double decay = std::exp(-params_.c2 * dt.value());
+  const double decay = decay_for(dt.value());
   const double heated = p.value() * params_.c1 / params_.c2 * (1.0 - decay);
   return Celsius{params_.ambient.value() + heated +
                  (temperature_.value() - params_.ambient.value()) * decay};
 }
 
 Watts ThermalModel::power_limit(Seconds window) const {
-  return power_limit_from(params_, temperature_, window);
+  if (window.value() <= 0.0) {
+    throw std::invalid_argument("ThermalModel::power_limit: window must be > 0");
+  }
+  const double decay = decay_for(window.value());
+  const double headroom = params_.limit.value() - params_.ambient.value() -
+                          (temperature_.value() - params_.ambient.value()) *
+                              decay;
+  double p = headroom * params_.c2 / (params_.c1 * (1.0 - decay));
+  if (p < 0.0) p = 0.0;
+  if (p > params_.nameplate.value()) p = params_.nameplate.value();
+  return Watts{p};
 }
 
 Celsius ThermalModel::steady_state(Watts p) const {

@@ -81,8 +81,17 @@ class ThermalModel {
   }
 
  private:
+  /// exp(-c2 * dt), memoized on dt.  Every tick-loop caller (step,
+  /// power_limit, predict) evaluates the same window each period, and c2 is
+  /// immutable after construction (set_ambient changes only Ta), so the
+  /// transcendental is paid once per distinct dt instead of per server per
+  /// tick.  Identical bits to the uncached value by construction.
+  [[nodiscard]] double decay_for(double dt) const;
+
   ThermalParams params_;
   Celsius temperature_;
+  mutable double cached_decay_dt_ = -1.0;  ///< invalid: dt must be >= 0
+  mutable double cached_decay_ = 1.0;
 };
 
 /// Stateless form of power_limit (used by Fig. 4 / Fig. 14 sweeps): the

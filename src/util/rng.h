@@ -3,6 +3,21 @@
 // Every stochastic element of the simulator (Poisson demand, application
 // mixes, sensor noise) draws from a Rng seeded explicitly by the scenario, so
 // every experiment in EXPERIMENTS.md is exactly reproducible.
+//
+// Two kinds of generators:
+//
+//  * Rng — the sequential scenario generator (mt19937_64).  One stream per
+//    scenario; draws depend on everything drawn before them.  Used for
+//    one-shot construction work (building application mixes, calibration
+//    noise) where ordering is naturally serial.
+//
+//  * StreamRng — counter-based splittable streams for the parallel tick
+//    engine.  A stream is keyed by (seed, tick, server, phase) through
+//    stream_seed(); the draws of one stream are completely independent of
+//    any other stream and of the order streams are consumed in.  This is
+//    what makes the sharded per-server simulation phases bit-deterministic
+//    for any thread count: thread scheduling can reorder *which* stream is
+//    sampled first, but never what any stream yields.
 #pragma once
 
 #include <algorithm>
@@ -12,9 +27,54 @@
 
 namespace willow::util {
 
-class Rng {
+/// SplitMix64 finalizer: a high-quality 64-bit mix (Steele et al., "Fast
+/// splittable pseudorandom number generators").  Stateless; used both to key
+/// streams and as the per-draw output function of SplitMix64Engine.
+[[nodiscard]] std::uint64_t splitmix64_mix(std::uint64_t x);
+
+/// Derive the seed of an independent counter-based stream from a scenario
+/// seed and up to three coordinates (e.g. tick, server index, phase tag).
+/// Collision-resistant in practice: each coordinate passes through the full
+/// 64-bit mix before being combined.
+[[nodiscard]] std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t a,
+                                        std::uint64_t b = 0,
+                                        std::uint64_t c = 0);
+
+/// Phase tags for the per-server tick streams (keep values stable: they are
+/// part of the reproducibility contract of recorded experiments).
+namespace stream_phase {
+inline constexpr std::uint64_t kChurn = 1;   ///< churn arrival/departure draws
+inline constexpr std::uint64_t kDemand = 2;  ///< Poisson demand refresh
+inline constexpr std::uint64_t kFault = 3;   ///< report-loss sampling
+}  // namespace stream_phase
+
+/// Counter-based engine: state is a bare counter, output is splitmix64_mix of
+/// it.  Satisfies UniformRandomBitGenerator; construction is two stores (no
+/// mt19937-style state-table initialization), so creating one engine per
+/// (tick, server, phase) is cheap enough for the hot loop.
+class SplitMix64Engine {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64Engine(std::uint64_t seed) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    return splitmix64_mix(state_);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Distribution helpers over any UniformRandomBitGenerator engine.
+template <typename Engine>
+class BasicRng {
+ public:
+  explicit BasicRng(std::uint64_t seed) : engine_(seed) {}
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi) {
@@ -61,12 +121,26 @@ class Rng {
 
   /// Derive an independent child stream (stable: depends only on parent seed
   /// sequence position).
-  Rng fork() { return Rng(engine_()); }
+  BasicRng fork() { return BasicRng(engine_()); }
 
-  std::mt19937_64& engine() { return engine_; }
+  Engine& engine() { return engine_; }
 
  private:
-  std::mt19937_64 engine_;
+  Engine engine_;
 };
+
+/// The sequential scenario generator (construction-time randomness).
+using Rng = BasicRng<std::mt19937_64>;
+
+/// One counter-based splittable stream (tick-engine randomness).
+using StreamRng = BasicRng<SplitMix64Engine>;
+
+/// The per-server stream of one tick phase.
+[[nodiscard]] inline StreamRng tick_stream(std::uint64_t seed,
+                                           std::uint64_t tick,
+                                           std::uint64_t server,
+                                           std::uint64_t phase) {
+  return StreamRng(stream_seed(seed, tick, server, phase));
+}
 
 }  // namespace willow::util

@@ -68,4 +68,28 @@ void parallel_for(ThreadPool& pool, std::size_t n,
   pool.wait_idle();
 }
 
+void parallel_for_ranges(
+    ThreadPool* pool, std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() <= 1) {
+    body(0, n);
+    return;
+  }
+  // A few chunks per worker smooths out uneven per-index cost without
+  // flooding the queue.
+  const std::size_t chunks =
+      std::min(n, std::max<std::size_t>(1, pool->size() * 4));
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    const std::size_t end = begin + len;
+    pool->submit([&body, begin, end] { body(begin, end); });
+    begin = end;
+  }
+  pool->wait_idle();
+}
+
 }  // namespace willow::util

@@ -1,9 +1,12 @@
-// Fixed-size worker pool with a blocking parallel_for.
+// Fixed-size worker pool with blocking parallel_for / parallel_for_ranges.
 //
-// The simulator itself is sequential (a control period is a causal chain:
-// demand -> reports -> budgets -> migrations), but the bench harnesses sweep
-// independent scenarios (utilization points, seeds, margin values); those
-// sweeps fan out across hardware threads here.
+// Two kinds of callers fan out here: the bench harnesses, which sweep
+// independent scenarios (utilization points, seeds, margin values), and the
+// simulation tick engine, which shards its per-server phases (demand refresh,
+// thermal stepping, churn sampling) across workers once per tick.  The
+// chunked parallel_for_ranges exists for the latter: it enqueues one task per
+// chunk instead of one per index, so a 1000-server phase costs a handful of
+// queue operations rather than a thousand.
 #pragma once
 
 #include <condition_variable>
@@ -51,5 +54,15 @@ class ThreadPool {
 /// code reports failures through its results instead.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& body);
+
+/// Run body(begin, end) over a partition of [0, n) into contiguous chunks
+/// (a few per worker); blocks until done.  The partition is a pure function
+/// of (n, pool.size()) — it does not depend on scheduling — so callers that
+/// reduce per-chunk results indexed by chunk get identical partials on every
+/// run.  With a null pool or n small enough for one chunk the body runs
+/// inline on the caller.
+void parallel_for_ranges(
+    ThreadPool* pool, std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body);
 
 }  // namespace willow::util

@@ -10,25 +10,4 @@ PoissonDemand::PoissonDemand(Watts quantum) : quantum_(quantum) {
   }
 }
 
-Watts PoissonDemand::sample(Watts mean, util::Rng& rng) const {
-  if (mean.value() <= 0.0) return Watts{0.0};
-  const double lambda = mean.value() / quantum_.value();
-  return Watts{quantum_.value() * static_cast<double>(rng.poisson(lambda))};
-}
-
-void PoissonDemand::refresh(Application& app, util::Rng& rng,
-                            double intensity) const {
-  if (intensity < 0.0) {
-    throw std::invalid_argument("PoissonDemand::refresh: negative intensity");
-  }
-  app.set_demand(app.dropped()
-                     ? Watts{0.0}
-                     : sample(app.effective_mean_power() * intensity, rng));
-}
-
-void PoissonDemand::refresh_all(std::vector<Application>& apps, util::Rng& rng,
-                                double intensity) const {
-  for (auto& a : apps) refresh(a, rng, intensity);
-}
-
 }  // namespace willow::workload

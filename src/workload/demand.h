@@ -8,6 +8,8 @@
 // steadier demand — the knob the stability tests sweep against P_min.
 #pragma once
 
+#include <stdexcept>
+
 #include "util/rng.h"
 #include "util/units.h"
 #include "workload/application.h"
@@ -21,17 +23,36 @@ class PoissonDemand {
 
   [[nodiscard]] Watts quantum() const { return quantum_; }
 
-  /// One draw for an application with the given mean power.
-  [[nodiscard]] Watts sample(Watts mean, util::Rng& rng) const;
+  /// One draw for an application with the given mean power.  Generic over
+  /// the generator so the tick engine's per-server counter-based streams
+  /// (util::StreamRng) drive the same sampling code as the sequential
+  /// scenario generator (util::Rng).
+  template <typename RngT>
+  [[nodiscard]] Watts sample(Watts mean, RngT& rng) const {
+    if (mean.value() <= 0.0) return Watts{0.0};
+    const double lambda = mean.value() / quantum_.value();
+    return Watts{quantum_.value() * static_cast<double>(rng.poisson(lambda))};
+  }
 
   /// Refresh `app`'s instantaneous demand (no-op for dropped apps: a shut
   /// down application draws nothing).  `intensity` scales the mean (see
   /// workload::IntensityProfile).
-  void refresh(Application& app, util::Rng& rng, double intensity = 1.0) const;
+  template <typename RngT>
+  void refresh(Application& app, RngT& rng, double intensity = 1.0) const {
+    if (intensity < 0.0) {
+      throw std::invalid_argument("PoissonDemand::refresh: negative intensity");
+    }
+    app.set_demand(app.dropped()
+                       ? Watts{0.0}
+                       : sample(app.effective_mean_power() * intensity, rng));
+  }
 
   /// Refresh a whole collection.
-  void refresh_all(std::vector<Application>& apps, util::Rng& rng,
-                   double intensity = 1.0) const;
+  template <typename RngT>
+  void refresh_all(std::vector<Application>& apps, RngT& rng,
+                   double intensity = 1.0) const {
+    for (auto& a : apps) refresh(a, rng, intensity);
+  }
 
  private:
   Watts quantum_;

@@ -136,10 +136,12 @@ TEST(Simulation, SwitchTrafficGrowsWithUtilization) {
 
 TEST(Simulation, UpsSmoothsSupplyDips) {
   // 18 servers at ~28 W sustainable each: ~500 W envelope; a one-period dip
-  // to half of it gets bridged by the UPS battery.
+  // well below the demand floor gets bridged by the UPS battery. The dip must
+  // sit clearly under the sampled demand at that tick or the UPS has nothing
+  // to bridge and the assertion becomes seed-sensitive.
   auto cfg = base_config(0.5);
   std::vector<util::Watts> levels(40, 480_W);
-  levels[20] = 250_W;  // single-period dip
+  levels[20] = 150_W;  // single-period dip
   cfg.supply = std::make_shared<power::SteppedSupply>(levels, 1_s);
   cfg.warmup_ticks = 5;
   cfg.measure_ticks = 35;

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace willow::util {
@@ -77,6 +79,86 @@ TEST(ThreadPool, ManySmallBatchesDoNotDeadlock) {
     pool.wait_idle();
   }
   EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ParallelForRanges, CoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1003);
+  parallel_for_ranges(&pool, hits.size(),
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) ++hits[i];
+                      });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForRanges, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  parallel_for_ranges(&pool, 0, [](std::size_t, std::size_t) { FAIL(); });
+  parallel_for_ranges(nullptr, 0, [](std::size_t, std::size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ParallelForRanges, NullPoolRunsInlineOnCaller) {
+  const auto caller = std::this_thread::get_id();
+  std::size_t calls = 0;
+  parallel_for_ranges(nullptr, 57, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 57u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ParallelForRanges, ReductionMatchesSerialBitExactly) {
+  // The pattern the tick engine relies on: fill per-index slots in parallel,
+  // reduce serially in index order.  Any pool size must give the serial
+  // result bit for bit.
+  const std::size_t n = 10000;
+  auto f = [](std::size_t i) {
+    return 1.0 / static_cast<double>(i + 1) +
+           0.25 * static_cast<double>(i % 7);
+  };
+  std::vector<double> serial(n);
+  for (std::size_t i = 0; i < n; ++i) serial[i] = f(i);
+  const double serial_sum =
+      std::accumulate(serial.begin(), serial.end(), 0.0);
+
+  for (std::size_t workers : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(workers);
+    std::vector<double> out(n, 0.0);
+    parallel_for_ranges(&pool, n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) out[i] = f(i);
+    });
+    EXPECT_EQ(out, serial) << workers << " workers";
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0.0), serial_sum)
+        << workers << " workers";
+  }
+}
+
+TEST(ParallelForRanges, StressManyRoundsOfReductions) {
+  // Hammer one pool with tick-loop-shaped work: many consecutive sharded
+  // rounds, each a fill + fixed-order reduce, interleaved with a shared
+  // atomic.  Exercises queue/wait_idle transitions under contention (the
+  // TSan preset runs this).
+  ThreadPool pool(4);
+  const std::size_t n = 4096;
+  std::vector<double> out(n);
+  std::atomic<std::uint64_t> touched{0};
+  for (int round = 1; round <= 100; ++round) {
+    parallel_for_ranges(&pool, n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        out[i] = static_cast<double>(i) * round;
+      }
+      touched.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += out[i];
+    const double expected =
+        static_cast<double>(n - 1) * static_cast<double>(n) / 2.0 * round;
+    ASSERT_DOUBLE_EQ(sum, expected) << "round " << round;
+  }
+  EXPECT_EQ(touched.load(), 100u * n);
 }
 
 }  // namespace

@@ -25,6 +25,8 @@ void describe() {
   seed = 42                    RNG seed
   warmup_ticks = 20            ticks ignored before recording
   measure_ticks = 200          ticks recorded
+  threads = 0                  tick-engine workers (0 = hw concurrency,
+                               1 = serial; results identical either way)
   zones = 2                    hierarchy shape
   racks_per_zone = 3
   servers_per_rack = 3
