@@ -10,11 +10,13 @@
 #include <chrono>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common.h"
+#include "obs/sink.h"
 
 namespace willow::bench {
 namespace {
@@ -109,6 +111,50 @@ int run(int argc, char** argv) {
     return 1;
   }
   std::cout << "(results bit-identical across thread counts)\n";
+
+  // Tracing-off overhead guard.  With the event bus wired but no sinks
+  // attached (the default), every emission site reduces to a branch; compare
+  // against a run with the bus detached outright and require the difference
+  // to stay within 2% (plus a small absolute allowance for timer noise).
+  // A tracing-on run with a counting sink is timed for information only.
+  {
+    const auto& sc = scenarios.front();
+    const std::size_t threads = std::min<std::size_t>(4, hw);
+    auto time_run = [&](bool detach_bus, bool counting_sink) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < 3; ++r) {
+        auto cfg = scaling_config(sc, threads);
+        if (counting_sink) {
+          cfg.sinks.push_back(std::make_shared<obs::CountingSink>());
+        }
+        sim::Simulation simulation(std::move(cfg));
+        if (detach_bus) {
+          simulation.controller().set_event_bus(nullptr);
+          simulation.datacenter().cluster.set_event_bus(nullptr);
+        }
+        const auto start = std::chrono::steady_clock::now();
+        simulation.run();
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        best = std::min(best, elapsed.count());
+      }
+      return best;
+    };
+    const double detached_s = time_run(true, false);
+    const double off_s = time_run(false, false);
+    const double on_s = time_run(false, true);
+    const double overhead = detached_s > 0.0 ? off_s / detached_s - 1.0 : 0.0;
+    std::cout << "== observability overhead (" << sc.name << ", threads="
+              << threads << ") ==\n"
+              << "bus detached:       " << detached_s << " s\n"
+              << "tracing off:        " << off_s << " s ("
+              << overhead * 100.0 << " % vs detached)\n"
+              << "tracing on (count): " << on_s << " s\n";
+    if (off_s > detached_s * 1.02 + 0.05) {
+      std::cerr << "ERROR: tracing-off overhead exceeds 2%\n";
+      return 1;
+    }
+  }
 
   const std::string path = argc > 1 ? argv[1] : "BENCH_tick_scaling.json";
   if (!write_perf_json(path, "tick_scaling", points)) {

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Release-mode smoke run of the tick-engine scaling baseline: builds the
-# release preset, runs bench_perf_tick_scaling, and leaves the machine-
-# readable sweep in BENCH_tick_scaling.json (or $1).
+# release preset, runs bench_perf_tick_scaling (which includes the
+# tracing-off overhead guard), and leaves the machine-readable sweep in
+# BENCH_tick_scaling.json (or $1).  Then runs willow_cli with --trace on a
+# short scenario and cross-checks the JSONL event count against the
+# obs.events_emitted counter in the result JSON.
 #
 #   scripts/perf_smoke.sh [output.json]
 set -euo pipefail
@@ -11,5 +14,30 @@ cd "$ROOT"
 OUT="${1:-BENCH_tick_scaling.json}"
 
 cmake --preset release
-cmake --build --preset release -j"$(nproc)" --target bench_perf_tick_scaling
+cmake --build --preset release -j"$(nproc)" \
+  --target bench_perf_tick_scaling willow_cli
 ./build-release/bench/bench_perf_tick_scaling "$OUT"
+
+# Tracing smoke: JSONL line count (minus the schema header) must equal the
+# run's own obs.events_emitted counter.
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cat > "$WORK/scenario.txt" <<'EOF'
+schema_version = 2
+utilization = 0.6
+warmup_ticks = 10
+measure_ticks = 50
+churn_probability = 0.05
+seed = 42
+EOF
+./build-release/tools/willow_cli "$WORK/scenario.txt" \
+  --trace "$WORK/trace.jsonl" --json "$WORK/result.json" > /dev/null
+
+events=$(( $(wc -l < "$WORK/trace.jsonl") - 1 ))
+counted="$(grep -o '"obs.events_emitted":[0-9]*' "$WORK/result.json" \
+  | head -n1 | cut -d: -f2)"
+if [[ -z "$counted" || "$events" -ne "$counted" ]]; then
+  echo "ERROR: trace has $events events but obs.events_emitted=${counted:-missing}" >&2
+  exit 1
+fi
+echo "(trace smoke: $events JSONL events match obs.events_emitted)"

@@ -175,14 +175,28 @@ void Cluster::refresh_demands(const workload::PoissonDemand& process,
 void Cluster::refresh_demands(const workload::PoissonDemand& process,
                               std::uint64_t seed, long tick, double intensity,
                               util::ThreadPool* pool) {
+  // The one tick phase that emits from inside a sharded region: each server's
+  // fresh demand sample becomes a kDemandReport deposited into the per-server
+  // shard slot; end_shards() merges them in server order so the trace is
+  // identical no matter how the range was partitioned.
+  const bool observe = bus_ != nullptr && bus_->enabled();
+  if (observe) bus_->begin_shards(servers_.size());
   util::parallel_for_ranges(
       pool, servers_.size(), [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
           auto rng = util::tick_stream(seed, static_cast<std::uint64_t>(tick),
                                        i, util::stream_phase::kDemand);
           process.refresh_all(servers_[i].apps(), rng, intensity);
+          if (observe && !servers_[i].asleep()) {
+            obs::Event e;
+            e.type = obs::EventType::kDemandReport;
+            e.node = servers_[i].node();
+            e.value = servers_[i].power_demand().value();
+            bus_->emit_shard(i, std::move(e));
+          }
         }
       });
+  if (observe) bus_->end_shards();
 }
 
 void Cluster::refresh_demands_constant() {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "hier/tree.h"
+#include "obs/bus.h"
 #include "power/server_power.h"
 #include "thermal/thermal_model.h"
 #include "util/rng.h"
@@ -198,6 +199,16 @@ class Cluster {
   /// Count of active (non-sleeping) servers.
   [[nodiscard]] std::size_t active_server_count() const;
 
+  /// Attach an observability bus (not owned; may be null); also attached to
+  /// the PMU tree.  The streamed refresh_demands deposits one kDemandReport
+  /// per server through the bus's per-shard staging, so the merged stream is
+  /// bit-identical for any thread count.
+  void set_event_bus(obs::EventBus* bus) {
+    bus_ = bus;
+    tree_.set_event_bus(bus);
+  }
+  [[nodiscard]] obs::EventBus* event_bus() const { return bus_; }
+
  private:
   hier::Tree tree_;
   std::vector<NodeId> server_ids_;
@@ -205,6 +216,7 @@ class Cluster {
   std::vector<ManagedServer> servers_;
   std::unordered_map<AppId, NodeId> app_host_;
   std::unordered_map<NodeId, Watts> group_circuit_limits_;
+  obs::EventBus* bus_ = nullptr;
 };
 
 }  // namespace willow::core

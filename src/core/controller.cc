@@ -12,6 +12,21 @@ namespace willow::core {
 
 namespace {
 constexpr double kEps = 1e-9;
+
+obs::Event make_event(obs::EventType type, NodeId node,
+                      NodeId node2 = hier::kNoNode, workload::AppId app = 0,
+                      obs::Reason reason = obs::Reason::kNone,
+                      double value = 0.0, double aux = 0.0) {
+  obs::Event e;
+  e.type = type;
+  e.node = node;
+  e.node2 = node2;
+  e.app = app;
+  e.reason = reason;
+  e.value = value;
+  e.aux = aux;
+  return e;
+}
 }
 
 std::string to_string(const ControlEvent& e) {
@@ -191,9 +206,15 @@ void Controller::supply_adaptation(Watts available_supply) {
     std::fill(budget_reduced_.begin(), budget_reduced_.end(), false);
   }
 
+  const bool observe = bus_ != nullptr && bus_->enabled();
   auto mark_and_set = [&](NodeId id, Watts budget) {
     auto& n = tree.node(id);
     if (budget < n.budget() - Watts{kEps}) budget_reduced_[id] = true;
+    if (observe) {
+      bus_->emit(make_event(obs::EventType::kBudgetDirective, id,
+                            hier::kNoNode, 0, obs::Reason::kNone,
+                            budget.value(), n.budget().value()));
+    }
     n.set_budget(budget);
   };
 
@@ -224,6 +245,11 @@ void Controller::supply_adaptation(Watts available_supply) {
 
 void Controller::enforce_thermal_limits() {
   auto& tree = cluster_.tree();
+  if (thermally_clamped_.size() != tree.size()) {
+    thermally_clamped_.assign(tree.size(), 0);
+  } else {
+    std::fill(thermally_clamped_.begin(), thermally_clamped_.end(), 0);
+  }
   for (NodeId s : cluster_.server_ids()) {
     auto& leaf = tree.node(s);
     if (!leaf.active()) continue;
@@ -231,8 +257,14 @@ void Controller::enforce_thermal_limits() {
     const Watts limit = util::min(
         srv.circuit_limit(), srv.thermal().power_limit(config_.demand_period));
     if (leaf.budget() > limit + Watts{kEps}) {
+      if (bus_ != nullptr && bus_->enabled()) {
+        bus_->emit(make_event(obs::EventType::kThermalThrottle, s,
+                              hier::kNoNode, 0, obs::Reason::kThermal,
+                              limit.value(), leaf.budget().value()));
+      }
       leaf.set_budget(limit);
       budget_reduced_[s] = true;
+      thermally_clamped_[s] = 1;
     }
   }
 }
@@ -281,7 +313,7 @@ Watts Controller::target_capacity(NodeId server) const {
 }
 
 std::vector<Controller::PlanItem> Controller::select_victims(
-    NodeId server, Watts needed, MigrationCause cause) {
+    NodeId server, Watts needed, MigrationCause cause, obs::Reason reason) {
   auto& apps = cluster_.server(server).apps();
   auto& sorted = victim_scratch_;
   sorted.clear();
@@ -300,7 +332,7 @@ std::vector<Controller::PlanItem> Controller::select_victims(
   for (const Application* a : sorted) {
     if (covered >= needed) break;
     items.push_back({a->id(), server, a->demand() + config_.migration_cost,
-                     a->demand(), cause});
+                     a->demand(), cause, reason});
     covered += a->demand();
   }
   return items;
@@ -335,6 +367,11 @@ void Controller::complete_due_migrations() {
     apps_in_flight_.erase(m.app);
     events_this_tick_.push_back({EventKind::kMigrationCompleted, tick_, m.app,
                                  m.source, m.target, m.demand});
+    if (bus_ != nullptr && bus_->enabled()) {
+      bus_->emit(make_event(obs::EventType::kMigrationLanded, m.source,
+                            m.target, m.app, obs::Reason::kNone,
+                            m.demand.value()));
+    }
     WILLOW_DEBUG() << "migration of app " << m.app << " landed on "
                    << m.target;
   }
@@ -388,6 +425,17 @@ void Controller::apply_migration(const PlanItem& item, NodeId target) {
   migrations_this_tick_.push_back(rec);
   events_this_tick_.push_back({EventKind::kMigrationInitiated, tick_, item.app,
                                item.source, target, item.demand});
+  if (bus_ != nullptr && bus_->enabled()) {
+    const obs::Reason reason =
+        item.reason != obs::Reason::kNone
+            ? item.reason
+            : (item.cause == MigrationCause::kDemand
+                   ? obs::Reason::kSupplyDeficit
+                   : obs::Reason::kConsolidation);
+    bus_->emit(make_event(obs::EventType::kMigration, item.source, target,
+                          item.app, reason, item.demand.value(),
+                          rec.local ? 1.0 : 0.0));
+  }
 
   if (item.cause == MigrationCause::kDemand) {
     ++stats_.demand_migrations;
@@ -409,6 +457,12 @@ void Controller::apply_migration(const PlanItem& item, NodeId target) {
 
 std::vector<std::size_t> Controller::pack_and_apply(
     std::vector<PlanItem>& items, const std::vector<NodeId>& targets) {
+  if (bus_ != nullptr) {
+    auto& m = bus_->metrics();
+    m.counter("controller.pack_calls").increment();
+    m.histogram("controller.pack_items", {1, 2, 4, 8, 16, 32, 64, 128})
+        .observe(static_cast<double>(items.size()));
+  }
   bp_items_scratch_.clear();
   bp_items_scratch_.reserve(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
@@ -453,8 +507,14 @@ void Controller::demand_adaptation() {
       const Watts deficit =
           node_deficit(leaf) - Watts{outbound_in_flight_w_[c]};
       if (deficit.value() > kEps) {
+        // Attribute the move to what tightened this server's budget: the
+        // per-ΔD thermal clamp if it fired here, else the supply division.
+        const obs::Reason reason =
+            c < thermally_clamped_.size() && thermally_clamped_[c]
+                ? obs::Reason::kThermal
+                : obs::Reason::kSupplyDeficit;
         auto victims = select_victims(c, deficit + config_.margin,
-                                      MigrationCause::kDemand);
+                                      MigrationCause::kDemand, reason);
         items.insert(items.end(), victims.begin(), victims.end());
       }
     }
@@ -543,6 +603,10 @@ void Controller::demand_adaptation() {
       ++stats_.wakes;
       events_this_tick_.push_back(
           {EventKind::kWake, tick_, 0, s, hier::kNoNode, Watts{0.0}});
+      if (bus_ != nullptr && bus_->enabled()) {
+        bus_->emit(make_event(obs::EventType::kWake, s, hier::kNoNode, 0,
+                              obs::Reason::kSupplyDeficit));
+      }
       WILLOW_INFO() << "wake server " << s << " for unplaced demand";
       // Re-divide the same supply with the woken server participating.
       supply_adaptation(last_supply_);
@@ -613,6 +677,11 @@ void Controller::shed_leftovers(std::vector<PlanItem>& pending) {
         shed += released;
         events_this_tick_.push_back({EventKind::kDegrade, tick_, app->id(),
                                      source, hier::kNoNode, Watts{released}});
+        if (bus_ != nullptr && bus_->enabled()) {
+          bus_->emit(make_event(obs::EventType::kDegrade, source,
+                                hier::kNoNode, app->id(),
+                                obs::Reason::kShedding, released));
+        }
         WILLOW_INFO() << "degrade app " << app->id() << " on server " << source
                       << " to " << config_.degraded_service_level * 100.0
                       << "% (" << released << " W released)";
@@ -629,6 +698,10 @@ void Controller::shed_leftovers(std::vector<PlanItem>& pending) {
       shed += released;
       events_this_tick_.push_back({EventKind::kDrop, tick_, app->id(), source,
                                    hier::kNoNode, Watts{released}});
+      if (bus_ != nullptr && bus_->enabled()) {
+        bus_->emit(make_event(obs::EventType::kDrop, source, hier::kNoNode,
+                              app->id(), obs::Reason::kShedding, released));
+      }
       WILLOW_INFO() << "drop app " << app->id() << " on server " << source
                     << " (" << released << " W)";
     }
@@ -709,6 +782,10 @@ void Controller::consolidate() {
       ++stats_.sleeps;
       events_this_tick_.push_back(
           {EventKind::kSleep, tick_, 0, s, hier::kNoNode, Watts{0.0}});
+      if (bus_ != nullptr && bus_->enabled()) {
+        bus_->emit(make_event(obs::EventType::kSleep, s, hier::kNoNode, 0,
+                              obs::Reason::kConsolidation));
+      }
       continue;
     }
     // All-or-nothing: every hosted app (even dropped ones — a sleeping host
@@ -719,7 +796,8 @@ void Controller::consolidate() {
                        (a.dropped() ? Watts{0.0} : a.demand()) +
                            config_.migration_cost,
                        a.dropped() ? Watts{0.0} : a.demand(),
-                       MigrationCause::kConsolidation});
+                       MigrationCause::kConsolidation,
+                       obs::Reason::kConsolidation});
     }
     auto collect_targets = [&](NodeId scope) -> const std::vector<NodeId>& {
       target_scratch_.clear();
@@ -767,6 +845,10 @@ void Controller::consolidate() {
       ++stats_.sleeps;
       events_this_tick_.push_back(
           {EventKind::kSleep, tick_, 0, s, hier::kNoNode, Watts{0.0}});
+      if (bus_ != nullptr && bus_->enabled()) {
+        bus_->emit(make_event(obs::EventType::kSleep, s, hier::kNoNode, 0,
+                              obs::Reason::kConsolidation));
+      }
       WILLOW_INFO() << "consolidated server " << s << " to sleep";
     } else {
       // Latency mode: the VMs are still transferring; the server sleeps at a
@@ -821,6 +903,11 @@ void Controller::revive_dropped() {
         ++stats_.revivals;
         events_this_tick_.push_back({EventKind::kRevive, tick_, a->id(), s,
                                      hier::kNoNode, a->effective_mean_power()});
+        if (bus_ != nullptr && bus_->enabled()) {
+          bus_->emit(make_event(obs::EventType::kRevive, s, hier::kNoNode,
+                                a->id(), obs::Reason::kNone,
+                                a->effective_mean_power().value()));
+        }
         WILLOW_INFO() << "revive app " << a->id() << " on server " << s;
       }
     }
@@ -850,6 +937,10 @@ void Controller::revive_dropped() {
         ++stats_.restores;
         events_this_tick_.push_back(
             {EventKind::kRestore, tick_, a->id(), s, hier::kNoNode, gain});
+        if (bus_ != nullptr && bus_->enabled()) {
+          bus_->emit(make_event(obs::EventType::kRestore, s, hier::kNoNode,
+                                a->id(), obs::Reason::kNone, gain.value()));
+        }
         WILLOW_INFO() << "restore app " << a->id() << " to full service on "
                       << s;
       }

@@ -36,6 +36,7 @@
 #include "binpack/pack.h"
 #include "core/balance.h"
 #include "core/cluster.h"
+#include "obs/bus.h"
 #include "util/units.h"
 
 namespace willow::core {
@@ -211,6 +212,15 @@ class Controller {
     sink_ = std::move(sink);
   }
 
+  /// Attach an observability bus (not owned; may be null).  Every decision
+  /// the controller takes — migrations with reason codes (supply deficit /
+  /// thermal / consolidation), thermal throttles, budget directives, drops,
+  /// degrades, sleeps, wakes — is emitted as a typed event, and packing
+  /// attempts feed the bus's metrics registry.  The controller is serial, so
+  /// all emission goes through EventBus::emit.
+  void set_event_bus(obs::EventBus* bus) { bus_ = bus; }
+  [[nodiscard]] obs::EventBus* event_bus() const { return bus_; }
+
   /// One demand period: reports, (possibly) supply adaptation with the given
   /// available supply, demand adaptation, (possibly) consolidation, revival.
   void tick(Watts available_supply);
@@ -244,6 +254,10 @@ class Controller {
     Watts size;  ///< demand + migration cost (what a bin must absorb)
     Watts demand;
     MigrationCause cause;
+    /// Fine-grained trigger for the event stream: a demand migration off a
+    /// thermally clamped server is kThermal, off a supply-starved one
+    /// kSupplyDeficit; consolidation drains are kConsolidation.
+    obs::Reason reason = obs::Reason::kNone;
   };
 
   void supply_adaptation(Watts available_supply);
@@ -263,7 +277,8 @@ class Controller {
   /// Select apps on `server` whose combined demand covers `needed`;
   /// largest-demand-first, skipping dropped apps.
   std::vector<PlanItem> select_victims(NodeId server, Watts needed,
-                                       MigrationCause cause);
+                                       MigrationCause cause,
+                                       obs::Reason reason);
 
   /// Target eligibility under the unidirectional rule within `scope`.
   [[nodiscard]] bool eligible_target(NodeId target_server, NodeId scope) const;
@@ -295,6 +310,9 @@ class Controller {
   long tick_ = 0;
   Watts last_supply_{0.0};
   std::vector<bool> budget_reduced_;
+  /// Servers whose budget this tick's thermal/circuit clamp reduced; drives
+  /// the kThermal reason code on the migrations the clamp forces.
+  std::vector<char> thermally_clamped_;
   Watts root_unallocated_{0.0};
   std::vector<MigrationRecord> migrations_this_tick_;
   std::vector<ControlEvent> events_this_tick_;
@@ -324,6 +342,7 @@ class Controller {
   /// sources in the same tick — avoids intra-tick ping-pong).
   std::unordered_set<NodeId> targets_this_tick_;
   std::function<void(const MigrationRecord&)> sink_;
+  obs::EventBus* bus_ = nullptr;
 
   /// Cached topology (see ensure_topology_cache).
   std::size_t cache_tree_size_ = 0;

@@ -115,6 +115,7 @@ bool Tree::is_ancestor(NodeId ancestor, NodeId id) const {
 }
 
 void Tree::report_demands() {
+  const bool observe = bus_ != nullptr && bus_->enabled();
   for (NodeId id : bottom_up()) {
     Node& n = nodes_[id];
     if (!n.is_leaf()) {
@@ -127,13 +128,37 @@ void Tree::report_demands() {
     } else if (!n.active()) {
       n.observe_demand(Watts{0.0});
     }
-    if (!n.is_root()) n.count_up();
+    if (!n.is_root()) {
+      n.count_up();
+      if (observe) {
+        obs::Event e;
+        e.type = obs::EventType::kLinkMessage;
+        e.node = id;
+        e.node2 = n.parent();
+        e.direction = obs::LinkDirection::kUp;
+        e.value = n.smoothed_demand().value();
+        e.aux = n.raw_demand().value();
+        bus_->emit(std::move(e));
+      }
+    }
   }
 }
 
 void Tree::count_budget_directives() {
+  const bool observe = bus_ != nullptr && bus_->enabled();
   for (auto& n : nodes_) {
-    if (!n.is_root()) n.count_down();
+    if (!n.is_root()) {
+      n.count_down();
+      if (observe) {
+        obs::Event e;
+        e.type = obs::EventType::kLinkMessage;
+        e.node = n.id();
+        e.node2 = n.parent();
+        e.direction = obs::LinkDirection::kDown;
+        e.value = n.budget().value();
+        bus_->emit(std::move(e));
+      }
+    }
   }
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/bus.h"
 #include "util/ewma.h"
 #include "util/units.h"
 
@@ -181,10 +182,18 @@ class Tree {
   /// Reset all message counters.
   void reset_link_counters();
 
+  /// Attach an observability bus (not owned; may be null).  When attached
+  /// and enabled, every control message crossing a link becomes one
+  /// kLinkMessage event — the stream Property 3 ("at most 2 messages per
+  /// link per ΔD") is asserted against.
+  void set_event_bus(obs::EventBus* bus) { bus_ = bus; }
+  [[nodiscard]] obs::EventBus* event_bus() const { return bus_; }
+
  private:
   double alpha_;
   std::vector<Node> nodes_;
   NodeId root_ = kNoNode;
+  obs::EventBus* bus_ = nullptr;
 };
 
 }  // namespace willow::hier

@@ -1,0 +1,47 @@
+#include "obs/bus.h"
+
+#include <stdexcept>
+
+namespace willow::obs {
+
+void EventBus::add_sink(std::shared_ptr<Sink> sink) {
+  if (!sink) throw std::invalid_argument("EventBus: null sink");
+  sinks_.push_back(std::move(sink));
+}
+
+void EventBus::dispatch(const Event& event) {
+  metrics_.counter("obs.events_emitted").increment();
+  for (const auto& sink : sinks_) sink->on_event(event);
+}
+
+void EventBus::emit(Event event) {
+  if (!enabled()) return;
+  event.tick = tick_;
+  dispatch(event);
+}
+
+void EventBus::begin_shards(std::size_t slots) {
+  if (!enabled()) return;
+  shard_staging_.resize(slots);
+  for (auto& slot : shard_staging_) slot.clear();
+}
+
+void EventBus::emit_shard(std::size_t slot, Event event) {
+  if (!enabled()) return;
+  event.tick = tick_;
+  shard_staging_[slot].push_back(std::move(event));
+}
+
+void EventBus::end_shards() {
+  if (!enabled()) return;
+  for (auto& slot : shard_staging_) {
+    for (const Event& e : slot) dispatch(e);
+    slot.clear();
+  }
+}
+
+void EventBus::flush() {
+  for (const auto& sink : sinks_) sink->flush();
+}
+
+}  // namespace willow::obs

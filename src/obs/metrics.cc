@@ -1,0 +1,110 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace willow::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  }
+  bucket_counts_.assign(bounds_.size() + 1, 0);  // + implicit +inf
+}
+
+void Histogram::observe(double v) {
+  std::size_t b = 0;
+  while (b < bounds_.size() && v > bounds_[b]) ++b;
+  ++bucket_counts_[b];
+  ++count_;
+  sum_ += v;
+}
+
+std::vector<std::uint64_t> Histogram::cumulative_counts() const {
+  std::vector<std::uint64_t> out(bucket_counts_.size());
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < bucket_counts_.size(); ++i) {
+    running += bucket_counts_[i];
+    out[i] = running;
+  }
+  return out;
+}
+
+std::uint64_t MetricsSnapshot::counter_or_zero(const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
+                                               Kind kind) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(name, Entry{kind, nullptr, nullptr, nullptr, nullptr})
+             .first;
+  } else if (it->second.kind != kind) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already registered as another kind");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Entry& e = entry(name, Kind::kCounter);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  Entry& e = entry(name, Kind::kGauge);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  Entry& e = entry(name, Kind::kHistogram);
+  if (!e.histogram) {
+    e.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return *e.histogram;
+}
+
+Timer& MetricsRegistry::timer(const std::string& name) {
+  Entry& e = entry(name, Kind::kTimer);
+  if (!e.timer) e.timer = std::make_unique<Timer>();
+  return *e.timer;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        out.counters.push_back({name, e.counter->value()});
+        break;
+      case Kind::kGauge:
+        out.gauges.push_back({name, e.gauge->value()});
+        break;
+      case Kind::kHistogram:
+        out.histograms.push_back({name, e.histogram->upper_bounds(),
+                                  e.histogram->cumulative_counts(),
+                                  e.histogram->count(), e.histogram->sum()});
+        break;
+      case Kind::kTimer:
+        out.timers.push_back({name, e.timer->count(),
+                              e.timer->total_seconds()});
+        break;
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(out.counters.begin(), out.counters.end(), by_name);
+  std::sort(out.gauges.begin(), out.gauges.end(), by_name);
+  std::sort(out.histograms.begin(), out.histograms.end(), by_name);
+  std::sort(out.timers.begin(), out.timers.end(), by_name);
+  return out;
+}
+
+}  // namespace willow::obs

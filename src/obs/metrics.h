@@ -1,0 +1,161 @@
+// Metrics registry — named counters, gauges, histograms, and wall-clock
+// timers, snapshotted at end of run.
+//
+// Registered instruments live for the registry's lifetime and are looked up
+// once (the returned references stay valid), so hot paths pay one pointer
+// write per update, not a map probe.  Instruments are updated from serial
+// code only (the controller is serial; the simulator updates around — not
+// inside — its sharded phases), so no atomics are needed.
+//
+// A MetricsSnapshot is a plain value sorted by instrument name, so its JSON
+// rendering is deterministic.  Timer values are wall-clock and therefore the
+// one intentionally non-deterministic quantity in a SimResult; they are kept
+// out of the event trace, whose byte-determinism tests rely on replayable
+// content only.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace willow::obs {
+
+class Counter {
+ public:
+  void increment(std::uint64_t by = 1) { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bound histogram (upper bounds ascending; an implicit +inf bucket
+/// catches the rest).  Tracks count and sum like a Prometheus histogram.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] const std::vector<double>& upper_bounds() const {
+    return bounds_;
+  }
+  /// Cumulative counts per bound, plus the final +inf bucket (== count()).
+  [[nodiscard]] std::vector<std::uint64_t> cumulative_counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> bucket_counts_;  ///< per-bucket, incl. +inf
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Accumulating wall-clock timer; use ScopedTimer to time a block.
+class Timer {
+ public:
+  void add(double seconds) {
+    total_seconds_ += seconds;
+    ++count_;
+  }
+  [[nodiscard]] double total_seconds() const { return total_seconds_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+ private:
+  double total_seconds_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer* timer)
+      : timer_(timer), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    if (!timer_) return;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    timer_->add(elapsed.count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> upper_bounds;
+    std::vector<std::uint64_t> cumulative_counts;  ///< incl. trailing +inf
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  struct TimerValue {
+    std::string name;
+    std::uint64_t count = 0;
+    double total_seconds = 0.0;
+  };
+
+  std::vector<CounterValue> counters;      ///< sorted by name
+  std::vector<GaugeValue> gauges;          ///< sorted by name
+  std::vector<HistogramValue> histograms;  ///< sorted by name
+  std::vector<TimerValue> timers;          ///< sorted by name
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           timers.empty();
+  }
+  /// Counter value by name, or 0 if absent (test/tooling convenience).
+  [[nodiscard]] std::uint64_t counter_or_zero(const std::string& name) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Get-or-create; the reference stays valid for the registry's lifetime.
+  /// Re-registering a name with a different instrument kind throws.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `upper_bounds` is only consulted on first registration.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+  Timer& timer(const std::string& name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kTimer };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<Timer> timer;
+  };
+  Entry& entry(const std::string& name, Kind kind);
+
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace willow::obs

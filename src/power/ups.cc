@@ -33,16 +33,33 @@ Watts Ups::deliverable(Watts supply, Watts demand, Seconds dt) const {
 
 Watts Ups::step(Watts supply, Watts demand, Seconds dt) {
   if (dt.value() <= 0.0) throw std::invalid_argument("Ups::step: dt <= 0");
+  constexpr double kEps = 1e-12;
   if (demand <= supply) {
     // Surplus recharges the battery (bounded by charge rate and capacity).
     const Watts surplus = supply - demand;
     const Watts charge = util::min(surplus, max_charge_);
+    const Joules before = stored_;
     stored_ = util::min(capacity_, stored_ + charge * dt);
+    if (bus_ != nullptr && bus_->enabled() &&
+        stored_.value() - before.value() > kEps) {
+      obs::Event e;
+      e.type = obs::EventType::kUpsCharge;
+      e.value = (stored_ - before).value() / dt.value();
+      e.aux = state_of_charge();
+      bus_->emit(std::move(e));
+    }
     return demand;
   }
   const Watts delivered = deliverable(supply, demand, dt);
   const Watts discharge = delivered - supply;
   stored_ = util::max(Joules{0.0}, stored_ - discharge * dt);
+  if (bus_ != nullptr && bus_->enabled() && discharge.value() > kEps) {
+    obs::Event e;
+    e.type = obs::EventType::kUpsDischarge;
+    e.value = discharge.value();
+    e.aux = state_of_charge();
+    bus_->emit(std::move(e));
+  }
   return delivered;
 }
 

@@ -12,6 +12,7 @@
 // plunges still come through — exactly why ΔS can be coarser than ΔD.
 #pragma once
 
+#include "obs/bus.h"
 #include "util/units.h"
 
 namespace willow::power {
@@ -44,11 +45,17 @@ class Ups {
   /// Deliverable power right now if demand were `demand` (no state change).
   [[nodiscard]] Watts deliverable(Watts supply, Watts demand, Seconds dt) const;
 
+  /// Attach an observability bus (not owned; may be null).  step() then emits
+  /// kUpsCharge / kUpsDischarge whenever the battery exchanges power.
+  void set_event_bus(obs::EventBus* bus) { bus_ = bus; }
+  [[nodiscard]] obs::EventBus* event_bus() const { return bus_; }
+
  private:
   Joules capacity_;
   Joules stored_;
   Watts max_discharge_;
   Watts max_charge_;
+  obs::EventBus* bus_ = nullptr;
 };
 
 }  // namespace willow::power

@@ -22,6 +22,7 @@ void write_series(util::JsonWriter& w, const char* name,
 void write_result_json(std::ostream& os, const SimResult& result) {
   util::JsonWriter w(os);
   w.begin_object();
+  w.key("schema_version").value(kResultSchemaVersion);
   w.key("ticks").value(static_cast<long long>(result.ticks));
   w.key("max_temperature_c").value(result.max_temperature_c);
   w.key("thermal_violation").value(result.thermal_violation);
@@ -67,6 +68,38 @@ void write_result_json(std::ostream& os, const SimResult& result) {
     w.end_object();
   }
   w.end_array();
+
+  if (!result.metrics.empty()) {
+    const auto& m = result.metrics;
+    w.key("metrics").begin_object();
+    w.key("counters").begin_object();
+    for (const auto& c : m.counters) w.key(c.name).value(c.value);
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& g : m.gauges) w.key(g.name).value(g.value);
+    w.end_object();
+    w.key("histograms").begin_object();
+    for (const auto& h : m.histograms) {
+      w.key(h.name).begin_object();
+      w.number_array("upper_bounds", h.upper_bounds);
+      w.key("cumulative_counts").begin_array();
+      for (const auto c : h.cumulative_counts) w.value(c);
+      w.end_array();
+      w.key("count").value(h.count);
+      w.key("sum").value(h.sum);
+      w.end_object();
+    }
+    w.end_object();
+    w.key("timers").begin_object();
+    for (const auto& t : m.timers) {
+      w.key(t.name).begin_object();
+      w.key("count").value(t.count);
+      w.key("total_seconds").value(t.total_seconds);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
 
   w.key("series").begin_object();
   write_series(w, "supply_w", result.supply_series);

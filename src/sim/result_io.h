@@ -7,9 +7,15 @@
 
 namespace willow::sim {
 
-/// Serialize the full result: controller stats, per-server summaries, and
-/// every recorded time series (as {t: [...], v: [...]} pairs).  Empty series
-/// (disabled features) are omitted.
+/// Version stamped into every result document as "schema_version".  History:
+///   1  (implicit) unversioned original shape
+///   2  added the stamp itself plus the "metrics" block (counters, gauges,
+///      histograms, wall-clock phase timers)
+inline constexpr int kResultSchemaVersion = 2;
+
+/// Serialize the full result: controller stats, per-server summaries, the
+/// metrics snapshot, and every recorded time series (as {t: [...], v: [...]}
+/// pairs).  Empty series (disabled features) are omitted.
 void write_result_json(std::ostream& os, const SimResult& result);
 
 }  // namespace willow::sim

@@ -152,7 +152,14 @@ SimConfig parse_scenario(std::istream& in) {
     const std::string value = trim(text.substr(eq + 1));
     if (key.empty() || value.empty()) fail(line, "empty key or value");
 
-    if (key == "utilization") {
+    if (key == "schema_version") {
+      const long v = parse_long(value, line);
+      if (v < 1 || v > kScenarioSchemaVersion) {
+        fail(line, "unsupported schema_version " + std::to_string(v) +
+                       " (this build reads versions 1.." +
+                       std::to_string(kScenarioSchemaVersion) + ")");
+      }
+    } else if (key == "utilization") {
       cfg.target_utilization = parse_double(value, line);
       if (cfg.target_utilization < 0.0 || cfg.target_utilization > 1.5) {
         fail(line, "utilization out of range");
@@ -306,6 +313,11 @@ SimConfig parse_scenario(std::istream& in) {
     cfg.controller.validate();
   } catch (const std::invalid_argument& e) {
     throw std::runtime_error(std::string("scenario: ") + e.what());
+  }
+  if (const auto errors = cfg.validate(); !errors.empty()) {
+    std::string msg = "scenario: invalid configuration:";
+    for (const auto& e : errors) msg += "\n  - " + e;
+    throw std::runtime_error(msg);
   }
   return cfg;
 }

@@ -23,8 +23,16 @@
 
 namespace willow::sim {
 
+/// Highest scenario schema version this parser understands.  A scenario may
+/// declare `schema_version = N` (ideally as its first line); files without
+/// the key are treated as version 1 (the original unversioned dialect, which
+/// version 2 reads unchanged — 2 only added the stamp itself).  Declaring a
+/// newer version than this fails loudly rather than misreading the file.
+inline constexpr long kScenarioSchemaVersion = 2;
+
 /// Parse a scenario from a stream.  Throws std::runtime_error (with the line
-/// number) on unknown keys, malformed values, or out-of-range settings.
+/// number) on unknown keys, malformed values, out-of-range settings, or an
+/// unsupported schema_version.
 SimConfig parse_scenario(std::istream& in);
 
 /// Parse a scenario file; throws std::runtime_error if unreadable.

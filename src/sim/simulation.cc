@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "workload/qos.h"
 
@@ -27,7 +28,75 @@ SimConfig::SimConfig() {
   mix.unit_power = util::Watts{1.0};
 }
 
+std::vector<std::string> SimConfig::validate() const {
+  std::vector<std::string> errors;
+  if (datacenter.layout.total_servers() == 0) {
+    errors.push_back(
+        "datacenter.layout: zero servers (zones, racks_per_zone and "
+        "servers_per_rack must all be >= 1)");
+  }
+  if (!(datacenter.smoothing_alpha > 0.0) ||
+      datacenter.smoothing_alpha > 1.0) {
+    errors.push_back("datacenter.smoothing_alpha: must be in (0,1]");
+  }
+  if (demand_quantum.value() < 0.0) {
+    errors.push_back("demand_quantum: negative wattage");
+  }
+  if (mix.unit_power.value() < 0.0) {
+    errors.push_back("mix.unit_power: negative wattage");
+  }
+  if (!(target_utilization > 0.0)) {
+    errors.push_back("target_utilization: must be > 0");
+  }
+  if (rack_circuit_limit && rack_circuit_limit->value() < 0.0) {
+    errors.push_back("rack_circuit_limit: negative wattage");
+  }
+  if (ups && !supply) {
+    errors.push_back(
+        "ups: a UPS buffers a supply profile; set `supply` too (with "
+        "unconstrained supply the battery never does anything)");
+  }
+  if (ipc_chain_fraction < 0.0 || ipc_chain_fraction > 1.0) {
+    errors.push_back("ipc_chain_fraction: must be in [0,1]");
+  }
+  if (report_loss_probability < 0.0 || report_loss_probability > 1.0) {
+    errors.push_back("report_loss_probability: must be in [0,1]");
+  }
+  if (churn_probability < 0.0 || churn_probability > 1.0) {
+    errors.push_back("churn_probability: must be in [0,1]");
+  }
+  if (sla_inflation < 0.0) {
+    errors.push_back("sla_inflation: must be >= 0 (0 disables QoS tracking)");
+  }
+  if (warmup_ticks < 0) {
+    errors.push_back("warmup_ticks: must be >= 0");
+  }
+  if (measure_ticks < 0) {
+    errors.push_back("measure_ticks: must be >= 0");
+  }
+  for (std::size_t i = 0; i < ambient_events.size(); ++i) {
+    const auto& ev = ambient_events[i];
+    if (ev.first_server > ev.last_server) {
+      errors.push_back("ambient_events[" + std::to_string(i) +
+                       "]: first_server > last_server");
+    }
+    if (ev.tick < 0) {
+      errors.push_back("ambient_events[" + std::to_string(i) +
+                       "]: negative tick");
+    }
+  }
+  // threads: any value is meaningful (0 = hardware concurrency, 1 = serial,
+  // n = pool of n), so there is nothing to reject.
+  return errors;
+}
+
 Simulation::Simulation(SimConfig config) : config_(std::move(config)) {
+  const auto errors = config_.validate();
+  if (!errors.empty()) {
+    std::string msg = "SimConfig::validate failed:";
+    for (const auto& e : errors) msg += "\n  - " + e;
+    throw std::invalid_argument(msg);
+  }
   build();
 }
 
@@ -42,8 +111,13 @@ double Simulation::sustainable_dynamic_w() const {
 }
 
 void Simulation::build() {
+  for (auto& sink : config_.sinks) {
+    if (sink) bus_.add_sink(sink);
+  }
   dc_ = build_datacenter(config_.datacenter);
   auto& cluster = dc_->cluster;
+  cluster.set_event_bus(&bus_);  // also attaches the PMU tree
+  if (config_.ups) config_.ups->set_event_bus(&bus_);
 
   // Size the workload: mean aggregate app demand per server targets
   // target_utilization of the baseline thermally sustainable dynamic power.
@@ -77,6 +151,7 @@ void Simulation::build() {
 
   fabric_ = std::make_unique<net::Fabric>(cluster.tree(), config_.fabric);
   controller_ = std::make_unique<core::Controller>(cluster, config_.controller);
+  controller_->set_event_bus(&bus_);
 
   const std::size_t threads =
       config_.threads == 0
@@ -142,10 +217,25 @@ SimResult Simulation::run() {
   std::vector<double> traffic_units(n_servers, -1.0);
   std::vector<double> temps(n_servers, 0.0);
 
+  // Instruments are resolved once; updates inside the loop are pointer
+  // writes.  Timers measure wall-clock and stay out of the event trace.
+  auto& metrics = bus_.metrics();
+  obs::Timer& t_churn = metrics.timer("sim.phase.churn");
+  obs::Timer& t_demand = metrics.timer("sim.phase.demand");
+  obs::Timer& t_controller = metrics.timer("sim.phase.controller");
+  obs::Timer& t_thermal = metrics.timer("sim.phase.thermal");
+  obs::Timer& t_record = metrics.timer("sim.phase.record");
+  obs::Histogram& h_migrations =
+      metrics.histogram("sim.migrations_per_tick", {0, 1, 2, 4, 8, 16, 32});
+  obs::Counter& c_ticks = metrics.counter("sim.ticks");
+
   for (long tick = 0; tick < total_ticks; ++tick) {
     const double t = static_cast<double>(tick) * dt.value();
+    bus_.set_tick(tick);
+    c_ticks.increment();
 
     if (config_.churn_probability > 0.0) {
+      const obs::ScopedTimer churn_timer(&t_churn);
       const auto& catalog = workload::simulation_catalog();
       // Sample phase (sharded, read-only): server i draws from the
       // counter-based stream (seed, tick, i, kChurn), so outcomes cannot
@@ -215,19 +305,22 @@ SimResult Simulation::run() {
 
     const double intensity =
         config_.intensity ? config_.intensity->at(Seconds{t}) : 1.0;
-    cluster.refresh_demands(demand, config_.seed, tick, intensity,
-                            pool_.get());
+    {
+      const obs::ScopedTimer demand_timer(&t_demand);
+      cluster.refresh_demands(demand, config_.seed, tick, intensity,
+                              pool_.get());
 
-    if (config_.report_loss_probability > 0.0) {
-      util::parallel_for_ranges(
-          pool_.get(), n_servers, [&](std::size_t begin, std::size_t end) {
-            for (std::size_t i = begin; i < end; ++i) {
-              auto rng = util::tick_stream(config_.seed, tick, i,
-                                           util::stream_phase::kFault);
-              cluster.server_at(i).set_report_fault(
-                  rng.chance(config_.report_loss_probability));
-            }
-          });
+      if (config_.report_loss_probability > 0.0) {
+        util::parallel_for_ranges(
+            pool_.get(), n_servers, [&](std::size_t begin, std::size_t end) {
+              for (std::size_t i = begin; i < end; ++i) {
+                auto rng = util::tick_stream(config_.seed, tick, i,
+                                             util::stream_phase::kFault);
+                cluster.server_at(i).set_report_fault(
+                    rng.chance(config_.report_loss_probability));
+              }
+            });
+      }
     }
 
     Watts supply = config_.supply ? config_.supply->at(Seconds{t}) : plenty;
@@ -257,7 +350,10 @@ SimResult Simulation::run() {
       }
     }
 
-    controller_->tick(supply);
+    {
+      const obs::ScopedTimer controller_timer(&t_controller);
+      controller_->tick(supply);
+    }
 
     // IPC flows between now-separated endpoints cross the fabric.
     double remote_units = 0.0;
@@ -271,7 +367,10 @@ SimResult Simulation::run() {
       if (hops > 0) remote_units += flow.traffic_units;
     }
 
-    cluster.step_thermal(dt, pool_.get());
+    {
+      const obs::ScopedTimer thermal_timer(&t_thermal);
+      cluster.step_thermal(dt, pool_.get());
+    }
 
     for (const auto& rec : controller_->migrations_this_tick()) {
       auto it = last_move.find(rec.app);
@@ -284,12 +383,14 @@ SimResult Simulation::run() {
     if (tick < config_.warmup_ticks) continue;
 
     // --- Recording ---
+    const obs::ScopedTimer record_timer(&t_record);
     const auto& st = controller_->stats();
     const auto dm = st.demand_migrations - prev_dm;
     const auto cm = st.consolidation_migrations - prev_cm;
     prev_dm = st.demand_migrations;
     prev_cm = st.consolidation_migrations;
     result.migrations_per_tick.record(t, static_cast<double>(dm + cm));
+    h_migrations.observe(static_cast<double>(dm + cm));
     result.demand_migrations_per_tick.record(t, static_cast<double>(dm));
     result.consolidation_migrations_per_tick.record(t, static_cast<double>(cm));
     result.normalized_migration_traffic.record(
@@ -389,6 +490,32 @@ SimResult Simulation::run() {
     }
   }
   result.controller_stats = controller_->stats();
+  // Mirror the controller's whole-run tallies as named counters, so external
+  // consumers (perf_smoke's trace-vs-metrics diff, willow_cli --metrics) see
+  // one uniform surface.
+  {
+    const auto& cs = result.controller_stats;
+    metrics.counter("controller.demand_migrations")
+        .increment(cs.demand_migrations);
+    metrics.counter("controller.consolidation_migrations")
+        .increment(cs.consolidation_migrations);
+    metrics.counter("controller.local_migrations")
+        .increment(cs.local_migrations);
+    metrics.counter("controller.nonlocal_migrations")
+        .increment(cs.nonlocal_migrations);
+    metrics.counter("controller.wakes").increment(cs.wakes);
+    metrics.counter("controller.sleeps").increment(cs.sleeps);
+    metrics.counter("controller.drops").increment(cs.drops);
+    metrics.counter("controller.degrades").increment(cs.degrades);
+    metrics.counter("controller.revivals").increment(cs.revivals);
+    metrics.counter("controller.restores").increment(cs.restores);
+    metrics.gauge("controller.degraded_demand_w")
+        .set(cs.degraded_demand.value());
+    metrics.gauge("controller.dropped_demand_w")
+        .set(cs.dropped_demand.value());
+  }
+  bus_.flush();
+  result.metrics = metrics.snapshot();
   return result;
 }
 

@@ -27,6 +27,8 @@
 
 #include "core/controller.h"
 #include "net/fabric.h"
+#include "obs/bus.h"
+#include "obs/metrics.h"
 #include "power/cooling.h"
 #include "power/supply.h"
 #include "power/ups.h"
@@ -123,6 +125,19 @@ struct SimConfig {
   /// counter-based streams keyed by (seed, tick, server), and shared
   /// accumulators are reduced in fixed server order.
   std::size_t threads = 0;
+
+  /// Observability sinks attached to the simulation's event bus at build
+  /// time (JSONL trace writer, ring buffer, custom test sinks).  Empty means
+  /// event tracing is off — emitters see a disabled bus and pay only a
+  /// branch; the metrics registry still accumulates.
+  std::vector<std::shared_ptr<obs::Sink>> sinks{};
+
+  /// Structured validation: every problem found, as one human-readable
+  /// "field: why" string each.  Empty means the configuration is usable.
+  /// The Simulation constructor calls this and throws std::invalid_argument
+  /// with the aggregated list; CLI front-ends call it directly to report all
+  /// problems at once instead of dying on the first.
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 struct ServerMetrics {
@@ -161,6 +176,11 @@ struct SimResult {
   util::TimeSeries qos_satisfaction;   ///< demand-weighted SLA fraction
   util::TimeSeries qos_mean_inflation; ///< demand-weighted response inflation
   core::ControllerStats controller_stats;  ///< full run including warm-up
+  /// End-of-run snapshot of the event bus's metrics registry: event and
+  /// controller counters, packing histograms, per-phase wall-clock timers.
+  /// Timer values are wall-clock and thus the one non-deterministic part of
+  /// a SimResult; they never enter the event trace.
+  obs::MetricsSnapshot metrics;
   long ticks = 0;
 
   /// Migration counts within the measurement window only (warm-up excluded);
@@ -203,10 +223,15 @@ class Simulation {
   /// The IPC flows wired at build time (empty unless ipc_chain_fraction > 0).
   [[nodiscard]] const workload::FlowSet& flows() const { return flows_; }
 
+  /// The run's event bus.  SimConfig::sinks are attached at build time; more
+  /// sinks may be attached before run().  Also reaches the metrics registry.
+  [[nodiscard]] obs::EventBus& event_bus() { return bus_; }
+
  private:
   void build();
 
   SimConfig config_;
+  obs::EventBus bus_;
   workload::FlowSet flows_;
   workload::AppIdAllocator ids_;
   std::unique_ptr<Datacenter> dc_;

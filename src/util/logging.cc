@@ -1,14 +1,10 @@
 #include "util/logging.h"
 
-#include <atomic>
 #include <iostream>
-#include <mutex>
 
 namespace willow::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kOff};
-std::mutex g_mutex;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -20,15 +16,48 @@ const char* level_name(LogLevel l) {
     default: return "     ";
   }
 }
+
+// The installed sink.  Defaults to the built-in stderr sink; swapped by
+// set_log_sink.  Atomic so the macros' level probe is a plain load even if a
+// test thread swaps sinks (installation still must outlive use).
+std::atomic<LogSink*> g_sink{nullptr};
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+StderrLogSink::StderrLogSink(LogLevel level) : level_(level) {}
+
+LogLevel StderrLogSink::level() const { return level_.load(); }
+
+void StderrLogSink::set_level(LogLevel level) { level_.store(level); }
+
+void StderrLogSink::write(LogLevel level, const std::string& text) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::cerr << "[willow " << level_name(level) << "] " << text << '\n';
+}
+
+StderrLogSink& default_log_sink() {
+  static StderrLogSink sink;
+  return sink;
+}
+
+LogSink* log_sink() {
+  LogSink* s = g_sink.load();
+  return s != nullptr ? s : &default_log_sink();
+}
+
+LogSink* set_log_sink(LogSink* sink) {
+  LogSink* previous = g_sink.exchange(sink);
+  return previous != nullptr ? previous : &default_log_sink();
+}
+
+void set_log_level(LogLevel level) { default_log_sink().set_level(level); }
+
+LogLevel log_level() { return log_sink()->level(); }
 
 void log_message(LogLevel level, const std::string& text) {
-  if (log_level() < level) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[willow " << level_name(level) << "] " << text << '\n';
+  LogSink* s = log_sink();
+  if (s->level() < level) return;
+  s->write(level, text);
 }
 
 }  // namespace willow::util

@@ -1,10 +1,23 @@
-// Minimal leveled logger.
+// Leveled narrative logging behind an injectable sink.
 //
 // The simulator is deterministic and its results are reported through metric
-// recorders, so logging exists for narrative traces (what migrated where and
-// why) rather than data.  Off by default; benches/examples raise the level.
+// recorders and the obs event bus, so logging exists for narrative traces
+// (what migrated where and why) rather than data.  Call sites use the
+// WILLOW_* macros; where those lines *go* is decided by the installed
+// LogSink:
+//
+//   * the built-in default writes to stderr (off until raised, exactly the
+//     old process-wide behaviour — set_log_level() still works as a shim),
+//   * obs::BusLogSink routes lines through an EventBus as kLog events so a
+//     JSONL trace interleaves the narrative with the typed event stream,
+//   * tests install their own sink to capture output without touching fds.
+//
+// The macro filters on the sink's level() before evaluating the stream
+// expression, so suppressed lines cost one load and one compare.
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -12,11 +25,47 @@ namespace willow::util {
 
 enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
 
-/// Process-wide log threshold; messages above it are discarded.
-void set_log_level(LogLevel level);
-LogLevel log_level();
+/// Where WILLOW_* lines go.  Implementations must tolerate concurrent
+/// write() calls (sharded phases may log from workers).
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  /// Messages above this threshold are discarded before formatting.
+  [[nodiscard]] virtual LogLevel level() const = 0;
+  virtual void write(LogLevel level, const std::string& text) = 0;
+};
 
-/// Emit a message at `level` (already filtered by the macros below).
+/// The built-in default: mutex-serialized "[willow LEVEL] ..." lines on
+/// stderr, threshold kOff until raised.
+class StderrLogSink final : public LogSink {
+ public:
+  explicit StderrLogSink(LogLevel level = LogLevel::kOff);
+  [[nodiscard]] LogLevel level() const override;
+  void set_level(LogLevel level);
+  void write(LogLevel level, const std::string& text) override;
+
+ private:
+  std::atomic<LogLevel> level_;
+  std::mutex mutex_;
+};
+
+/// The currently installed sink; never null (defaults to the stderr sink).
+[[nodiscard]] LogSink* log_sink();
+/// Install `sink` for the WILLOW_* macros (not owned; must outlive its
+/// installation).  nullptr restores the built-in stderr sink.  Returns the
+/// previously installed sink so callers can scope the swap.
+LogSink* set_log_sink(LogSink* sink);
+/// The built-in stderr sink (for level adjustments while it is installed).
+[[nodiscard]] StderrLogSink& default_log_sink();
+
+/// Legacy shims: adjust/read the threshold of the *built-in* sink.  Existing
+/// call sites (benches, examples) keep working; code that installed a custom
+/// sink manages that sink's level itself.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit a message through the installed sink (already level-filtered by the
+/// macros below).
 void log_message(LogLevel level, const std::string& text);
 
 namespace detail {
@@ -31,7 +80,7 @@ struct LogLine {
 }  // namespace willow::util
 
 #define WILLOW_LOG(level_enum)                                      \
-  if (::willow::util::log_level() < (level_enum)) {                 \
+  if (::willow::util::log_sink()->level() < (level_enum)) {         \
   } else                                                            \
     ::willow::util::detail::LogLine(level_enum).os
 

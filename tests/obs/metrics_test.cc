@@ -1,0 +1,90 @@
+// MetricsRegistry: get-or-create semantics, instrument behaviour, and the
+// deterministic (name-sorted) snapshot.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace willow::obs {
+namespace {
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("a");
+  c.increment();
+  c.increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Get-or-create returns the same instrument.
+  EXPECT_EQ(reg.counter("a").value(), 42u);
+}
+
+TEST(Metrics, GaugeHoldsLastValue) {
+  MetricsRegistry reg;
+  reg.gauge("g").set(1.5);
+  reg.gauge("g").set(-2.5);
+  EXPECT_EQ(reg.gauge("g").value(), -2.5);
+}
+
+TEST(Metrics, HistogramBucketsAndSum) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("h", {1.0, 4.0});
+  h.observe(0.5);   // bucket <=1
+  h.observe(2.0);   // bucket <=4
+  h.observe(100.0); // +inf bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 102.5);
+  const auto cum = h.cumulative_counts();
+  ASSERT_EQ(cum.size(), 3u);  // two bounds + inf
+  EXPECT_EQ(cum[0], 1u);
+  EXPECT_EQ(cum[1], 2u);
+  EXPECT_EQ(cum[2], 3u);
+}
+
+TEST(Metrics, HistogramBoundsOnlyConsultedOnFirstRegistration) {
+  MetricsRegistry reg;
+  reg.histogram("h", {1.0, 2.0}).observe(1.5);
+  auto& again = reg.histogram("h", {99.0});
+  EXPECT_EQ(again.upper_bounds().size(), 2u);
+  EXPECT_EQ(again.count(), 1u);
+}
+
+TEST(Metrics, TimerAccumulatesViaScopedTimer) {
+  MetricsRegistry reg;
+  auto& t = reg.timer("t");
+  {
+    ScopedTimer s(&t);
+  }
+  {
+    ScopedTimer s(&t);
+  }
+  EXPECT_EQ(t.count(), 2u);
+  EXPECT_GE(t.total_seconds(), 0.0);
+}
+
+TEST(Metrics, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::logic_error);
+  EXPECT_THROW(reg.histogram("x", {1.0}), std::logic_error);
+  EXPECT_THROW(reg.timer("x"), std::logic_error);
+}
+
+TEST(Metrics, SnapshotIsNameSorted) {
+  MetricsRegistry reg;
+  reg.counter("zebra").increment();
+  reg.counter("alpha").increment(2);
+  reg.gauge("mid").set(3.0);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[1].name, "zebra");
+  EXPECT_EQ(snap.counters[0].value, 2u);
+  EXPECT_EQ(snap.counter_or_zero("zebra"), 1u);
+  EXPECT_EQ(snap.counter_or_zero("missing"), 0u);
+  EXPECT_FALSE(snap.empty());
+  EXPECT_TRUE(MetricsSnapshot{}.empty());
+}
+
+}  // namespace
+}  // namespace willow::obs

@@ -1,0 +1,131 @@
+// The tentpole contract of the observability layer: a JSONL trace is a pure
+// function of the scenario — byte-identical whether the tick engine runs
+// serially or sharded across a pool.  Also checks the paper's Property 3 on
+// the evented control traffic: at most two control messages cross a PMU link
+// per demand period (one report up, one directive down).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "obs/sink.h"
+#include "sim/simulation.h"
+
+namespace willow::sim {
+namespace {
+
+using namespace willow::util::literals;
+
+SimConfig base_config(double utilization, unsigned long long seed) {
+  SimConfig cfg;
+  cfg.datacenter.server.thermal.c1 = 0.08;
+  cfg.datacenter.server.thermal.c2 = 0.05;
+  cfg.datacenter.server.thermal.ambient = 25_degC;
+  cfg.datacenter.server.thermal.limit = 70_degC;
+  cfg.datacenter.server.thermal.nameplate = 450_W;
+  cfg.datacenter.server.power_model =
+      power::ServerPowerModel::paper_simulation();
+  cfg.target_utilization = utilization;
+  cfg.warmup_ticks = 10;
+  cfg.measure_ticks = 40;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::string trace_of(SimConfig cfg, std::size_t threads) {
+  std::ostringstream os;
+  cfg.threads = threads;
+  cfg.sinks.push_back(std::make_shared<obs::JsonlTraceSink>(os));
+  run_simulation(std::move(cfg));
+  return os.str();
+}
+
+void expect_trace_byte_identical(const SimConfig& cfg) {
+  const std::string serial = trace_of(cfg, 1);
+  const std::string sharded = trace_of(cfg, 4);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, sharded)
+      << "JSONL trace depends on the thread count; first divergence at byte "
+      << std::mismatch(serial.begin(), serial.end(), sharded.begin(),
+                       sharded.end())
+                 .first -
+             serial.begin();
+}
+
+TEST(TraceDeterminism, ChurnScenario) {
+  auto cfg = base_config(0.6, 7);
+  cfg.churn_probability = 0.1;
+  cfg.report_loss_probability = 0.05;
+  expect_trace_byte_identical(cfg);
+}
+
+TEST(TraceDeterminism, AmbientEventScenario) {
+  auto cfg = base_config(0.5, 99);
+  cfg.ambient_events.push_back({12, 0, 8, 45_degC});
+  cfg.ambient_events.push_back({30, 0, 8, 25_degC});
+  expect_trace_byte_identical(cfg);
+}
+
+TEST(TraceDeterminism, UpsSupplyScenario) {
+  auto cfg = base_config(0.5, 5);
+  std::vector<util::Watts> levels(50, 480_W);
+  levels[25] = 150_W;
+  cfg.supply = std::make_shared<power::SteppedSupply>(levels, 1_s);
+  cfg.ups = power::Ups(util::Joules{600.0}, 300_W, 100_W, 1.0);
+  expect_trace_byte_identical(cfg);
+}
+
+TEST(TraceDeterminism, TraceLineCountMatchesEmittedCounter) {
+  auto cfg = base_config(0.6, 7);
+  cfg.churn_probability = 0.1;
+  std::ostringstream os;
+  auto sink = std::make_shared<obs::JsonlTraceSink>(os);
+  cfg.sinks.push_back(sink);
+  const auto result = run_simulation(std::move(cfg));
+  EXPECT_GT(sink->lines_written(), 0u);
+  EXPECT_EQ(sink->lines_written(),
+            result.metrics.counter_or_zero("obs.events_emitted"));
+}
+
+TEST(TraceProperty3, AtMostTwoLinkMessagesPerLinkPerTick) {
+  // Stationary, supply-unconstrained scenario: no wakes re-run the supply
+  // division mid-tick, so the evented link traffic must show the paper's
+  // Property 3 exactly — per link and demand period, at most one report up
+  // and one directive down.  Consolidation is disabled because sleeping
+  // servers get woken again as demand regrows, and each wake re-divides
+  // supply within the same period.
+  auto cfg = base_config(0.4, 11);
+  cfg.controller.consolidation_threshold = 0.0;
+  auto ring = std::make_shared<obs::RingBufferSink>(1u << 22);
+  cfg.sinks.push_back(ring);
+  const auto result = run_simulation(std::move(cfg));
+  ASSERT_EQ(result.controller_stats.wakes, 0u)
+      << "scenario drifted: wakes re-divide supply and void the strict bound";
+
+  std::map<std::pair<long, std::uint32_t>, int> up, down;
+  for (const auto& e : ring->events()) {
+    if (e.type != obs::EventType::kLinkMessage) continue;
+    auto key = std::make_pair(e.tick, e.node);
+    if (e.direction == obs::LinkDirection::kUp) {
+      ++up[key];
+    } else {
+      ++down[key];
+    }
+  }
+  EXPECT_FALSE(up.empty());
+  for (const auto& [key, count] : up) {
+    ASSERT_LE(count, 1) << "link " << key.second << " tick " << key.first;
+  }
+  for (const auto& [key, count] : down) {
+    ASSERT_LE(count, 1) << "link " << key.second << " tick " << key.first;
+    // Combined: never more than 2 messages on one link in one period.
+    const auto it = up.find(key);
+    ASSERT_LE((it != up.end() ? it->second : 0) + count, 2);
+  }
+}
+
+}  // namespace
+}  // namespace willow::sim

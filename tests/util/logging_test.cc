@@ -2,12 +2,31 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace willow::util {
 namespace {
 
 class LoggingTest : public ::testing::Test {
  protected:
-  void TearDown() override { set_log_level(LogLevel::kOff); }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kOff);
+  }
+};
+
+/// Test sink capturing every line it is handed.
+class CaptureSink final : public LogSink {
+ public:
+  explicit CaptureSink(LogLevel level) : level_(level) {}
+  [[nodiscard]] LogLevel level() const override { return level_; }
+  void write(LogLevel level, const std::string& text) override {
+    lines.emplace_back(level, text);
+  }
+  LogLevel level_;
+  std::vector<std::pair<LogLevel, std::string>> lines;
 };
 
 TEST_F(LoggingTest, DefaultLevelIsOff) {
@@ -41,6 +60,55 @@ TEST_F(LoggingTest, SuppressedMacroDoesNotEvaluateStream) {
   set_log_level(LogLevel::kInfo);
   WILLOW_INFO() << expensive();
   EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, DefaultSinkIsInstalledAndNeverNull) {
+  ASSERT_NE(log_sink(), nullptr);
+  EXPECT_EQ(log_sink(), &default_log_sink());
+}
+
+TEST_F(LoggingTest, InjectedSinkReceivesFilteredLines) {
+  CaptureSink sink(LogLevel::kWarn);
+  LogSink* previous = set_log_sink(&sink);
+  EXPECT_EQ(previous, &default_log_sink());
+  WILLOW_ERROR() << "e";
+  WILLOW_WARN() << "w";
+  WILLOW_INFO() << "i";  // above the sink's threshold: filtered
+  ASSERT_EQ(sink.lines.size(), 2u);
+  EXPECT_EQ(sink.lines[0], (std::pair{LogLevel::kError, std::string("e")}));
+  EXPECT_EQ(sink.lines[1], (std::pair{LogLevel::kWarn, std::string("w")}));
+}
+
+TEST_F(LoggingTest, NullptrRestoresDefaultSink) {
+  CaptureSink sink(LogLevel::kInfo);
+  set_log_sink(&sink);
+  EXPECT_EQ(set_log_sink(nullptr), &sink);
+  EXPECT_EQ(log_sink(), &default_log_sink());
+}
+
+TEST_F(LoggingTest, LegacyShimTargetsDefaultSinkNotInjectedOne) {
+  CaptureSink sink(LogLevel::kTrace);
+  set_log_sink(&sink);
+  set_log_level(LogLevel::kDebug);  // adjusts the built-in sink
+  EXPECT_EQ(sink.level(), LogLevel::kTrace);
+  set_log_sink(nullptr);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, SuppressionFollowsInjectedSinkLevel) {
+  CaptureSink sink(LogLevel::kOff);
+  set_log_sink(&sink);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "payload";
+  };
+  WILLOW_ERROR() << expensive();
+  EXPECT_EQ(evaluations, 0);
+  sink.level_ = LogLevel::kError;
+  WILLOW_ERROR() << expensive();
+  EXPECT_EQ(evaluations, 1);
+  ASSERT_EQ(sink.lines.size(), 1u);
 }
 
 TEST_F(LoggingTest, EmitsToStderrAtOrBelowThreshold) {

@@ -1,15 +1,22 @@
 // willow_cli — run a scenario file through the simulator and report.
 //
-//   willow_cli <scenario-file> [--csv <prefix>]
+//   willow_cli <scenario-file> [--csv <prefix>] [--json <file>]
+//                              [--trace <file>] [--metrics]
 //   willow_cli --describe            # list scenario keys by example
 //
 // The scenario format is documented in sim/scenario_io.h.  With --csv, the
 // recorded time series are written to <prefix>_supply.csv,
 // <prefix>_power.csv, <prefix>_migrations.csv, and <prefix>_servers.csv.
+// --trace streams every control-plane event (budgets, demand reports, link
+// messages, migrations, throttles, UPS activity) to a JSONL file whose bytes
+// are identical for any `threads` setting; --metrics prints the run's
+// counters, histograms, and per-phase wall-clock timers.
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
+#include "obs/sink.h"
 #include "sim/result_io.h"
 #include "sim/scenario_io.h"
 #include "sim/simulation.h"
@@ -21,6 +28,7 @@ using namespace willow;
 
 void describe() {
   std::cout << R"(Scenario keys (key = value, '#' comments):
+  schema_version = 2           optional dialect stamp (reject-if-newer)
   utilization = 0.5            offered load vs thermally sustainable envelope
   seed = 42                    RNG seed
   warmup_ticks = 20            ticks ignored before recording
@@ -85,19 +93,36 @@ int main(int argc, char** argv) {
   }
   if (argc < 2) {
     std::cerr << "usage: willow_cli <scenario-file> [--csv <prefix>]"
-                 " [--json <file>]\n"
+                 " [--json <file>] [--trace <file>] [--metrics]\n"
                  "       willow_cli --describe\n";
     return 2;
   }
   std::string csv_prefix;
   std::string json_path;
-  for (int i = 2; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) csv_prefix = argv[i + 1];
-    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+  std::string trace_path;
+  bool print_metrics = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_prefix = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      print_metrics = true;
+    } else {
+      std::cerr << "unknown or incomplete option '" << argv[i] << "'\n";
+      return 2;
+    }
   }
 
   try {
     auto cfg = sim::load_scenario_file(argv[1]);
+    std::shared_ptr<obs::JsonlTraceSink> trace;
+    if (!trace_path.empty()) {
+      trace = std::make_shared<obs::JsonlTraceSink>(trace_path);
+      cfg.sinks.push_back(trace);
+    }
     sim::Simulation simulation(std::move(cfg));
     const auto r = simulation.run();
 
@@ -175,6 +200,45 @@ int main(int argc, char** argv) {
       }
       sim::write_result_json(jf, r);
       std::cout << "json written to " << json_path << "\n";
+    }
+    if (trace) {
+      std::cout << "trace written to " << trace_path << " ("
+                << trace->lines_written() << " events)\n";
+    }
+    if (print_metrics) {
+      const auto& m = r.metrics;
+      util::Table counters({"counter", "value"});
+      for (const auto& c : m.counters) {
+        counters.row().add(c.name).add(static_cast<long long>(c.value));
+      }
+      std::cout << "\n";
+      counters.print(std::cout);
+      if (!m.gauges.empty()) {
+        util::Table gauges({"gauge", "value"});
+        for (const auto& g : m.gauges) gauges.row().add(g.name).add(g.value);
+        std::cout << "\n";
+        gauges.print(std::cout);
+      }
+      if (!m.histograms.empty()) {
+        util::Table hists({"histogram", "count", "sum", "mean"});
+        for (const auto& h : m.histograms) {
+          hists.row().add(h.name).add(static_cast<long long>(h.count))
+              .add(h.sum)
+              .add(h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0);
+        }
+        std::cout << "\n";
+        hists.print(std::cout);
+      }
+      if (!m.timers.empty()) {
+        util::Table timers({"timer", "count", "total_s"});
+        timers.set_precision(6);
+        for (const auto& t : m.timers) {
+          timers.row().add(t.name).add(static_cast<long long>(t.count))
+              .add(t.total_seconds);
+        }
+        std::cout << "\n";
+        timers.print(std::cout);
+      }
     }
     return 0;
   } catch (const std::exception& e) {
