@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/allocation.h"
+#include "core/controller.h"
 #include "net/fabric.h"
 #include "thermal/thermal_model.h"
 #include "util/ewma.h"
@@ -83,6 +84,64 @@ void BM_FabricMigration(benchmark::State& state) {
   }
 }
 
+/// The whole control loop, full recompute vs change-driven, quiescent vs
+/// churning fleet.  Args: {servers, incremental, churn}.  Without churn the
+/// demand estimates reach their bitwise fixed point during setup, so the
+/// incremental walk measures its steady-state floor (flat leaf scans only);
+/// with churn ~1% of servers change demand before every tick and the dirty
+/// subtrees re-aggregate.
+void BM_ControllerTick(benchmark::State& state) {
+  const auto servers = static_cast<std::size_t>(state.range(0));
+  const bool incremental = state.range(1) != 0;
+  const bool churn = state.range(2) != 0;
+
+  core::ServerConfig sc;
+  sc.thermal.c1 = 0.08;
+  sc.thermal.c2 = 0.05;
+  sc.thermal.ambient = 25_degC;
+  sc.thermal.limit = 70_degC;
+  sc.thermal.nameplate = 450_W;
+  sc.power_model = power::ServerPowerModel(10_W, 450_W);
+
+  core::Cluster cluster(0.7);
+  const auto root = cluster.add_root("dc");
+  std::vector<hier::NodeId> leaves;
+  workload::AppIdAllocator ids;
+  util::Rng rng(17);
+  hier::NodeId rack = hier::kNoNode;
+  for (std::size_t s = 0; s < servers; ++s) {
+    if (s % 20 == 0) rack = cluster.add_group(root, "rack");
+    const auto leaf = cluster.add_server(rack, "s", sc);
+    leaves.push_back(leaf);
+    cluster.place(workload::Application(ids.next(), 0,
+                                        util::Watts{rng.uniform(20.0, 60.0)},
+                                        512_MB),
+                  leaf);
+  }
+
+  core::ControllerConfig cfg;
+  cfg.incremental = incremental;
+  core::Controller ctl(cluster, cfg);
+  const util::Watts supply{static_cast<double>(servers) * 80.0};
+  for (int t = 0; t < 100; ++t) ctl.tick(supply);  // settle the estimators
+
+  const std::size_t churned = std::max<std::size_t>(1, servers / 100);
+  for (auto _ : state) {
+    if (churn) {
+      for (std::size_t i = 0; i < churned; ++i) {
+        const auto leaf = leaves[rng.index(leaves.size())];
+        auto& apps = cluster.server(leaf).apps();
+        if (!apps.empty()) {
+          apps.front().set_demand(util::Watts{rng.uniform(20.0, 60.0)});
+          ctl.note_external_change(leaf);
+        }
+      }
+    }
+    ctl.tick(supply);
+    benchmark::DoNotOptimize(ctl.stats().total_migrations());
+  }
+}
+
 }  // namespace
 
 BENCHMARK(BM_ThermalStep);
@@ -90,3 +149,6 @@ BENCHMARK(BM_PowerLimit);
 BENCHMARK(BM_EwmaUpdate);
 BENCHMARK(BM_Allocation)->RangeMultiplier(4)->Range(4, 256)->Complexity();
 BENCHMARK(BM_FabricMigration);
+BENCHMARK(BM_ControllerTick)
+    ->ArgsProduct({{1000, 10000}, {0, 1}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);

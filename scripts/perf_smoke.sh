@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Release-mode smoke run of the tick-engine scaling baseline: builds the
-# release preset, runs bench_perf_tick_scaling (which includes the
-# tracing-off overhead guard), and leaves the machine-readable sweep in
-# BENCH_tick_scaling.json (or $1).  Then runs willow_cli with --trace on a
+# Release-mode smoke run of the perf baselines: builds the release preset,
+# runs bench_perf_tick_scaling (which includes the tracing-off overhead
+# guard) and the quick controller-scaling sweep, and leaves the
+# machine-readable sweeps in BENCH_tick_scaling.json (or $1) and
+# BENCH_controller_scaling.json.  Gates on the incremental control plane
+# actually being faster than the full recompute at 10k servers in the
+# settled low-churn steady state.  Then runs willow_cli with --trace on a
 # short scenario and cross-checks the JSONL event count against the
-# obs.events_emitted counter in the result JSON.
+# obs.events_emitted counter, and the control plane's incremental counters
+# against the trace's link-message lines.
 #
 #   scripts/perf_smoke.sh [output.json]
 set -euo pipefail
@@ -15,8 +19,26 @@ OUT="${1:-BENCH_tick_scaling.json}"
 
 cmake --preset release
 cmake --build --preset release -j"$(nproc)" \
-  --target bench_perf_tick_scaling willow_cli
+  --target bench_perf_tick_scaling bench_perf_controller_scaling willow_cli
 ./build-release/bench/bench_perf_tick_scaling "$OUT"
+
+# Controller scaling: the quick sweep (1k + 10k fleets) carries the gate —
+# the change-driven walk must beat the full recompute on the settled
+# steady-state tick.
+./build-release/bench/bench_perf_controller_scaling \
+  BENCH_controller_scaling.json --quick
+speedup="$(grep -o '"scenario":"servers_10k/low/incremental"[^}]*' \
+  BENCH_controller_scaling.json \
+  | grep -o '"speedup_vs_serial":[0-9.e+-]*' | cut -d: -f2)"
+if [[ -z "$speedup" ]]; then
+  echo "ERROR: 10k low-churn incremental point missing from sweep" >&2
+  exit 1
+fi
+if ! awk -v s="$speedup" 'BEGIN { exit !(s > 1.0) }'; then
+  echo "ERROR: incremental steady-state tick not faster (speedup $speedup)" >&2
+  exit 1
+fi
+echo "(controller smoke: 10k low-churn steady-state speedup ${speedup}x)"
 
 # Tracing smoke: JSONL line count (minus the schema header) must equal the
 # run's own obs.events_emitted counter.
@@ -28,6 +50,8 @@ utilization = 0.6
 warmup_ticks = 10
 measure_ticks = 50
 churn_probability = 0.05
+demand_quantum_w = 0
+incremental_control = true
 seed = 42
 EOF
 ./build-release/tools/willow_cli "$WORK/scenario.txt" \
@@ -41,3 +65,30 @@ if [[ -z "$counted" || "$events" -ne "$counted" ]]; then
   exit 1
 fi
 echo "(trace smoke: $events JSONL events match obs.events_emitted)"
+
+# Incremental-counter reconciliation: every demand report is one upward
+# link-message line, every budget directive one downward line, and the
+# dirty-set walk both skipped and re-aggregated something on a churning run.
+counter() {
+  grep -o "\"$1\":[0-9]*" "$WORK/result.json" | head -n1 | cut -d: -f2
+}
+up_lines="$(grep -c '"type":"link_message".*"dir":"up"' "$WORK/trace.jsonl")"
+down_lines="$(grep -c '"type":"link_message".*"dir":"down"' "$WORK/trace.jsonl")"
+reports="$(counter control.demand_reports)"
+directives="$(counter control.budget_directives)"
+reagg="$(counter control.nodes_reaggregated)"
+skipped="$(counter control.nodes_skipped)"
+if [[ "$up_lines" -ne "${reports:-missing}" ]]; then
+  echo "ERROR: $up_lines up link-messages vs control.demand_reports=${reports:-missing}" >&2
+  exit 1
+fi
+if [[ "$down_lines" -ne "${directives:-missing}" ]]; then
+  echo "ERROR: $down_lines down link-messages vs control.budget_directives=${directives:-missing}" >&2
+  exit 1
+fi
+if [[ -z "$reagg" || -z "$skipped" || "$reagg" -eq 0 || "$skipped" -eq 0 ]]; then
+  echo "ERROR: dirty-set counters implausible (reaggregated=${reagg:-missing}, skipped=${skipped:-missing})" >&2
+  exit 1
+fi
+echo "(incremental smoke: $reports reports / $directives directives match the trace;"
+echo " $reagg nodes re-aggregated, $skipped skipped)"

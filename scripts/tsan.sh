@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # ThreadSanitizer gate for the parallel tick engine: builds the tsan preset
-# and runs the tests that exercise sharded phases and the thread pool.
+# and runs the tests that exercise sharded phases and the thread pool, plus
+# the shadow-diff equivalence suite (incremental vs full control plane under
+# churn / ambient events / UPS, with every skip re-derived and checked).
 #
 #   scripts/tsan.sh
 set -euo pipefail
@@ -10,6 +12,8 @@ cd "$ROOT"
 
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
-  --target determinism_test thread_pool_test simulation_test churn_test
+  --target determinism_test thread_pool_test simulation_test churn_test \
+  shadow_diff_test
 ctest --test-dir build-tsan --output-on-failure \
   -R '(determinism_test|thread_pool_test|simulation_test|churn_test)'
+ctest --test-dir build-tsan --output-on-failure -L shadow-diff

@@ -19,12 +19,16 @@ void check_inputs(const std::vector<Item>& items, const std::vector<Bin>& bins) 
   }
 }
 
-/// Item indices sorted by decreasing size (stable on index for determinism).
+/// Item indices sorted by decreasing size; exact size ties break toward the
+/// lower input index.  The tie-break is explicit (not just stable_sort's
+/// preserved order) so the ordering is a documented function of the inputs
+/// that callers — e.g. the controller's packing memo — can rely on.
 std::vector<std::size_t> by_decreasing_size(const std::vector<Item>& items) {
   std::vector<std::size_t> order(items.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return items[a].size > items[b].size;
+    if (items[a].size != items[b].size) return items[a].size > items[b].size;
+    return a < b;
   });
   return order;
 }
@@ -159,13 +163,20 @@ PackResult ffdlr(const std::vector<Item>& items, const std::vector<Bin>& bins) {
   // big real bins go to the groups that need them.
   std::stable_sort(virt.begin(), virt.end(),
                    [](const VirtualBin& a, const VirtualBin& b) {
-                     return a.content > b.content;
+                     if (a.content != b.content) return a.content > b.content;
+                     // Equal content: earlier-created group (lower leading
+                     // item index) first — explicit, not relying on
+                     // stability alone.
+                     return a.items.front() < b.items.front();
                    });
   std::vector<std::size_t> real_by_cap(bins.size());
   std::iota(real_by_cap.begin(), real_by_cap.end(), std::size_t{0});
   std::stable_sort(real_by_cap.begin(), real_by_cap.end(),
                    [&](std::size_t a, std::size_t b) {
-                     return bins[a].capacity < bins[b].capacity;
+                     if (bins[a].capacity != bins[b].capacity) {
+                       return bins[a].capacity < bins[b].capacity;
+                     }
+                     return a < b;
                    });
 
   MutableBins state(bins);
@@ -197,7 +208,10 @@ PackResult ffdlr(const std::vector<Item>& items, const std::vector<Bin>& bins) {
   // into smaller bins means we try to run every server at full utilization").
   std::stable_sort(leftovers.begin(), leftovers.end(),
                    [&](std::size_t a, std::size_t b) {
-                     return items[a].size > items[b].size;
+                     if (items[a].size != items[b].size) {
+                       return items[a].size > items[b].size;
+                     }
+                     return a < b;
                    });
   for (std::size_t item : leftovers) {
     const double size = items[item].size;

@@ -10,6 +10,14 @@ Watts node_surplus(const hier::Node& node) {
   return util::positive_part(node.budget() - node.smoothed_demand());
 }
 
+Watts reported_deficit(const hier::Node& node) {
+  return util::positive_part(node.reported_demand() - node.budget());
+}
+
+Watts reported_surplus(const hier::Node& node) {
+  return util::positive_part(node.budget() - node.reported_demand());
+}
+
 LevelBalance level_balance(const Tree& tree, int level) {
   LevelBalance b;
   for (NodeId id : tree.nodes_at_level(level)) {

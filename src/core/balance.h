@@ -26,6 +26,14 @@ using util::Watts;
 /// Eq. (6): positive part of budget minus demand for one node.
 [[nodiscard]] Watts node_surplus(const hier::Node& node);
 
+/// Eq. (5)/(6) evaluated on the node's *reported* demand — what the node last
+/// sent to its parent — instead of its instantaneous smoothed demand.  The
+/// controller acts on these so that demand movement inside the report
+/// dead-band cannot trigger any re-budgeting or migration; with a dead-band
+/// of 0 they are bitwise identical to node_deficit / node_surplus.
+[[nodiscard]] Watts reported_deficit(const hier::Node& node);
+[[nodiscard]] Watts reported_surplus(const hier::Node& node);
+
 struct LevelBalance {
   Watts max_deficit{0.0};      ///< Eq. (7)
   Watts max_surplus{0.0};      ///< Eq. (8)

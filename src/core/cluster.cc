@@ -37,7 +37,9 @@ void ManagedServer::age_temporary_demand() {
 
 Watts ManagedServer::power_demand() const {
   if (asleep_) return Watts{0.0};
-  return idle_floor() + workload::total_demand(apps_) + temp_demand_;
+  const Watts apps = app_demand_valid_ ? cached_app_demand_
+                                       : workload::total_demand(apps_);
+  return idle_floor() + apps + temp_demand_;
 }
 
 Watts ManagedServer::consumed_power(Watts budget) const {
@@ -88,7 +90,9 @@ void Cluster::place(Application app, NodeId server_id) {
     throw std::logic_error("Cluster::place: application already placed");
   }
   app_host_[app.id()] = server_id;
-  server(server_id).apps().push_back(std::move(app));
+  auto& s = server(server_id);
+  s.apps().push_back(std::move(app));
+  s.invalidate_app_demand_cache();
 }
 
 NodeId Cluster::host_of(AppId app) const {
@@ -120,6 +124,8 @@ void Cluster::move_app(AppId app, NodeId from, NodeId to) {
   src.erase(it);
   server(to).apps().push_back(std::move(moving));
   app_host_[app] = to;
+  server(from).invalidate_app_demand_cache();
+  server(to).invalidate_app_demand_cache();
 }
 
 Application Cluster::remove_app(AppId app) {
@@ -133,6 +139,7 @@ Application Cluster::remove_app(AppId app) {
   Application removed = std::move(*it);
   apps.erase(it);
   app_host_.erase(app);
+  server(host).invalidate_app_demand_cache();
   return removed;
 }
 
@@ -169,7 +176,10 @@ std::optional<Watts> Cluster::group_circuit_limit(NodeId group) const {
 
 void Cluster::refresh_demands(const workload::PoissonDemand& process,
                               util::Rng& rng, double intensity) {
-  for (auto& s : servers_) process.refresh_all(s.apps(), rng, intensity);
+  for (auto& s : servers_) {
+    process.refresh_all(s.apps(), rng, intensity);
+    s.set_cached_app_demand(workload::total_demand(s.apps()));
+  }
 }
 
 void Cluster::refresh_demands(const workload::PoissonDemand& process,
@@ -187,6 +197,8 @@ void Cluster::refresh_demands(const workload::PoissonDemand& process,
           auto rng = util::tick_stream(seed, static_cast<std::uint64_t>(tick),
                                        i, util::stream_phase::kDemand);
           process.refresh_all(servers_[i].apps(), rng, intensity);
+          servers_[i].set_cached_app_demand(
+              workload::total_demand(servers_[i].apps()));
           if (observe && !servers_[i].asleep()) {
             obs::Event e;
             e.type = obs::EventType::kDemandReport;
@@ -200,14 +212,41 @@ void Cluster::refresh_demands(const workload::PoissonDemand& process,
 }
 
 void Cluster::refresh_demands_constant() {
-  for (auto& s : servers_) workload::ConstantDemand::refresh_all(s.apps());
+  for (auto& s : servers_) {
+    workload::ConstantDemand::refresh_all(s.apps());
+    s.set_cached_app_demand(workload::total_demand(s.apps()));
+  }
+}
+
+void Cluster::refresh_demands_deterministic(double intensity,
+                                            util::ThreadPool* pool) {
+  const bool observe = bus_ != nullptr && bus_->enabled();
+  if (observe) bus_->begin_shards(servers_.size());
+  util::parallel_for_ranges(
+      pool, servers_.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          workload::ConstantDemand::refresh_all(servers_[i].apps(), intensity);
+          servers_[i].set_cached_app_demand(
+              workload::total_demand(servers_[i].apps()));
+          if (observe && !servers_[i].asleep()) {
+            obs::Event e;
+            e.type = obs::EventType::kDemandReport;
+            e.node = servers_[i].node();
+            e.value = servers_[i].power_demand().value();
+            bus_->emit_shard(i, std::move(e));
+          }
+        }
+      });
+  if (observe) bus_->end_shards();
 }
 
 void Cluster::observe_leaf_demands() {
   for (auto& s : servers_) {
     // A lost report leaves the leaf acting on its previous observation.
     if (s.report_fault()) continue;
-    tree_.node(s.node()).observe_demand(s.power_demand());
+    // observe_leaf carries the incremental fast path (bitwise-unchanged
+    // observation into a settled EWMA is a no-op).
+    tree_.observe_leaf(s.node(), s.power_demand());
   }
 }
 

@@ -84,6 +84,19 @@ class ManagedServer {
   /// idle floor + live application demand + temporary migration demand.
   [[nodiscard]] Watts power_demand() const;
 
+  /// Application-demand sum cache: the demand refresh loops deposit the
+  /// freshly summed live demand here so power_demand() — called several
+  /// times per tick by observation, consumption and packing — is O(1)
+  /// instead of O(apps).  Every mutation of the hosted set or of an
+  /// individual app's demand/dropped state outside the refresh loops must
+  /// invalidate (Cluster's placement ops and the controller's shed/revive
+  /// paths do).  An invalid cache only costs the O(apps) fallback.
+  void set_cached_app_demand(Watts w) {
+    cached_app_demand_ = w;
+    app_demand_valid_ = true;
+  }
+  void invalidate_app_demand_cache() { app_demand_valid_ = false; }
+
   /// Fault injection: while set, the server's demand report is lost — the
   /// PMU leaf keeps acting on its previous observation (stale CP).  Models
   /// the measurement/communication failures the convergence analysis
@@ -106,6 +119,8 @@ class ManagedServer {
   /// Expiring temporary demands: (watts, remaining periods).
   std::vector<std::pair<Watts, int>> temp_;
   Watts temp_demand_{0.0};
+  Watts cached_app_demand_{0.0};
+  bool app_demand_valid_ = false;
   bool asleep_ = false;
   bool report_fault_ = false;
 };
@@ -180,6 +195,13 @@ class Cluster {
                        std::uint64_t seed, long tick, double intensity,
                        util::ThreadPool* pool);
   void refresh_demands_constant();
+  /// Deterministic (constant-demand) counterpart of the streamed refresh:
+  /// each app's demand becomes its intensity-scaled effective mean, with the
+  /// same sharding, demand-cache deposit and per-server kDemandReport
+  /// emission as the Poisson form.  Used when the scenario's demand quantum
+  /// is 0 (no sampling noise — the steady-state regime the incremental
+  /// control plane exploits).
+  void refresh_demands_deterministic(double intensity, util::ThreadPool* pool);
 
   /// Push each server's power_demand() into its PMU leaf (observe_demand).
   void observe_leaf_demands();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 
@@ -26,6 +27,27 @@ obs::Event make_event(obs::EventType type, NodeId node,
   e.value = value;
   e.aux = aux;
   return e;
+}
+
+// FNV-1a over 64-bit words; used to fingerprint packing problems.  Collisions
+// would silently reuse a stale verdict, but at 64 bits the collision rate is
+// negligible against the ~1e7 fingerprints of even a long 100k-server run,
+// and the shadow-diff mode exists to catch exactly this class of error.
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffull;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
 }
 }
 
@@ -93,6 +115,17 @@ void ControllerConfig::validate() const {
     throw std::invalid_argument(
         "ControllerConfig: target_fill_fraction must be in (0,1]");
   }
+  if (report_deadband.value() < 0.0) {
+    throw std::invalid_argument(
+        "ControllerConfig: report_deadband must be >= 0");
+  }
+  if (report_deadband.value() > 0.0 &&
+      report_deadband.value() >= margin.value()) {
+    // Property 4 only holds if demand movement too small to be reported is
+    // also too small to warrant a migration; see stability.cc.
+    throw std::invalid_argument(
+        "ControllerConfig: report_deadband must stay below margin");
+  }
 }
 
 Controller::Controller(Cluster& cluster, ControllerConfig config)
@@ -102,6 +135,12 @@ Controller::Controller(Cluster& cluster, ControllerConfig config)
   absorbed_w_.assign(cluster_.tree().size(), 0.0);
   reserved_in_w_.assign(cluster_.tree().size(), 0.0);
   outbound_in_flight_w_.assign(cluster_.tree().size(), 0.0);
+  // The report sweep's walk policy lives in the tree; push ours down so the
+  // whole control plane runs one mode.
+  auto& tree = cluster_.tree();
+  tree.set_incremental(config_.incremental);
+  tree.set_report_deadband(config_.report_deadband);
+  tree.set_shadow_diff(config_.shadow_diff);
 }
 
 bool Controller::budget_reduced(NodeId node) const {
@@ -134,6 +173,81 @@ void Controller::ensure_topology_cache() {
       group_parents_.push_back(id);
     }
   }
+
+  // Incremental-state reset: a new (or re-shaped) tree starts all-dirty so
+  // the first pass of every phase is a full recompute that seeds the caches.
+  constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+  change_epoch_ = 0;
+  subtree_epoch_.assign(tree.size(), 0);
+  division_dirty_.assign(tree.size(), 1);
+  limit_dirty_.assign(tree.size(), 1);
+  const std::size_t ns = cluster_.server_count();
+  cached_leaf_limit_.assign(ns, 0.0);
+  cached_limit_version_.assign(ns, kNever);
+  consol_entry_.assign(ns, {});
+  consol_entry_epoch_.assign(ns, kNever);
+  server_envelope_.assign(ns, 0.0);
+  server_envelope_version_.assign(ns, kNever);
+  cached_fleet_envelope_ = -1.0;
+  consol_order_.clear();
+  consol_order_valid_ = false;
+  consol_fail_local_.assign(ns, {});
+  consol_fail_root_.assign(ns, {});
+  pack_memo_ = {};
+}
+
+void Controller::touch(NodeId node) {
+  ++change_epoch_;
+  const auto& tree = cluster_.tree();
+  for (NodeId cur = node; cur != hier::kNoNode; cur = tree.node(cur).parent()) {
+    subtree_epoch_[cur] = change_epoch_;
+  }
+}
+
+void Controller::note_external_change(NodeId node) {
+  if (!config_.incremental) return;
+  ensure_topology_cache();
+  touch(node);
+  cluster_.tree().mark_report_dirty(node);
+}
+
+Watts Controller::leaf_limit(std::size_t server_index) {
+  const auto& srv = cluster_.server_at(server_index);
+  const std::uint64_t v = srv.thermal().state_version();
+  if (cached_limit_version_[server_index] != v) {
+    cached_limit_version_[server_index] = v;
+    // "So that the temperature does not exceed T_limit during the next
+    // adjustment window" (Sec. III-A): the window is one demand period.
+    cached_leaf_limit_[server_index] =
+        util::min(srv.circuit_limit(),
+                  srv.thermal().power_limit(config_.demand_period))
+            .value();
+  }
+  return Watts{cached_leaf_limit_[server_index]};
+}
+
+void Controller::resolve_instruments() {
+  if (bus_ == nullptr) {
+    c_budget_directives_ = nullptr;
+    c_divisions_memoized_ = nullptr;
+    c_packings_reused_ = nullptr;
+    c_shadow_checks_ = nullptr;
+    c_shadow_mismatches_ = nullptr;
+    return;
+  }
+  auto& m = bus_->metrics();
+  c_budget_directives_ = &m.counter("control.budget_directives");
+  c_divisions_memoized_ = &m.counter("control.supply_subtrees_memoized");
+  c_packings_reused_ = &m.counter("control.packings_reused");
+  c_shadow_checks_ = &m.counter("control.shadow_checks");
+  c_shadow_mismatches_ = &m.counter("control.shadow_mismatches");
+}
+
+void Controller::count_shadow_check(bool mismatch) {
+  if (c_shadow_checks_ != nullptr) {
+    c_shadow_checks_->increment();
+    if (mismatch) c_shadow_mismatches_->increment();
+  }
 }
 
 void Controller::tick(Watts available_supply) {
@@ -148,7 +262,16 @@ void Controller::tick(Watts available_supply) {
   complete_due_migrations();
 
   cluster_.observe_leaf_demands();
-  cluster_.tree().report_demands();
+  auto& tree = cluster_.tree();
+  tree.report_demands();
+  // Every report that fired is a change the decision phases must see: the
+  // reporter's subtree moved (consolidation epochs) and its parent's child
+  // demand vector moved (budget division).
+  for (NodeId r : tree.reported_last_sweep()) {
+    touch(r);
+    const NodeId p = tree.node(r).parent();
+    if (p != hier::kNoNode) division_dirty_[p] = 1;
+  }
 
   last_supply_ = available_supply;
   if (tick_ == 1 || tick_ % config_.eta1 == 0) {
@@ -166,23 +289,55 @@ void Controller::tick(Watts available_supply) {
   cluster_.age_temporary_demands();
 }
 
+void Controller::shadow_check_hard_limit(NodeId id) {
+  const auto& tree = cluster_.tree();
+  const auto& n = tree.node(id);
+  Watts sum{0.0};
+  for (NodeId c : n.children()) {
+    if (tree.node(c).active()) sum += tree.node(c).hard_limit();
+  }
+  if (const auto rating = cluster_.group_circuit_limit(id)) {
+    sum = util::min(sum, *rating);
+  }
+  const bool mismatch = sum.value() != n.hard_limit().value();
+  count_shadow_check(mismatch);
+  if (mismatch) {
+    throw std::logic_error(
+        "Controller shadow diff: hard-limit roll-up skipped node " +
+        std::to_string(id) + " whose children's limits changed");
+  }
+}
+
 void Controller::update_hard_limits() {
   auto& tree = cluster_.tree();
-  // "So that the temperature does not exceed T_limit during the next
-  // adjustment window" (Sec. III-A): the window is one demand period — the
-  // cadence at which limits are re-derived.  This also matches Fig. 4, where
-  // the chosen constants put the cold-start limit at the 450 W nameplate.
-  const Seconds window = config_.demand_period;
+  const bool inc = config_.incremental;
+  // Leaves first, by server index (flat scans, no id-hash lookups): a
+  // server's limit moves only with its thermal state version, which
+  // leaf_limit() caches on.
+  const auto& sids = cluster_.server_ids();
+  for (std::size_t i = 0; i < sids.size(); ++i) {
+    auto& n = tree.node(sids[i]);
+    const Watts lim = leaf_limit(i);
+    if (lim.value() != n.hard_limit().value()) {
+      n.set_hard_limit(lim);
+      const NodeId p = n.parent();
+      if (p != hier::kNoNode) {
+        limit_dirty_[p] = 1;
+        division_dirty_[p] = 1;
+      }
+    }
+  }
+  // Internal roll-up, children before parents; clean subtrees keep their
+  // cached sums.  (Non-server leaves keep their infinite default, as in the
+  // full walk, which never touched them either.)
   for (NodeId id : bottom_up_) {
     auto& n = tree.node(id);
-    if (n.is_leaf()) {
-      if (cluster_.is_server(id)) {
-        const auto& s = cluster_.server(id);
-        n.set_hard_limit(
-            util::min(s.circuit_limit(), s.thermal().power_limit(window)));
-      }
+    if (n.is_leaf()) continue;
+    if (inc && !limit_dirty_[id]) {
+      if (config_.shadow_diff) shadow_check_hard_limit(id);
       continue;
     }
+    limit_dirty_[id] = 0;
     Watts sum{0.0};
     for (NodeId c : n.children()) {
       if (tree.node(c).active()) sum += tree.node(c).hard_limit();
@@ -192,7 +347,42 @@ void Controller::update_hard_limits() {
     if (const auto rating = cluster_.group_circuit_limit(id)) {
       sum = util::min(sum, *rating);
     }
-    n.set_hard_limit(sum);
+    if (sum.value() != n.hard_limit().value()) {
+      n.set_hard_limit(sum);
+      const NodeId p = n.parent();
+      if (p != hier::kNoNode) {
+        limit_dirty_[p] = 1;
+        division_dirty_[p] = 1;
+      }
+    }
+  }
+}
+
+void Controller::shadow_check_division(NodeId id) {
+  auto& tree = cluster_.tree();
+  const auto& n = tree.node(id);
+  const auto& kids = n.children();
+  std::vector<Watts> demands(kids.size()), caps(kids.size());
+  for (std::size_t i = 0; i < kids.size(); ++i) {
+    const auto& child = tree.node(kids[i]);
+    caps[i] = child.active() ? child.hard_limit() : Watts{0.0};
+    demands[i] = config_.allocation == AllocationPolicy::kProportionalToDemand
+                     ? (child.active() ? child.reported_demand() : Watts{0.0})
+                     : caps[i];
+  }
+  const AllocationResult alloc =
+      allocate_proportional(n.budget(), demands, caps);
+  bool mismatch = false;
+  for (std::size_t i = 0; i < kids.size(); ++i) {
+    if (alloc.budgets[i].value() != tree.node(kids[i]).budget().value()) {
+      mismatch = true;
+    }
+  }
+  count_shadow_check(mismatch);
+  if (mismatch) {
+    throw std::logic_error(
+        "Controller shadow diff: memoized division under node " +
+        std::to_string(id) + " no longer matches a fresh allocation");
   }
 }
 
@@ -203,12 +393,27 @@ void Controller::supply_adaptation(Watts available_supply) {
   if (budget_reduced_.size() != tree.size()) {
     budget_reduced_.assign(tree.size(), false);
   } else {
-    std::fill(budget_reduced_.begin(), budget_reduced_.end(), false);
+    for (NodeId id = 0; id < budget_reduced_.size(); ++id) {
+      if (budget_reduced_[id]) {
+        budget_reduced_[id] = false;
+        // Clearing the flag changes this node's eligibility under the
+        // unidirectional rule even though no budget moved; stamp it so
+        // cached consolidation verdicts that saw the old flag die.
+        touch(id);
+      }
+    }
   }
 
   const bool observe = bus_ != nullptr && bus_->enabled();
+  const bool inc = config_.incremental;
+  std::uint64_t directives = 0;
+  std::uint64_t memoized = 0;
+  // Event-driven directive: a budget message flows down only when the value
+  // actually changed (bitwise).  Identical decisions in both walk modes: the
+  // full walk re-derives every budget but announces only the changed ones.
   auto mark_and_set = [&](NodeId id, Watts budget) {
     auto& n = tree.node(id);
+    if (budget.value() == n.budget().value()) return;
     if (budget < n.budget() - Watts{kEps}) budget_reduced_[id] = true;
     if (observe) {
       bus_->emit(make_event(obs::EventType::kBudgetDirective, id,
@@ -216,6 +421,13 @@ void Controller::supply_adaptation(Watts available_supply) {
                             budget.value(), n.budget().value()));
     }
     n.set_budget(budget);
+    tree.record_budget_directive(id);
+    // The root's budget assignment crosses no link — it is the division's
+    // input, not a directive to anyone — so the directive counter (which
+    // reconciles against downward link-message trace lines) excludes it.
+    if (!n.is_root()) ++directives;
+    division_dirty_[id] = 1;  // its own children now share a different pie
+    touch(id);
   };
 
   const NodeId root = tree.root();
@@ -224,14 +436,26 @@ void Controller::supply_adaptation(Watts available_supply) {
   for (NodeId id : top_down_) {
     auto& n = tree.node(id);
     if (n.is_leaf()) continue;
+    if (inc && !division_dirty_[id]) {
+      // Own budget, child demand vector and child capacities all unchanged
+      // since this division last ran: the children's budgets stand.
+      ++memoized;
+      if (config_.shadow_diff) shadow_check_division(id);
+      continue;
+    }
+    division_dirty_[id] = 0;
     const auto& kids = n.children();
-    std::vector<Watts> demands(kids.size()), caps(kids.size());
+    auto& demands = alloc_demands_scratch_;
+    auto& caps = alloc_caps_scratch_;
+    demands.resize(kids.size());
+    caps.resize(kids.size());
     for (std::size_t i = 0; i < kids.size(); ++i) {
       const auto& child = tree.node(kids[i]);
       caps[i] = child.active() ? child.hard_limit() : Watts{0.0};
-      demands[i] = config_.allocation == AllocationPolicy::kProportionalToDemand
-                       ? (child.active() ? child.smoothed_demand() : Watts{0.0})
-                       : caps[i];
+      demands[i] =
+          config_.allocation == AllocationPolicy::kProportionalToDemand
+              ? (child.active() ? child.reported_demand() : Watts{0.0})
+              : caps[i];
     }
     const AllocationResult alloc =
         allocate_proportional(n.budget(), demands, caps);
@@ -240,7 +464,10 @@ void Controller::supply_adaptation(Watts available_supply) {
     }
     if (id == root) root_unallocated_ = alloc.unallocated;
   }
-  tree.count_budget_directives();
+  if (c_budget_directives_ != nullptr) {
+    c_budget_directives_->increment(directives);
+    c_divisions_memoized_->increment(memoized);
+  }
 }
 
 void Controller::enforce_thermal_limits() {
@@ -250,14 +477,15 @@ void Controller::enforce_thermal_limits() {
   } else {
     std::fill(thermally_clamped_.begin(), thermally_clamped_.end(), 0);
   }
-  for (NodeId s : cluster_.server_ids()) {
+  const auto& sids = cluster_.server_ids();
+  const bool observe = bus_ != nullptr && bus_->enabled();
+  for (std::size_t i = 0; i < sids.size(); ++i) {
+    const NodeId s = sids[i];
     auto& leaf = tree.node(s);
     if (!leaf.active()) continue;
-    const auto& srv = cluster_.server(s);
-    const Watts limit = util::min(
-        srv.circuit_limit(), srv.thermal().power_limit(config_.demand_period));
+    const Watts limit = leaf_limit(i);
     if (leaf.budget() > limit + Watts{kEps}) {
-      if (bus_ != nullptr && bus_->enabled()) {
+      if (observe) {
         bus_->emit(make_event(obs::EventType::kThermalThrottle, s,
                               hier::kNoNode, 0, obs::Reason::kThermal,
                               limit.value(), leaf.budget().value()));
@@ -265,6 +493,12 @@ void Controller::enforce_thermal_limits() {
       leaf.set_budget(limit);
       budget_reduced_[s] = true;
       thermally_clamped_[s] = 1;
+      // The clamp knocked this leaf off its parent's allocation; the next
+      // supply pass must re-divide (and will re-announce) or the two walk
+      // modes would diverge on where the budget sits between passes.
+      const NodeId p = leaf.parent();
+      if (p != hier::kNoNode) division_dirty_[p] = 1;
+      touch(s);
     }
   }
 }
@@ -283,7 +517,7 @@ bool Controller::eligible_target(NodeId target_server, NodeId scope) const {
   for (NodeId cur = tree.node(target_server).parent();
        cur != scope && cur != hier::kNoNode; cur = tree.node(cur).parent()) {
     if (budget_reduced_[cur] &&
-        node_deficit(tree.node(cur)).value() > kEps) {
+        reported_deficit(tree.node(cur)).value() > kEps) {
       return false;
     }
   }
@@ -305,8 +539,8 @@ Watts Controller::target_capacity(NodeId server) const {
       srv.idle_floor() +
       (srv.thermal().steady_state_power_limit() - srv.idle_floor()) *
           config_.target_fill_fraction;
-  const Watts sustainable_headroom = allowed - leaf.smoothed_demand();
-  const Watts cap = util::min(node_surplus(leaf), sustainable_headroom) -
+  const Watts sustainable_headroom = allowed - leaf.reported_demand();
+  const Watts cap = util::min(reported_surplus(leaf), sustainable_headroom) -
                     config_.margin - Watts{absorbed_w_[server]} -
                     Watts{reserved_in_w_[server]};
   return util::positive_part(cap);
@@ -323,9 +557,14 @@ std::vector<Controller::PlanItem> Controller::select_victims(
     if (apps_in_flight_.contains(a.id())) continue;  // already committed
     sorted.push_back(&a);
   }
+  // Deterministic victim order independent of the container's history: by
+  // demand, app id breaking exact ties.
   std::stable_sort(sorted.begin(), sorted.end(),
                    [](const Application* a, const Application* b) {
-                     return a->demand() > b->demand();
+                     if (a->demand().value() != b->demand().value()) {
+                       return a->demand() > b->demand();
+                     }
+                     return a->id() < b->id();
                    });
   std::vector<PlanItem> items;
   Watts covered{0.0};
@@ -354,6 +593,8 @@ void Controller::complete_due_migrations() {
       outbound_in_flight_w_[m.source] =
           std::max(0.0, outbound_in_flight_w_[m.source] - m.demand.value());
       apps_in_flight_.erase(m.app);
+      touch(m.target);
+      touch(m.source);
       continue;
     }
     cluster_.move_app(m.app, m.source, m.target);
@@ -365,6 +606,8 @@ void Controller::complete_due_migrations() {
     outbound_in_flight_w_[m.source] =
         std::max(0.0, outbound_in_flight_w_[m.source] - m.demand.value());
     apps_in_flight_.erase(m.app);
+    touch(m.target);
+    touch(m.source);
     events_this_tick_.push_back({EventKind::kMigrationCompleted, tick_, m.app,
                                  m.source, m.target, m.demand});
     if (bus_ != nullptr && bus_->enabled()) {
@@ -412,6 +655,8 @@ void Controller::apply_migration(const PlanItem& item, NodeId target) {
   }
   absorbed_w_[target] += item.size.value();
   targets_this_tick_.insert(target);
+  touch(item.source);
+  touch(target);
 
   const auto& tree = cluster_.tree();
   MigrationRecord rec;
@@ -463,12 +708,16 @@ std::vector<std::size_t> Controller::pack_and_apply(
     m.histogram("controller.pack_items", {1, 2, 4, 8, 16, 32, 64, 128})
         .observe(static_cast<double>(items.size()));
   }
+  std::uint64_t items_sig = kFnvOffset;
   bp_items_scratch_.clear();
   bp_items_scratch_.reserve(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
     bp_items_scratch_.push_back(
         {static_cast<std::uint64_t>(i), items[i].size.value(), 0});
+    items_sig = fnv1a(items_sig, items[i].app);
+    items_sig = fnv1a(items_sig, bits_of(items[i].size.value()));
   }
+  std::uint64_t bins_sig = kFnvOffset;
   bp_bins_scratch_.clear();
   bin_node_scratch_.clear();
   for (NodeId t : targets) {
@@ -477,10 +726,38 @@ std::vector<std::size_t> Controller::pack_and_apply(
       bp_bins_scratch_.push_back(
           {static_cast<std::uint64_t>(t), cap.value(), 0});
       bin_node_scratch_.push_back(t);
+      bins_sig = fnv1a(bins_sig, t);
+      bins_sig = fnv1a(bins_sig, bits_of(cap.value()));
     }
+  }
+  // Previous-call reuse: when the identical all-unplaced problem comes back
+  // (same items, same bins), the packer's verdict stands; only no-assignment
+  // results are reusable because an applied assignment mutates the very
+  // surpluses the fingerprint hashed.
+  if (config_.incremental && pack_memo_.valid &&
+      pack_memo_.item_count == items.size() &&
+      pack_memo_.items_sig == items_sig && pack_memo_.bins_sig == bins_sig) {
+    if (config_.shadow_diff) {
+      const binpack::PackResult check =
+          binpack::pack(bp_items_scratch_, bp_bins_scratch_, config_.packing);
+      const bool mismatch = !check.assignments.empty() ||
+                            check.unplaced != pack_memo_.unplaced;
+      count_shadow_check(mismatch);
+      if (mismatch) {
+        throw std::logic_error(
+            "Controller shadow diff: reused packing no longer reproduces");
+      }
+    }
+    if (c_packings_reused_ != nullptr) c_packings_reused_->increment();
+    return pack_memo_.unplaced;
   }
   const binpack::PackResult result =
       binpack::pack(bp_items_scratch_, bp_bins_scratch_, config_.packing);
+  pack_memo_.valid = result.assignments.empty();
+  pack_memo_.items_sig = items_sig;
+  pack_memo_.bins_sig = bins_sig;
+  pack_memo_.item_count = items.size();
+  pack_memo_.unplaced = result.unplaced;
   for (const auto& a : result.assignments) {
     apply_migration(items[a.item], bin_node_scratch_[a.bin]);
   }
@@ -505,7 +782,7 @@ void Controller::demand_adaptation() {
       if (!leaf.active()) continue;
       // In-flight outbound demand is already leaving: plan only the rest.
       const Watts deficit =
-          node_deficit(leaf) - Watts{outbound_in_flight_w_[c]};
+          reported_deficit(leaf) - Watts{outbound_in_flight_w_[c]};
       if (deficit.value() > kEps) {
         // Attribute the move to what tightened this server's budget: the
         // per-ΔD thermal clamp if it fired here, else the supply division.
@@ -587,8 +864,14 @@ void Controller::demand_adaptation() {
     for (NodeId s : cluster_.server_ids()) {
       if (cluster_.server(s).asleep()) asleep.push_back(s);
     }
+    // Largest capacity first; explicit id tie-break keeps the order a pure
+    // function of the inputs.
     std::stable_sort(asleep.begin(), asleep.end(), [&](NodeId a, NodeId b) {
-      return tree.node(a).hard_limit() > tree.node(b).hard_limit();
+      if (tree.node(a).hard_limit().value() !=
+          tree.node(b).hard_limit().value()) {
+        return tree.node(a).hard_limit() > tree.node(b).hard_limit();
+      }
+      return a < b;
     });
     const auto& root_node = tree.node(tree.root());
     for (NodeId s : asleep) {
@@ -600,6 +883,16 @@ void Controller::demand_adaptation() {
           util::positive_part(last_supply_ - root_node.budget());
       if (headroom.value() <= config_.margin.value()) break;
       cluster_.wake_server(s);
+      {
+        // The wake flips an active flag the aggregation sweeps cannot see.
+        const NodeId p = tree.node(s).parent();
+        if (p != hier::kNoNode) {
+          limit_dirty_[p] = 1;
+          division_dirty_[p] = 1;
+        }
+        tree.mark_report_dirty(s);
+        touch(s);
+      }
       ++stats_.wakes;
       events_this_tick_.push_back(
           {EventKind::kWake, tick_, 0, s, hier::kNoNode, Watts{0.0}});
@@ -635,13 +928,13 @@ void Controller::shed_leftovers(std::vector<PlanItem>& pending) {
   for (NodeId source : sources) {
     // Remaining need: the observed deficit minus what migrations already
     // moved (or are moving) off this server.
-    double need = node_deficit(tree.node(source)).value() -
+    double need = reported_deficit(tree.node(source)).value() -
                   migrated_from_w_[source] - outbound_in_flight_w_[source];
     if (need <= kEps) continue;
 
     // Shed candidates: every running application on the source, lowest
     // priority first; within a priority, biggest release first (fewest
-    // applications touched).
+    // applications touched), app id breaking exact ties.
     auto& apps = shed_scratch_;
     apps.clear();
     for (auto& a : cluster_.server(source).apps()) {
@@ -654,9 +947,13 @@ void Controller::shed_leftovers(std::vector<PlanItem>& pending) {
                        if (a->priority() != b->priority()) {
                          return a->priority() > b->priority();
                        }
-                       return a->demand() > b->demand();
+                       if (a->demand().value() != b->demand().value()) {
+                         return a->demand() > b->demand();
+                       }
+                       return a->id() < b->id();
                      });
 
+    bool mutated = false;
     double shed = 0.0;
     if (config_.shedding == SheddingPolicy::kDegradeThenDrop) {
       // Pass 1: degrade to the reduced service level.
@@ -672,6 +969,7 @@ void Controller::shed_leftovers(std::vector<PlanItem>& pending) {
         // so a later drop of the same app only releases the remainder.
         app->set_demand(app->demand() - Watts{released});
         app->set_service_level(config_.degraded_service_level);
+        mutated = true;
         ++stats_.degrades;
         stats_.degraded_demand += Watts{released};
         shed += released;
@@ -693,6 +991,7 @@ void Controller::shed_leftovers(std::vector<PlanItem>& pending) {
       if (app->dropped()) continue;
       const double released = app->demand().value();
       app->set_dropped(true);
+      mutated = true;
       ++stats_.drops;
       stats_.dropped_demand += Watts{released};
       shed += released;
@@ -705,69 +1004,170 @@ void Controller::shed_leftovers(std::vector<PlanItem>& pending) {
       WILLOW_INFO() << "drop app " << app->id() << " on server " << source
                     << " (" << released << " W)";
     }
+    if (mutated) {
+      // Dropping/degrading changed the server's live demand out from under
+      // the cached per-server application sum.
+      cluster_.server(source).invalidate_app_demand_cache();
+      touch(source);
+    }
   }
 }
 
 void Controller::consolidate() {
   auto& tree = cluster_.tree();
+  const bool inc = config_.incremental;
+  const bool thermal_ref = config_.utilization_reference ==
+                           UtilizationReference::kThermalSustainable;
+  const auto& sids = cluster_.server_ids();
+  const std::size_t count = sids.size();
 
+  // Per-server sustainable dynamic envelope, cached on the thermal state
+  // version (only an ambient change can move it; the version over-counts by
+  // also bumping on temperature, which merely re-derives the same value).
+  // Under the thermal reference, utilization is judged against the fleet's
+  // best envelope so a hot-zone server with modest load still qualifies, and
+  // thermally weakest servers drain first — "Willow tries to move as much
+  // work away from these servers as possible due to their high temperatures"
+  // (Sec. V-B3, Fig. 7).
+  double fleet_envelope = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& srv = cluster_.server_at(i);
+    const std::uint64_t v = srv.thermal().state_version();
+    if (server_envelope_version_[i] != v) {
+      server_envelope_version_[i] = v;
+      server_envelope_[i] =
+          (srv.thermal().steady_state_power_limit() - srv.idle_floor())
+              .value();
+    }
+    if (thermal_ref) {
+      fleet_envelope = std::max(fleet_envelope, server_envelope_[i]);
+    }
+  }
+  const bool envelope_shift =
+      thermal_ref && fleet_envelope != cached_fleet_envelope_;
+  cached_fleet_envelope_ = thermal_ref ? fleet_envelope : 0.0;
+
+  // Candidate index refresh: an entry is a pure function of the server's
+  // reported demand, budget and envelope — all epoch-stamped — plus the
+  // fleet envelope, so only servers whose subtree moved are re-judged.
   // Candidates: active servers whose *demand-based* utilization sits below
   // the threshold (budget starvation must not masquerade as idleness).
-  // Under the thermal reference, utilization is judged against the fleet's
-  // best sustainable envelope so a hot-zone server with modest load still
-  // qualifies, and thermally weakest servers drain first — "Willow tries to
-  // move as much work away from these servers as possible due to their high
-  // temperatures" (Sec. V-B3, Fig. 7).
-  double fleet_envelope = 0.0;
-  if (config_.utilization_reference == UtilizationReference::kThermalSustainable) {
-    for (NodeId s : cluster_.server_ids()) {
-      const auto& srv = cluster_.server(s);
-      fleet_envelope = std::max(
-          fleet_envelope,
-          (srv.thermal().steady_state_power_limit() - srv.idle_floor()).value());
+  bool entries_changed = false;
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId s = sids[i];
+    if (inc && !envelope_shift && consol_entry_epoch_[i] == subtree_epoch_[s]) {
+      if (config_.shadow_diff) {
+        ConsolEntry fresh;
+        const auto& leaf = tree.node(s);
+        if (leaf.active() && reported_deficit(leaf).value() <= kEps) {
+          const auto& srv = cluster_.server_at(i);
+          const Watts dynamic =
+              util::positive_part(leaf.reported_demand() - srv.idle_floor());
+          const double range =
+              thermal_ref ? fleet_envelope
+                          : srv.power_model().dynamic_range().value();
+          const double u = range > 0.0 ? dynamic.value() / range : 0.0;
+          if (u < config_.consolidation_threshold) {
+            fresh.eligible = true;
+            fresh.utilization = u;
+            fresh.envelope = server_envelope_[i];
+          }
+        }
+        const ConsolEntry& held = consol_entry_[i];
+        const bool mismatch = fresh.eligible != held.eligible ||
+                              fresh.utilization != held.utilization ||
+                              fresh.envelope != held.envelope;
+        count_shadow_check(mismatch);
+        if (mismatch) {
+          throw std::logic_error(
+              "Controller shadow diff: stale consolidation entry for server " +
+              std::to_string(s));
+        }
+      }
+      continue;
     }
-  }
-  struct Candidate {
-    NodeId server;
-    double utilization;
-    double envelope;  ///< server's own sustainable dynamic power
-  };
-  std::vector<Candidate> candidates;
-  for (NodeId s : cluster_.server_ids()) {
+    consol_entry_epoch_[i] = subtree_epoch_[s];
+    ConsolEntry e;
     const auto& leaf = tree.node(s);
-    if (!leaf.active()) continue;
-    if (node_deficit(leaf).value() > kEps) continue;  // starving, not idle
-    const auto& srv = cluster_.server(s);
-    const Watts dynamic =
-        util::positive_part(leaf.smoothed_demand() - srv.idle_floor());
-    const double own_envelope =
-        (srv.thermal().steady_state_power_limit() - srv.idle_floor()).value();
-    const double range =
-        config_.utilization_reference == UtilizationReference::kDynamicRange
-            ? srv.power_model().dynamic_range().value()
-            : fleet_envelope;
-    const double u = range > 0.0 ? dynamic.value() / range : 0.0;
-    if (u < config_.consolidation_threshold) {
-      candidates.push_back({s, u, own_envelope});
+    if (leaf.active() && reported_deficit(leaf).value() <= kEps) {
+      const auto& srv = cluster_.server_at(i);
+      const Watts dynamic =
+          util::positive_part(leaf.reported_demand() - srv.idle_floor());
+      const double range = thermal_ref
+                               ? fleet_envelope
+                               : srv.power_model().dynamic_range().value();
+      const double u = range > 0.0 ? dynamic.value() / range : 0.0;
+      if (u < config_.consolidation_threshold) {
+        e.eligible = true;
+        e.utilization = u;
+        e.envelope = server_envelope_[i];
+      }
     }
+    const ConsolEntry& old = consol_entry_[i];
+    if (e.eligible != old.eligible || e.utilization != old.utilization ||
+        e.envelope != old.envelope) {
+      entries_changed = true;
+    }
+    consol_entry_[i] = e;
   }
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [&](const Candidate& a, const Candidate& b) {
-                     if (config_.utilization_reference ==
-                             UtilizationReference::kThermalSustainable &&
-                         std::abs(a.envelope - b.envelope) > kEps) {
-                       return a.envelope < b.envelope;  // hottest zone first
-                     }
-                     return a.utilization < b.utilization;
-                   });
 
-  for (const auto& cand : candidates) {
-    const NodeId s = cand.server;
+  // Utilization-ordered candidate list, reused verbatim while no entry
+  // changed (the kEps-banded envelope comparator is not incrementally
+  // maintainable, so any change rebuilds the order from scratch).
+  if (!inc || entries_changed || !consol_order_valid_) {
+    consol_order_.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      if (consol_entry_[i].eligible) {
+        consol_order_.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    std::stable_sort(consol_order_.begin(), consol_order_.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       const ConsolEntry& ea = consol_entry_[a];
+                       const ConsolEntry& eb = consol_entry_[b];
+                       if (thermal_ref &&
+                           std::abs(ea.envelope - eb.envelope) > kEps) {
+                         return ea.envelope < eb.envelope;  // hottest first
+                       }
+                       if (ea.utilization != eb.utilization) {
+                         return ea.utilization < eb.utilization;
+                       }
+                       return a < b;  // explicit server-order tie-break
+                     });
+    consol_order_valid_ = true;
+  }
+
+  const NodeId root = tree.root();
+  std::uint64_t reused = 0;
+
+  auto put_to_sleep = [&](NodeId s) {
+    cluster_.sleep_server(s);
+    tree.node(s).set_budget(Watts{0.0});
+    // The sleep flips an active flag (parent's roll-up and division change)
+    // and zeroes a budget outside the distributor's bookkeeping.
+    const NodeId p = tree.node(s).parent();
+    if (p != hier::kNoNode) {
+      limit_dirty_[p] = 1;
+      division_dirty_[p] = 1;
+    }
+    tree.mark_report_dirty(s);
+    touch(s);
+    ++stats_.sleeps;
+    events_this_tick_.push_back(
+        {EventKind::kSleep, tick_, 0, s, hier::kNoNode, Watts{0.0}});
+    if (bus_ != nullptr && bus_->enabled()) {
+      bus_->emit(make_event(obs::EventType::kSleep, s, hier::kNoNode, 0,
+                            obs::Reason::kConsolidation));
+    }
+  };
+
+  for (const std::uint32_t ci : consol_order_) {
+    const NodeId s = sids[ci];
     if (targets_this_tick_.contains(s)) continue;
     // Latency mode: leave servers with transfers in either direction alone
     // until the dust settles.
     if (reserved_in_w_[s] > kEps || outbound_in_flight_w_[s] > kEps) continue;
-    auto& srv = cluster_.server(s);
+    auto& srv = cluster_.server_at(ci);
     bool hosts_in_flight = false;
     for (const auto& a : srv.apps()) {
       if (apps_in_flight_.contains(a.id())) {
@@ -777,17 +1177,34 @@ void Controller::consolidate() {
     }
     if (hosts_in_flight) continue;
     if (srv.apps().empty()) {
-      cluster_.sleep_server(s);
-      tree.node(s).set_budget(Watts{0.0});
-      ++stats_.sleeps;
-      events_this_tick_.push_back(
-          {EventKind::kSleep, tick_, 0, s, hier::kNoNode, Watts{0.0}});
-      if (bus_ != nullptr && bus_->enabled()) {
-        bus_->emit(make_event(obs::EventType::kSleep, s, hier::kNoNode, 0,
-                              obs::Reason::kConsolidation));
-      }
+      put_to_sleep(s);
       continue;
     }
+
+    // The cached dry-run verdicts are only sound while this tick carries no
+    // unstamped transient state (absorbed/reserved watts from migrations).
+    const bool quiescent =
+        migrations_this_tick_.empty() && in_flight_.empty();
+    // Fingerprint of what would be drained: the packing outcome depends on
+    // each hosted app's identity and live demand, which churn can change
+    // without moving the epoch-stamped aggregate (sums can collide bitwise).
+    std::uint64_t sig = kFnvOffset;
+    for (const auto& a : srv.apps()) {
+      sig = fnv1a(sig, a.id());
+      sig = fnv1a(sig, bits_of(a.dropped() ? 0.0 : a.demand().value()));
+    }
+
+    const bool cached_root_fail =
+        inc && quiescent && consol_fail_root_[ci].valid &&
+        consol_fail_root_[ci].epoch == subtree_epoch_[root] &&
+        consol_fail_root_[ci].item_sig == sig;
+    if (cached_root_fail && !config_.shadow_diff) {
+      // Nothing anywhere in the tree changed since this candidate last
+      // failed to drain at fleet scope: it fails again.
+      ++reused;
+      continue;
+    }
+
     // All-or-nothing: every hosted app (even dropped ones — a sleeping host
     // cannot retain VMs) must find a berth, else the server stays up.
     std::vector<PlanItem> items;
@@ -829,26 +1246,59 @@ void Controller::consolidate() {
                            config_.packing);
     };
 
-    NodeId scope = config_.prefer_local ? tree.node(s).parent() : tree.root();
-    auto result = dry_run(collect_targets(scope));
-    if (!result.all_placed() && config_.prefer_local && scope != tree.root()) {
-      scope = tree.root();
+    NodeId scope = config_.prefer_local ? tree.node(s).parent() : root;
+    binpack::PackResult result;
+    if (inc && quiescent && scope != root && consol_fail_local_[ci].valid &&
+        consol_fail_local_[ci].epoch == subtree_epoch_[scope] &&
+        consol_fail_local_[ci].item_sig == sig) {
+      // Known local failure at this scope epoch: go straight to fleet scope.
+      ++reused;
+      if (config_.shadow_diff) {
+        const auto check = dry_run(collect_targets(scope));
+        count_shadow_check(check.all_placed());
+        if (check.all_placed()) {
+          throw std::logic_error(
+              "Controller shadow diff: cached local consolidation failure for "
+              "server " +
+              std::to_string(s) + " now succeeds");
+        }
+      }
+      scope = root;
       result = dry_run(collect_targets(scope));
+    } else {
+      result = dry_run(collect_targets(scope));
+      if (!result.all_placed() && config_.prefer_local && scope != root) {
+        if (quiescent) {
+          consol_fail_local_[ci] = {subtree_epoch_[scope], sig, true};
+        }
+        scope = root;
+        result = dry_run(collect_targets(scope));
+      }
     }
-    if (!result.all_placed()) continue;
+    if (!result.all_placed()) {
+      if (quiescent) {
+        if (scope == root) {
+          consol_fail_root_[ci] = {subtree_epoch_[root], sig, true};
+        } else {
+          consol_fail_local_[ci] = {subtree_epoch_[scope], sig, true};
+        }
+      }
+      if (cached_root_fail) count_shadow_check(false);  // verdict held
+      continue;
+    }
+    if (cached_root_fail) {
+      // Shadow mode re-ran a cached fleet-scope failure and it placed.
+      count_shadow_check(true);
+      throw std::logic_error(
+          "Controller shadow diff: cached root consolidation failure for "
+          "server " +
+          std::to_string(s) + " now succeeds");
+    }
     for (const auto& a : result.assignments) {
       apply_migration(items[a.item], bin_node_scratch_[a.bin]);
     }
     if (srv.apps().empty()) {
-      cluster_.sleep_server(s);
-      tree.node(s).set_budget(Watts{0.0});
-      ++stats_.sleeps;
-      events_this_tick_.push_back(
-          {EventKind::kSleep, tick_, 0, s, hier::kNoNode, Watts{0.0}});
-      if (bus_ != nullptr && bus_->enabled()) {
-        bus_->emit(make_event(obs::EventType::kSleep, s, hier::kNoNode, 0,
-                              obs::Reason::kConsolidation));
-      }
+      put_to_sleep(s);
       WILLOW_INFO() << "consolidated server " << s << " to sleep";
     } else {
       // Latency mode: the VMs are still transferring; the server sleeps at a
@@ -858,10 +1308,40 @@ void Controller::consolidate() {
                     << " deferred until transfers land";
     }
   }
+  if (c_packings_reused_ != nullptr && reused > 0) {
+    c_packings_reused_->increment(reused);
+  }
 }
 
 void Controller::revive_dropped() {
   auto& tree = cluster_.tree();
+  // Fleet-wide skip: the stats counters bound the number of currently
+  // dropped (drops - revivals) and degraded (degrades - restores) apps from
+  // above, so equal pairs mean the whole scan would be a no-op.
+  // Conservative: an app churned away while dropped leaves its drop
+  // unmatched forever and the scan keeps running — still correct.
+  if (config_.incremental && stats_.drops == stats_.revivals &&
+      stats_.degrades == stats_.restores) {
+    if (config_.shadow_diff) {
+      bool mismatch = false;
+      for (std::size_t i = 0; i < cluster_.server_count(); ++i) {
+        for (const auto& a : cluster_.server_at(i).apps()) {
+          if (a.dropped() || a.degraded()) {
+            mismatch = true;
+            break;
+          }
+        }
+        if (mismatch) break;
+      }
+      count_shadow_check(mismatch);
+      if (mismatch) {
+        throw std::logic_error(
+            "Controller shadow diff: revive scan skipped while dropped or "
+            "degraded applications exist");
+      }
+    }
+    return;
+  }
   for (NodeId s : cluster_.server_ids()) {
     const auto& leaf = tree.node(s);
     if (!leaf.active()) continue;
@@ -878,12 +1358,13 @@ void Controller::revive_dropped() {
       if (reduced_path) continue;
     }
     Watts headroom =
-        node_surplus(leaf) - config_.margin - Watts{absorbed_w_[s]};
+        reported_surplus(leaf) - config_.margin - Watts{absorbed_w_[s]};
     if (headroom.value() <= kEps) continue;
     auto& apps = cluster_.server(s).apps();
 
     // Phase 1: bring shut-down applications back (highest priority first,
-    // then cheapest).  A revived app returns at its current service level.
+    // then cheapest, then app id).  A revived app returns at its current
+    // service level.
     std::vector<Application*> dropped;
     for (auto& a : apps) {
       if (a.dropped()) dropped.push_back(&a);
@@ -893,12 +1374,18 @@ void Controller::revive_dropped() {
                        if (a->priority() != b->priority()) {
                          return a->priority() < b->priority();
                        }
-                       return a->effective_mean_power() <
-                              b->effective_mean_power();
+                       if (a->effective_mean_power().value() !=
+                           b->effective_mean_power().value()) {
+                         return a->effective_mean_power() <
+                                b->effective_mean_power();
+                       }
+                       return a->id() < b->id();
                      });
+    bool revived_any = false;
     for (Application* a : dropped) {
       if (a->effective_mean_power() <= headroom) {
         a->set_dropped(false);
+        revived_any = true;
         headroom -= a->effective_mean_power();
         ++stats_.revivals;
         events_this_tick_.push_back({EventKind::kRevive, tick_, a->id(), s,
@@ -911,9 +1398,14 @@ void Controller::revive_dropped() {
         WILLOW_INFO() << "revive app " << a->id() << " on server " << s;
       }
     }
+    if (revived_any) {
+      // A revived app re-enters the live-demand sum immediately.
+      cluster_.server(s).invalidate_app_demand_cache();
+      touch(s);
+    }
 
     // Phase 2: restore degraded service levels (highest priority first,
-    // then cheapest upgrade).
+    // then cheapest upgrade, then app id).
     std::vector<Application*> degraded;
     for (auto& a : apps) {
       if (!a.dropped() && a.degraded()) degraded.push_back(&a);
@@ -927,12 +1419,15 @@ void Controller::revive_dropped() {
                            a->mean_power() - a->effective_mean_power();
                        const Watts gb =
                            b->mean_power() - b->effective_mean_power();
-                       return ga < gb;
+                       if (ga.value() != gb.value()) return ga < gb;
+                       return a->id() < b->id();
                      });
+    bool restored_any = false;
     for (Application* a : degraded) {
       const Watts gain = a->mean_power() - a->effective_mean_power();
       if (gain <= headroom) {
         a->set_service_level(1.0);
+        restored_any = true;
         headroom -= gain;
         ++stats_.restores;
         events_this_tick_.push_back(
@@ -944,6 +1439,11 @@ void Controller::revive_dropped() {
         WILLOW_INFO() << "restore app " << a->id() << " to full service on "
                       << s;
       }
+    }
+    if (restored_any) {
+      // The restored level changes the next demand draw's mean; stamp the
+      // subtree so consolidation re-judges it alongside that draw.
+      touch(s);
     }
   }
 }

@@ -127,6 +127,23 @@ struct ControllerConfig {
   SheddingPolicy shedding = SheddingPolicy::kDropWhole;
   /// Service level degraded applications run at under kDegradeThenDrop.
   double degraded_service_level = 0.5;
+  /// Incremental (change-driven) control plane: re-aggregate, re-divide and
+  /// re-pack only where inputs changed bitwise since the previous decision —
+  /// dirty report paths, memoized subtree divisions, epoch-stamped
+  /// consolidation candidates and cached packing failures.  Semantically
+  /// identical to the full recompute (same budgets, same migrations, same
+  /// event trace); `shadow_diff` asserts that.  Disable to benchmark the full
+  /// walk or to rule the machinery out while debugging.
+  bool incremental = true;
+  /// Dead-band (W) on demand reports: a node re-reports to its parent only
+  /// when its smoothed demand moved more than this since its last report.
+  /// 0 = exact (a report on every bitwise change).  Must stay below `margin`:
+  /// the controller acts on reported values, so movement inside the dead-band
+  /// must also be too small to trigger migrations (Property 4).
+  Watts report_deadband{0.0};
+  /// Debug shadow mode: every skip the incremental path takes is re-derived
+  /// from scratch; any bitwise divergence throws std::logic_error.
+  bool shadow_diff = false;
 
   void validate() const;
 };
@@ -218,7 +235,10 @@ class Controller {
   /// degrades, sleeps, wakes — is emitted as a typed event, and packing
   /// attempts feed the bus's metrics registry.  The controller is serial, so
   /// all emission goes through EventBus::emit.
-  void set_event_bus(obs::EventBus* bus) { bus_ = bus; }
+  void set_event_bus(obs::EventBus* bus) {
+    bus_ = bus;
+    resolve_instruments();
+  }
   [[nodiscard]] obs::EventBus* event_bus() const { return bus_; }
 
   /// One demand period: reports, (possibly) supply adaptation with the given
@@ -246,6 +266,14 @@ class Controller {
   void force_supply_adaptation(Watts available_supply) {
     supply_adaptation(available_supply);
   }
+
+  /// Tell the controller that state outside its own mutations changed under
+  /// `node` (workload churn placed/removed an application, an ambient event
+  /// re-zoned a server, a fault was injected).  The incremental path treats
+  /// everything it has not been told about as unchanged, so the simulator
+  /// must call this for every externally touched server.  No-op when the
+  /// incremental machinery is off.
+  void note_external_change(NodeId node);
 
  private:
   struct PlanItem {
@@ -303,6 +331,103 @@ class Controller {
   /// every tick instead of re-deriving them with per-node scans; the
   /// tree-size check invalidates them should a caller ever grow the tree.
   void ensure_topology_cache();
+
+  // ---- incremental (change-driven) machinery -------------------------------
+  // Shared invariant of every cache below: it is keyed on state that, when it
+  // changes bitwise, provably marks the cache dirty (a report, a budget
+  // directive, a thermal version bump, an epoch stamp).  A cache hit therefore
+  // reproduces the full recomputation bit for bit; shadow_diff re-derives each
+  // hit and throws on divergence.
+
+  /// Stamp `node` and its whole root path with a fresh change epoch.  Every
+  /// controller-visible mutation under a node funnels through this, so
+  /// subtree_epoch_[n] answers "did anything below n change since epoch E?".
+  void touch(NodeId node);
+
+  /// min(circuit rating, thermal power limit over one demand period) for the
+  /// server at `server_index`, cached on the server's thermal state version
+  /// (the only moving input).  Shared by update_hard_limits and
+  /// enforce_thermal_limits so both clamp to identical bits, and valid in
+  /// both walk modes (it memoizes a pure function).
+  [[nodiscard]] Watts leaf_limit(std::size_t server_index);
+
+  /// Shadow-diff helpers: re-derive a skipped decision from scratch and throw
+  /// std::logic_error on any bitwise mismatch.
+  void shadow_check_division(NodeId id);
+  void shadow_check_hard_limit(NodeId id);
+  void count_shadow_check(bool mismatch);
+
+  void resolve_instruments();
+
+  /// Per-entity change epochs (see touch()).
+  std::uint64_t change_epoch_ = 0;
+  std::vector<std::uint64_t> subtree_epoch_;  ///< by NodeId
+  /// Internal nodes whose top-down division must re-run at the next supply
+  /// pass (child demand vector, child capacities or own budget moved).
+  std::vector<char> division_dirty_;  ///< by NodeId
+  /// Internal nodes whose hard-limit roll-up must re-run (a descendant's
+  /// leaf limit or active flag moved).
+  std::vector<char> limit_dirty_;  ///< by NodeId
+  /// leaf_limit() memo, keyed on the thermal state version.
+  std::vector<double> cached_leaf_limit_;             ///< by NodeId
+  std::vector<std::uint64_t> cached_limit_version_;   ///< by NodeId
+
+  /// Consolidation-candidate index: one entry per server, refreshed only when
+  /// the server's subtree epoch moved (or the fleet envelope shifted), plus
+  /// the utilization-ordered candidate list reused verbatim across ΔA passes
+  /// while no entry changed.
+  struct ConsolEntry {
+    bool eligible = false;
+    double utilization = 0.0;
+    double envelope = 0.0;  ///< server's own sustainable dynamic power
+  };
+  std::vector<ConsolEntry> consol_entry_;             ///< by server index
+  std::vector<std::uint64_t> consol_entry_epoch_;     ///< by server index
+  std::vector<double> server_envelope_;               ///< by server index
+  std::vector<std::uint64_t> server_envelope_version_;///< by server index
+  double cached_fleet_envelope_ =
+      -1.0;  ///< impossible (envelopes are >= 0) => first pass recomputes
+  std::vector<std::uint32_t> consol_order_;  ///< sorted candidate indices
+  bool consol_order_valid_ = false;
+  /// Cached dry-run failures: "this candidate could not be fully drained at
+  /// this scope while the scope's state was at this epoch (with these items)".
+  /// Only recorded/consulted on quiescent passes (no migrations applied or in
+  /// flight this tick), because the per-tick absorbed/reserved state those
+  /// passes see is not epoch-stamped.
+  struct ConsolFail {
+    std::uint64_t epoch = 0;
+    std::uint64_t item_sig = 0;
+    bool valid = false;
+  };
+  std::vector<ConsolFail> consol_fail_local_;  ///< by server index
+  std::vector<ConsolFail> consol_fail_root_;   ///< by server index
+
+  /// Single-entry pack_and_apply memo for the all-unplaced case: when the
+  /// same items meet the same bins as last time and nothing was placed then,
+  /// nothing will be placed now (FFDLR is deterministic), so the pack call is
+  /// skipped.  Only no-assignment results are reusable — an applied
+  /// assignment mutates the very state the fingerprint hashes.
+  struct PackMemo {
+    std::uint64_t items_sig = 0;
+    std::uint64_t bins_sig = 0;
+    std::size_t item_count = 0;
+    /// The unplaced-index order the packer produced (item order matters to
+    /// later escalation passes, so the memo must reproduce it exactly).
+    std::vector<std::size_t> unplaced;
+    bool valid = false;
+  } pack_memo_;
+
+  /// Division scratch (child demand/capacity vectors, reused per node).
+  std::vector<Watts> alloc_demands_scratch_;
+  std::vector<Watts> alloc_caps_scratch_;
+
+  /// Instruments resolved once when the bus is attached (name lookups are a
+  /// hash probe each; the skip paths fire per node per tick).
+  obs::Counter* c_budget_directives_ = nullptr;
+  obs::Counter* c_divisions_memoized_ = nullptr;
+  obs::Counter* c_packings_reused_ = nullptr;
+  obs::Counter* c_shadow_checks_ = nullptr;
+  obs::Counter* c_shadow_mismatches_ = nullptr;
 
   Cluster& cluster_;
   ControllerConfig config_;

@@ -1,7 +1,9 @@
 #include "hier/tree.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace willow::hier {
 
@@ -114,51 +116,137 @@ bool Tree::is_ancestor(NodeId ancestor, NodeId id) const {
   return false;
 }
 
+void Tree::set_event_bus(obs::EventBus* bus) {
+  bus_ = bus;
+  if (bus_ != nullptr) {
+    auto& m = bus_->metrics();
+    c_reaggregated_ = &m.counter("control.nodes_reaggregated");
+    c_skipped_ = &m.counter("control.nodes_skipped");
+    c_reports_ = &m.counter("control.demand_reports");
+  } else {
+    c_reaggregated_ = nullptr;
+    c_skipped_ = nullptr;
+    c_reports_ = nullptr;
+  }
+}
+
+void Tree::observe_leaf(NodeId id, Watts demand) {
+  Node& n = nodes_.at(id);
+  // The update would reproduce the stored value bitwise: the EWMA is at its
+  // fixed point for exactly this input.  (Demands are non-negative, so the
+  // == cannot be hiding a +0/-0 sign difference.)
+  if (incremental_ && n.settled_ &&
+      demand.value() == n.raw_demand_.value()) {
+    return;
+  }
+  n.observe_demand(demand);
+}
+
+void Tree::mark_report_dirty(NodeId id) {
+  Node& n = nodes_.at(id);
+  n.pending_ = true;
+  if (n.parent_ != kNoNode) nodes_[n.parent_].pending_ = true;
+}
+
+void Tree::shadow_check_skipped(const Node& n) const {
+  // A skipped node must be at its EWMA fixed point for inputs that have not
+  // moved, and must owe its parent no report.
+  bool ok = n.settled_;
+  if (ok && !n.is_leaf()) {
+    Watts sum{0.0};
+    for (NodeId c : n.children_) {
+      const Node& child = nodes_[c];
+      if (child.active()) sum += child.reported_;
+    }
+    const Watts input = n.active() ? sum : Watts{0.0};
+    ok = input.value() == n.raw_demand_.value();
+  } else if (ok && !n.active()) {
+    ok = n.raw_demand_.value() == 0.0;
+  }
+  if (ok && !n.is_root()) {
+    const double moved =
+        std::abs(n.smoothed_demand().value() - n.reported_.value());
+    ok = n.reported_once_ &&
+         (deadband_.value() > 0.0 ? moved <= deadband_.value() : moved == 0.0);
+  }
+  if (!ok) {
+    throw std::logic_error(
+        "Tree::report_demands shadow diff: incremental sweep skipped node " +
+        std::to_string(n.id()) + " whose inputs changed");
+  }
+}
+
 void Tree::report_demands() {
   const bool observe = bus_ != nullptr && bus_->enabled();
-  for (NodeId id : bottom_up()) {
+  reported_last_sweep_.clear();
+  std::uint64_t processed = 0;
+  std::uint64_t reports = 0;
+  // Descending id == bottom-up (children before parents), the same order the
+  // full walk uses, so skipping cannot reorder the event stream.
+  for (NodeId id = static_cast<NodeId>(nodes_.size()); id-- > 0;) {
     Node& n = nodes_[id];
+    if (incremental_ && !n.pending_ && n.settled_) {
+      if (shadow_diff_) shadow_check_skipped(n);
+      continue;
+    }
+    ++processed;
     if (!n.is_leaf()) {
       Watts sum{0.0};
-      for (NodeId c : n.children()) {
+      for (NodeId c : n.children_) {
         const Node& child = nodes_[c];
-        if (child.active()) sum += child.smoothed_demand();
+        if (child.active()) sum += child.reported_;
       }
       n.observe_demand(n.active() ? sum : Watts{0.0});
     } else if (!n.active()) {
       n.observe_demand(Watts{0.0});
     }
-    if (!n.is_root()) {
-      n.count_up();
-      if (observe) {
-        obs::Event e;
-        e.type = obs::EventType::kLinkMessage;
-        e.node = id;
-        e.node2 = n.parent();
-        e.direction = obs::LinkDirection::kUp;
-        e.value = n.smoothed_demand().value();
-        e.aux = n.raw_demand().value();
-        bus_->emit(std::move(e));
-      }
+    n.pending_ = false;
+    if (n.is_root()) continue;
+    // Event-driven report: only when the smoothed demand moved beyond the
+    // dead-band since the last report (first sweep always reports).
+    const Watts smoothed = n.smoothed_demand();
+    const double moved = std::abs(smoothed.value() - n.reported_.value());
+    const bool changed =
+        !n.reported_once_ ||
+        (deadband_.value() > 0.0 ? moved > deadband_.value() : moved != 0.0);
+    if (!changed) continue;
+    n.reported_ = smoothed;
+    n.reported_once_ = true;
+    nodes_[n.parent_].pending_ = true;
+    n.count_up();
+    ++reports;
+    reported_last_sweep_.push_back(id);
+    if (observe) {
+      obs::Event e;
+      e.type = obs::EventType::kLinkMessage;
+      e.node = id;
+      e.node2 = n.parent_;
+      e.direction = obs::LinkDirection::kUp;
+      e.value = smoothed.value();
+      e.aux = n.raw_demand_.value();
+      bus_->emit(std::move(e));
     }
+  }
+  if (c_reaggregated_ != nullptr) {
+    c_reaggregated_->increment(processed);
+    c_skipped_->increment(
+        static_cast<std::uint64_t>(nodes_.size()) - processed);
+    c_reports_->increment(reports);
   }
 }
 
-void Tree::count_budget_directives() {
-  const bool observe = bus_ != nullptr && bus_->enabled();
-  for (auto& n : nodes_) {
-    if (!n.is_root()) {
-      n.count_down();
-      if (observe) {
-        obs::Event e;
-        e.type = obs::EventType::kLinkMessage;
-        e.node = n.id();
-        e.node2 = n.parent();
-        e.direction = obs::LinkDirection::kDown;
-        e.value = n.budget().value();
-        bus_->emit(std::move(e));
-      }
-    }
+void Tree::record_budget_directive(NodeId id) {
+  Node& n = nodes_.at(id);
+  if (n.is_root()) return;
+  n.count_down();
+  if (bus_ != nullptr && bus_->enabled()) {
+    obs::Event e;
+    e.type = obs::EventType::kLinkMessage;
+    e.node = id;
+    e.node2 = n.parent_;
+    e.direction = obs::LinkDirection::kDown;
+    e.value = n.budget().value();
+    bus_->emit(std::move(e));
   }
 }
 

@@ -9,10 +9,25 @@
 //   CP_{l,i}  exponentially smoothed power demand, Eq. (4) (smoothed_demand())
 //   hard limit: min(thermal P_limit, circuit rating)       (hard_limit())
 //
-// Demand reports flow leaf -> root, budget directives root -> leaf, once per
-// period each; the tree counts messages per link so Property 3 ("at most 2
-// messages per link per Delta_D") is checkable, and models per-level update
-// latency for the delta-convergence analysis of Section V-A1.
+// Control messaging is event-driven, matching the paper's Property 3
+// argument that the hierarchy localizes change: a node sends a demand report
+// up only when its smoothed demand moved (beyond an optional dead-band)
+// since its last report, and the budget distributor sends a directive down
+// only when a budget actually changed.  The tree counts messages per link so
+// Property 3 ("at most 2 messages per link per Delta_D") is checkable, and
+// models per-level update latency for the delta-convergence analysis of
+// Section V-A1.
+//
+// The report sweep has two walk policies with identical outputs:
+//   full        every node re-aggregates every sweep (EWMA updates included);
+//   incremental only nodes whose inputs could have changed are walked — a
+//               leaf observation, a child report, or an activity flip marks
+//               the node pending; everything else is provably at its EWMA
+//               fixed point and is skipped.
+// Because a skipped update is bitwise a no-op, both policies produce the
+// same smoothed values, the same reports, and the same event stream; the
+// shadow-diff mode re-derives each skipped node's inputs and throws on any
+// divergence.
 #pragma once
 
 #include <cstdint>
@@ -63,7 +78,7 @@ class Node {
 
   /// TP_{l,i}: the budget currently assigned by the parent.
   [[nodiscard]] Watts budget() const { return budget_; }
-  /// TP^old: the budget during the previous supply period.
+  /// TP^old: the budget this node held before its most recent change.
   [[nodiscard]] Watts previous_budget() const { return previous_budget_; }
   void set_budget(Watts b) {
     previous_budget_ = budget_;
@@ -75,15 +90,33 @@ class Node {
   [[nodiscard]] Watts smoothed_demand() const { return smoothed_.value(); }
   /// Latest raw (unsmoothed) demand report.
   [[nodiscard]] Watts raw_demand() const { return raw_demand_; }
-  /// Feed a new raw demand observation; updates the EWMA.
+  /// The demand this node last sent to its parent (what the parent's
+  /// aggregation sums).  Equals smoothed_demand() bitwise whenever the
+  /// report dead-band is 0.
+  [[nodiscard]] Watts reported_demand() const { return reported_; }
+  /// Feed a new raw demand observation; updates the EWMA and marks the node
+  /// for the next report sweep.
   void observe_demand(Watts d) {
     raw_demand_ = d;
+    const double before = smoothed_.value().value();
+    const bool was_seeded = smoothed_.seeded();
     smoothed_.update(d);
+    settled_ = was_seeded && smoothed_.value().value() == before;
+    pending_ = true;
   }
+  /// True once an update with the current raw demand left the EWMA bitwise
+  /// unchanged — its fixed point for that input (Eq. 4 converges to a
+  /// period-1 fixed point under constant input).  Re-feeding the same raw
+  /// demand is then a provable no-op.
+  [[nodiscard]] bool ewma_settled() const { return settled_; }
   /// Clear smoothing history (scenario reset).
   void reset_demand() {
     raw_demand_ = Watts{0.0};
     smoothed_.reset();
+    reported_ = Watts{0.0};
+    reported_once_ = false;
+    settled_ = false;
+    pending_ = true;
   }
 
   /// Hard constraint on this node's budget: min(thermal limit over the next
@@ -116,8 +149,12 @@ class Node {
   Watts previous_budget_{0.0};
   Watts raw_demand_{0.0};
   util::Ewma<Watts> smoothed_;
+  Watts reported_{0.0};
   Watts hard_limit_{std::numeric_limits<double>::infinity()};
   bool active_ = true;
+  bool reported_once_ = false;  ///< first sweep always reports
+  bool settled_ = false;        ///< see ewma_settled()
+  bool pending_ = true;         ///< needs processing in the next sweep
   LinkCounters link_;
 };
 
@@ -169,15 +206,52 @@ class Tree {
   /// True if `ancestor` lies on the root path of `id` (or equals it).
   [[nodiscard]] bool is_ancestor(NodeId ancestor, NodeId id) const;
 
+  /// Report-sweep walk policy: when true, only pending/unsettled nodes are
+  /// re-aggregated (outputs are bitwise identical either way; see the file
+  /// comment).  Off by default so a bare Tree behaves like the full walk.
+  void set_incremental(bool on) { incremental_ = on; }
+  [[nodiscard]] bool incremental() const { return incremental_; }
+  /// Dead-band on demand reports (W): a node re-reports only when its
+  /// smoothed demand moved more than this since its last report.  0 = exact
+  /// (a report on every bitwise change).
+  void set_report_deadband(Watts w) { deadband_ = w; }
+  [[nodiscard]] Watts report_deadband() const { return deadband_; }
+  /// Debug shadow mode: every node the incremental sweep skips is re-derived
+  /// from its inputs; any divergence from the full walk throws
+  /// std::logic_error.
+  void set_shadow_diff(bool on) { shadow_diff_ = on; }
+
+  /// Leaf observation with the incremental fast path: the EWMA update is
+  /// skipped when the observation is bitwise identical to the previous raw
+  /// demand and the EWMA already reached its fixed point for it (the update
+  /// would be a no-op).  Full mode always feeds the EWMA.
+  void observe_leaf(NodeId id, Watts demand);
+
+  /// Mark `id` (and its parent's aggregation) for the next report sweep —
+  /// required when an input the sweep cannot see changes, i.e. an active
+  /// flag flip: the parent's sum-over-active-children changes even though no
+  /// child re-reported.
+  void mark_report_dirty(NodeId id);
+
   /// One demand-report sweep (Fig. 2, upward): every active leaf has already
-  /// had observe_demand() called with its measurement; internal nodes then
-  /// observe the sum of their children's *smoothed* demands, bottom-up.
-  /// Counts one `up` message per link.  Inactive nodes report zero.
+  /// had its measurement observed; internal nodes then observe the sum of
+  /// their children's *reported* demands, bottom-up.  A node sends a report
+  /// (one `up` message + one kLinkMessage) only when its smoothed demand
+  /// moved beyond the dead-band since its last report.
   void report_demands();
 
-  /// Count one `down` message per link (called by the budget distributor
-  /// after it pushes budgets; the tree itself does not decide budgets).
-  void count_budget_directives();
+  /// Nodes whose report fired during the most recent report_demands() sweep,
+  /// in sweep (bottom-up) order.  The controller consumes this to mark the
+  /// budget-division and consolidation state dirty.
+  [[nodiscard]] const std::vector<NodeId>& reported_last_sweep() const {
+    return reported_last_sweep_;
+  }
+
+  /// Account one budget directive flowing parent -> `id` (called by the
+  /// budget distributor after it changed `id`'s budget; the tree itself does
+  /// not decide budgets).  Counts one `down` message and emits one
+  /// kLinkMessage carrying the new budget.  No-op for the root.
+  void record_budget_directive(NodeId id);
 
   /// Reset all message counters.
   void reset_link_counters();
@@ -186,14 +260,26 @@ class Tree {
   /// and enabled, every control message crossing a link becomes one
   /// kLinkMessage event — the stream Property 3 ("at most 2 messages per
   /// link per ΔD") is asserted against.
-  void set_event_bus(obs::EventBus* bus) { bus_ = bus; }
+  void set_event_bus(obs::EventBus* bus);
   [[nodiscard]] obs::EventBus* event_bus() const { return bus_; }
 
  private:
+  /// Shadow-diff verification of one node the incremental sweep skipped.
+  void shadow_check_skipped(const Node& n) const;
+
   double alpha_;
   std::vector<Node> nodes_;
   NodeId root_ = kNoNode;
   obs::EventBus* bus_ = nullptr;
+  bool incremental_ = false;
+  bool shadow_diff_ = false;
+  Watts deadband_{0.0};
+  std::vector<NodeId> reported_last_sweep_;
+  /// Sweep instruments, resolved when the bus is attached (the registry
+  /// outlives the tree's use of it; counters are stable references).
+  obs::Counter* c_reaggregated_ = nullptr;
+  obs::Counter* c_skipped_ = nullptr;
+  obs::Counter* c_reports_ = nullptr;
 };
 
 }  // namespace willow::hier

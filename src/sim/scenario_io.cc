@@ -280,6 +280,12 @@ SimConfig parse_scenario(std::istream& in) {
       if (cfg.churn_probability < 0.0 || cfg.churn_probability > 1.0) {
         fail(line, "churn_probability must be in [0,1]");
       }
+    } else if (key == "incremental_control") {
+      cfg.incremental_control = parse_bool(value, line);
+    } else if (key == "shadow_diff") {
+      cfg.shadow_diff = parse_bool(value, line);
+    } else if (key == "report_deadband_w") {
+      cfg.controller.report_deadband = Watts{parse_double(value, line)};
     } else if (key == "threads") {
       const long v = parse_long(value, line);
       if (v < 0) fail(line, "threads must be >= 0");

@@ -76,6 +76,18 @@ struct SimConfig {
   std::optional<power::CoolingModel> cooling{};
   /// Controller parameters (ΔD/η1/η2/margins/packing...).
   core::ControllerConfig controller{};
+  /// Incremental (change-driven) control plane: dirty-set demand
+  /// aggregation, memoized budget divisions, epoch-stamped consolidation
+  /// candidates and packing reuse.  Semantically identical to the full
+  /// recompute — same budgets, migrations and event trace; the scenario
+  /// knob exists so benchmarks and A/B runs can flip the walk policy
+  /// without touching the nested controller config (copied onto
+  /// controller.incremental at build time).
+  bool incremental_control = true;
+  /// Debug shadow mode: every skip the incremental path takes is re-derived
+  /// from scratch and any bitwise divergence throws (copied onto
+  /// controller.shadow_diff at build time).  Expensive; CI-only.
+  bool shadow_diff = false;
   /// Optional under-designed rack feed rating applied to every rack (the
   /// Sec.-I lean-design scenario); nullopt means racks never bind.
   std::optional<util::Watts> rack_circuit_limit{};

@@ -22,7 +22,9 @@ ThermalModel::ThermalModel(ThermalParams params, Celsius initial)
 }
 
 void ThermalModel::step(Watts p, Seconds dt) {
-  temperature_ = predict(p, dt);
+  const Celsius next = predict(p, dt);
+  if (next.value() != temperature_.value()) ++state_version_;
+  temperature_ = next;
 }
 
 double ThermalModel::decay_for(double dt) const {

@@ -62,11 +62,19 @@ class PoissonDemand {
 /// convergence/stability analyses where randomness is controlled separately.
 class ConstantDemand {
  public:
-  static void refresh(Application& app) {
-    app.set_demand(app.dropped() ? Watts{0.0} : app.effective_mean_power());
+  /// `intensity` scales the mean exactly as PoissonDemand::refresh does, so
+  /// the deterministic path follows the same demand-side intensity profile.
+  static void refresh(Application& app, double intensity = 1.0) {
+    if (intensity < 0.0) {
+      throw std::invalid_argument(
+          "ConstantDemand::refresh: negative intensity");
+    }
+    app.set_demand(app.dropped() ? Watts{0.0}
+                                 : app.effective_mean_power() * intensity);
   }
-  static void refresh_all(std::vector<Application>& apps) {
-    for (auto& a : apps) refresh(a);
+  static void refresh_all(std::vector<Application>& apps,
+                          double intensity = 1.0) {
+    for (auto& a : apps) refresh(a, intensity);
   }
 };
 

@@ -3,6 +3,8 @@
 // ancestors, and capacity-policy interplay with circuit limits.
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "core/controller.h"
 
 namespace willow::core {
@@ -45,18 +47,32 @@ struct Fixture {
 };
 
 TEST(SupplyCadence, CustomEtaOneControlsDownMessages) {
-  Fixture f;
-  f.host(f.s00, 50.0);
-  ControllerConfig cfg;
-  cfg.eta1 = 2;
-  cfg.eta2 = 5;
-  Controller ctl(f.cluster, cfg);
-  for (int t = 0; t < 9; ++t) ctl.tick(400_W);
-  // Supply events at ticks 1, 2, 4, 6, 8 -> 5 downward directives per link.
-  for (NodeId id : f.cluster.tree().all_nodes()) {
-    if (f.cluster.tree().node(id).is_root()) continue;
-    EXPECT_EQ(f.cluster.tree().node(id).link().down, 5u);
+  // Directives are event-driven, so a *changing* supply is what exposes the
+  // ΔS cadence: each supply event re-divides the budget and only then can a
+  // new directive cross a link.  eta1 = 2 divides at ticks 1, 2, 4, 6, 8 —
+  // five chances; eta1 = 4 divides at ticks 1, 4, 8 — three chances.
+  std::map<int, std::uint64_t> busiest;
+  for (const int eta1 : {2, 4}) {
+    Fixture f;
+    f.host(f.s00, 50.0);
+    ControllerConfig cfg;
+    cfg.eta1 = eta1;
+    cfg.eta2 = 5;
+    Controller ctl(f.cluster, cfg);
+    for (int t = 0; t < 9; ++t) ctl.tick(Watts{400.0 + 25.0 * t});
+    const std::uint64_t supply_events = eta1 == 2 ? 5u : 3u;
+    for (NodeId id : f.cluster.tree().all_nodes()) {
+      if (f.cluster.tree().node(id).is_root()) continue;
+      const auto down = f.cluster.tree().node(id).link().down;
+      EXPECT_LE(down, supply_events) << "eta1=" << eta1 << " node " << id;
+      busiest[eta1] = std::max(busiest[eta1], down);
+    }
+    EXPECT_GE(busiest[eta1], 1u) << "eta1=" << eta1;
   }
+  // Twice as many divisions of the moving supply -> strictly more directives
+  // on the loaded path (exact counts depend on which divisions happen to
+  // repeat a budget bitwise, which is not this test's concern).
+  EXPECT_GT(busiest[2], busiest[4]);
 }
 
 TEST(Consolidation, GlobalScopeWhenLocalityDisabled) {

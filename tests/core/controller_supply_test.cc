@@ -225,9 +225,26 @@ TEST(SupplyAdaptation, MessageCountsObeyProperty3) {
   for (NodeId id : tree.all_nodes()) {
     if (tree.node(id).is_root()) continue;
     const auto& link = tree.node(id).link();
-    EXPECT_EQ(link.up, 8u);                  // one report per ΔD
-    EXPECT_EQ(link.down, 3u);                // supply events at ticks 1, 4, 8
+    // Event-driven messaging: a report crosses a link only when the node's
+    // demand estimate moved, a directive only when its budget changed.  With
+    // constant demand and constant supply most periods are silent; Property 3
+    // caps the worst case at one report + one directive per ΔD.
+    EXPECT_GE(link.up, 1u);                  // every node introduced itself
+    EXPECT_LE(link.up, 8u);                  // at most one report per ΔD
+    EXPECT_GE(link.down, 1u);                // every node got a first budget
     EXPECT_LE(link.up + link.down, 2u * 8u); // Property 3
+  }
+  // The fixed point is silent: with demand and supply pinned, further ticks
+  // move no message in either direction on any link.
+  std::vector<std::uint64_t> up_before, down_before;
+  for (NodeId id : tree.all_nodes()) {
+    up_before.push_back(tree.node(id).link().up);
+    down_before.push_back(tree.node(id).link().down);
+  }
+  for (int t = 0; t < 8; ++t) ctl.tick(300_W);
+  for (NodeId id : tree.all_nodes()) {
+    EXPECT_EQ(tree.node(id).link().up, up_before[id]) << "node " << id;
+    EXPECT_EQ(tree.node(id).link().down, down_before[id]) << "node " << id;
   }
 }
 

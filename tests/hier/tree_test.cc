@@ -155,15 +155,19 @@ TEST(Tree, InactiveNodesReportZero) {
 }
 
 // Property 3: at most 2 control messages per link per demand period —
-// one report up, one directive down.
+// one report up, one directive down.  Demand moves every period here, so
+// every node re-reports every sweep (the most message-heavy case).
 TEST(Tree, Property3AtMostTwoMessagesPerLinkPerPeriod) {
   SmallTree f;
   for (int period = 1; period <= 5; ++period) {
     for (NodeId leaf : f.tree.leaves()) {
-      f.tree.node(leaf).observe_demand(10_W);
+      f.tree.node(leaf).observe_demand(Watts{10.0 * period});
     }
     f.tree.report_demands();
-    f.tree.count_budget_directives();
+    // The budget distributor announces one directive per node and period.
+    for (NodeId id : f.tree.all_nodes()) {
+      if (!f.tree.node(id).is_root()) f.tree.record_budget_directive(id);
+    }
     for (NodeId id : f.tree.all_nodes()) {
       if (f.tree.node(id).is_root()) continue;
       const auto& link = f.tree.node(id).link();
@@ -174,10 +178,56 @@ TEST(Tree, Property3AtMostTwoMessagesPerLinkPerPeriod) {
   }
 }
 
+// Event-driven reporting: once demand stops moving, no further report
+// crosses any link — in either walk mode.
+TEST(Tree, UnchangedDemandSendsNoFurtherReports) {
+  for (const bool incremental : {false, true}) {
+    SmallTree f;
+    f.tree.set_incremental(incremental);
+    for (int period = 1; period <= 4; ++period) {
+      for (NodeId leaf : f.tree.leaves()) {
+        f.tree.node(leaf).observe_demand(10_W);
+      }
+      f.tree.report_demands();
+    }
+    for (NodeId id : f.tree.all_nodes()) {
+      if (f.tree.node(id).is_root()) continue;
+      // alpha = 0.5: the EWMA keeps moving toward 10 W each sweep, but the
+      // *first* sweep already reported; later sweeps report only while the
+      // smoothed value still changes bitwise.  The leaves' EWMA halves the
+      // gap each period, so every sweep here still moves — what must hold
+      // is the Property 3 bound, and exactly one report per moving sweep.
+      EXPECT_LE(f.tree.node(id).link().up, 4u);
+      EXPECT_GE(f.tree.node(id).link().up, 1u);
+    }
+    // Drive the EWMA to its fixed point, then verify silence.
+    for (int i = 0; i < 200; ++i) {
+      for (NodeId leaf : f.tree.leaves()) {
+        f.tree.node(leaf).observe_demand(10_W);
+      }
+      f.tree.report_demands();
+    }
+    std::vector<std::uint64_t> ups;
+    for (NodeId id : f.tree.all_nodes()) {
+      ups.push_back(f.tree.node(id).link().up);
+    }
+    for (NodeId leaf : f.tree.leaves()) {
+      f.tree.node(leaf).observe_demand(10_W);
+    }
+    f.tree.report_demands();
+    for (std::size_t i = 0; i < ups.size(); ++i) {
+      EXPECT_EQ(f.tree.node(static_cast<NodeId>(i)).link().up, ups[i])
+          << "node " << i << " re-reported an unchanged demand";
+    }
+  }
+}
+
 TEST(Tree, ResetLinkCounters) {
   SmallTree f;
   f.tree.report_demands();
-  f.tree.count_budget_directives();
+  for (NodeId id : f.tree.all_nodes()) {
+    if (!f.tree.node(id).is_root()) f.tree.record_budget_directive(id);
+  }
   f.tree.reset_link_counters();
   for (NodeId id : f.tree.all_nodes()) {
     EXPECT_EQ(f.tree.node(id).link().up, 0u);

@@ -71,6 +71,9 @@ void describe() {
   sla_inflation = 5            enable the QoS tracker (M/M/1, 5x = 80% rho)
   report_loss_probability = 0.1  fault injection: lost demand reports
   churn_probability = 0.05     workload churn (departures + arrivals)
+  incremental_control = true   change-driven control plane (identical trace)
+  shadow_diff = false          re-derive every incremental skip; throw on diff
+  report_deadband_w = 0        min demand movement before a node re-reports
 )";
 }
 
