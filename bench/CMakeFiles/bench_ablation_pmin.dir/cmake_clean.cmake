@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pmin.dir/ablation_pmin.cc.o"
+  "CMakeFiles/bench_ablation_pmin.dir/ablation_pmin.cc.o.d"
+  "bench_ablation_pmin"
+  "bench_ablation_pmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shedding.dir/ablation_shedding.cc.o"
+  "CMakeFiles/bench_ablation_shedding.dir/ablation_shedding.cc.o.d"
+  "bench_ablation_shedding"
+  "bench_ablation_shedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_smoothing.dir/ablation_smoothing.cc.o"
+  "CMakeFiles/bench_ablation_smoothing.dir/ablation_smoothing.cc.o.d"
+  "bench_ablation_smoothing"
+  "bench_ablation_smoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_facility_power.dir/facility_power.cc.o"
+  "CMakeFiles/bench_facility_power.dir/facility_power.cc.o.d"
+  "bench_facility_power"
+  "bench_facility_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_facility_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

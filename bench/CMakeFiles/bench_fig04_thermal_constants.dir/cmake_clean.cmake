@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_thermal_constants.dir/fig04_thermal_constants.cc.o"
+  "CMakeFiles/bench_fig04_thermal_constants.dir/fig04_thermal_constants.cc.o.d"
+  "bench_fig04_thermal_constants"
+  "bench_fig04_thermal_constants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_thermal_constants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

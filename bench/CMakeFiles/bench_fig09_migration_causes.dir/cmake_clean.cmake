@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_migration_causes.dir/fig09_migration_causes.cc.o"
+  "CMakeFiles/bench_fig09_migration_causes.dir/fig09_migration_causes.cc.o.d"
+  "bench_fig09_migration_causes"
+  "bench_fig09_migration_causes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_migration_causes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

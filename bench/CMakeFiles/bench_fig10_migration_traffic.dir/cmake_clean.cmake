@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_migration_traffic.dir/fig10_migration_traffic.cc.o"
+  "CMakeFiles/bench_fig10_migration_traffic.dir/fig10_migration_traffic.cc.o.d"
+  "bench_fig10_migration_traffic"
+  "bench_fig10_migration_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_migration_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

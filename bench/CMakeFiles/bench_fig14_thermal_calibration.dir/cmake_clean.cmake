@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_thermal_calibration.dir/fig14_thermal_calibration.cc.o"
+  "CMakeFiles/bench_fig14_thermal_calibration.dir/fig14_thermal_calibration.cc.o.d"
+  "bench_fig14_thermal_calibration"
+  "bench_fig14_thermal_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_thermal_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_16_energy_deficient.dir/fig15_16_energy_deficient.cc.o"
+  "CMakeFiles/bench_fig15_16_energy_deficient.dir/fig15_16_energy_deficient.cc.o.d"
+  "bench_fig15_16_energy_deficient"
+  "bench_fig15_16_energy_deficient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_16_energy_deficient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_18_temperature_series.dir/fig17_18_temperature_series.cc.o"
+  "CMakeFiles/bench_fig17_18_temperature_series.dir/fig17_18_temperature_series.cc.o.d"
+  "bench_fig17_18_temperature_series"
+  "bench_fig17_18_temperature_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_18_temperature_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_table3_energy_plenty.dir/fig19_table3_energy_plenty.cc.o"
+  "CMakeFiles/bench_fig19_table3_energy_plenty.dir/fig19_table3_energy_plenty.cc.o.d"
+  "bench_fig19_table3_energy_plenty"
+  "bench_fig19_table3_energy_plenty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_table3_energy_plenty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

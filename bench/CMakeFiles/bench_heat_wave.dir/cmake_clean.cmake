@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heat_wave.dir/heat_wave.cc.o"
+  "CMakeFiles/bench_heat_wave.dir/heat_wave.cc.o.d"
+  "bench_heat_wave"
+  "bench_heat_wave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heat_wave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

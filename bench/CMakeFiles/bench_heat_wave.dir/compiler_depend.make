@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_heat_wave.
+# This may be replaced when dependencies are built.

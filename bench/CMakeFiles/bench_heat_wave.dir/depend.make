@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_heat_wave.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ipc_traffic.dir/ipc_traffic.cc.o"
+  "CMakeFiles/bench_ipc_traffic.dir/ipc_traffic.cc.o.d"
+  "bench_ipc_traffic"
+  "bench_ipc_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ipc_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

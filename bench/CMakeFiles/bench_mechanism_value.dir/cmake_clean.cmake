@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mechanism_value.dir/mechanism_value.cc.o"
+  "CMakeFiles/bench_mechanism_value.dir/mechanism_value.cc.o.d"
+  "bench_mechanism_value"
+  "bench_mechanism_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mechanism_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_binpack.dir/perf_binpack.cc.o"
+  "CMakeFiles/bench_perf_binpack.dir/perf_binpack.cc.o.d"
+  "bench_perf_binpack"
+  "bench_perf_binpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_binpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_controller.dir/perf_controller.cc.o"
+  "CMakeFiles/bench_perf_controller.dir/perf_controller.cc.o.d"
+  "bench_perf_controller"
+  "bench_perf_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

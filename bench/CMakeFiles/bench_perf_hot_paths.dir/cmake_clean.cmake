@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_hot_paths.dir/perf_hot_paths.cc.o"
+  "CMakeFiles/bench_perf_hot_paths.dir/perf_hot_paths.cc.o.d"
+  "bench_perf_hot_paths"
+  "bench_perf_hot_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_hot_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_tick_scaling.dir/perf_tick_scaling.cc.o"
+  "CMakeFiles/bench_perf_tick_scaling.dir/perf_tick_scaling.cc.o.d"
+  "bench_perf_tick_scaling"
+  "bench_perf_tick_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_tick_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

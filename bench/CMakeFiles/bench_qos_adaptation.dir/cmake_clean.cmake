@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qos_adaptation.dir/qos_adaptation.cc.o"
+  "CMakeFiles/bench_qos_adaptation.dir/qos_adaptation.cc.o.d"
+  "bench_qos_adaptation"
+  "bench_qos_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qos_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

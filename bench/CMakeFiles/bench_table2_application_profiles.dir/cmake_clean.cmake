@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_application_profiles.dir/table2_application_profiles.cc.o"
+  "CMakeFiles/bench_table2_application_profiles.dir/table2_application_profiles.cc.o.d"
+  "bench_table2_application_profiles"
+  "bench_table2_application_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_application_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/common.cc" "bench/CMakeFiles/willow_bench_common.dir/common.cc.o" "gcc" "bench/CMakeFiles/willow_bench_common.dir/common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/sim/CMakeFiles/willow_sim.dir/DependInfo.cmake"
+  "/root/repo/src/testbed/CMakeFiles/willow_testbed.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/willow_core.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/willow_net.dir/DependInfo.cmake"
+  "/root/repo/src/power/CMakeFiles/willow_power.dir/DependInfo.cmake"
+  "/root/repo/src/thermal/CMakeFiles/willow_thermal.dir/DependInfo.cmake"
+  "/root/repo/src/workload/CMakeFiles/willow_workload.dir/DependInfo.cmake"
+  "/root/repo/src/binpack/CMakeFiles/willow_binpack.dir/DependInfo.cmake"
+  "/root/repo/src/hier/CMakeFiles/willow_hier.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/willow_util.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/willow_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/willow_bench_common.dir/common.cc.o"
+  "CMakeFiles/willow_bench_common.dir/common.cc.o.d"
+  "libwillow_bench_common.a"
+  "libwillow_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/willow_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

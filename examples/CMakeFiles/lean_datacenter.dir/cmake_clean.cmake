@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lean_datacenter.dir/lean_datacenter.cc.o"
+  "CMakeFiles/lean_datacenter.dir/lean_datacenter.cc.o.d"
+  "lean_datacenter"
+  "lean_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lean_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

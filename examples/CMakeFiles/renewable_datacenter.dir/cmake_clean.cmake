@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renewable_datacenter.dir/renewable_datacenter.cc.o"
+  "CMakeFiles/renewable_datacenter.dir/renewable_datacenter.cc.o.d"
+  "renewable_datacenter"
+  "renewable_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renewable_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

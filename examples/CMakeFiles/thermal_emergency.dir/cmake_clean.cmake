@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_emergency.dir/thermal_emergency.cc.o"
+  "CMakeFiles/thermal_emergency.dir/thermal_emergency.cc.o.d"
+  "thermal_emergency"
+  "thermal_emergency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_emergency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("obs")
+subdirs("thermal")
+subdirs("power")
+subdirs("workload")
+subdirs("binpack")
+subdirs("hier")
+subdirs("net")
+subdirs("core")
+subdirs("sim")
+subdirs("testbed")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/binpack/exact.cc" "src/binpack/CMakeFiles/willow_binpack.dir/exact.cc.o" "gcc" "src/binpack/CMakeFiles/willow_binpack.dir/exact.cc.o.d"
+  "/root/repo/src/binpack/pack.cc" "src/binpack/CMakeFiles/willow_binpack.dir/pack.cc.o" "gcc" "src/binpack/CMakeFiles/willow_binpack.dir/pack.cc.o.d"
+  "/root/repo/src/binpack/vbp.cc" "src/binpack/CMakeFiles/willow_binpack.dir/vbp.cc.o" "gcc" "src/binpack/CMakeFiles/willow_binpack.dir/vbp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/util/CMakeFiles/willow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/willow_binpack.dir/exact.cc.o"
+  "CMakeFiles/willow_binpack.dir/exact.cc.o.d"
+  "CMakeFiles/willow_binpack.dir/pack.cc.o"
+  "CMakeFiles/willow_binpack.dir/pack.cc.o.d"
+  "CMakeFiles/willow_binpack.dir/vbp.cc.o"
+  "CMakeFiles/willow_binpack.dir/vbp.cc.o.d"
+  "libwillow_binpack.a"
+  "libwillow_binpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/willow_binpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for willow_binpack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation.cc" "src/core/CMakeFiles/willow_core.dir/allocation.cc.o" "gcc" "src/core/CMakeFiles/willow_core.dir/allocation.cc.o.d"
+  "/root/repo/src/core/balance.cc" "src/core/CMakeFiles/willow_core.dir/balance.cc.o" "gcc" "src/core/CMakeFiles/willow_core.dir/balance.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/willow_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/willow_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/willow_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/willow_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/stability.cc" "src/core/CMakeFiles/willow_core.dir/stability.cc.o" "gcc" "src/core/CMakeFiles/willow_core.dir/stability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/util/CMakeFiles/willow_util.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/willow_obs.dir/DependInfo.cmake"
+  "/root/repo/src/hier/CMakeFiles/willow_hier.dir/DependInfo.cmake"
+  "/root/repo/src/thermal/CMakeFiles/willow_thermal.dir/DependInfo.cmake"
+  "/root/repo/src/power/CMakeFiles/willow_power.dir/DependInfo.cmake"
+  "/root/repo/src/workload/CMakeFiles/willow_workload.dir/DependInfo.cmake"
+  "/root/repo/src/binpack/CMakeFiles/willow_binpack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/willow_core.dir/allocation.cc.o"
+  "CMakeFiles/willow_core.dir/allocation.cc.o.d"
+  "CMakeFiles/willow_core.dir/balance.cc.o"
+  "CMakeFiles/willow_core.dir/balance.cc.o.d"
+  "CMakeFiles/willow_core.dir/cluster.cc.o"
+  "CMakeFiles/willow_core.dir/cluster.cc.o.d"
+  "CMakeFiles/willow_core.dir/controller.cc.o"
+  "CMakeFiles/willow_core.dir/controller.cc.o.d"
+  "CMakeFiles/willow_core.dir/stability.cc.o"
+  "CMakeFiles/willow_core.dir/stability.cc.o.d"
+  "libwillow_core.a"
+  "libwillow_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/willow_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/willow_hier.dir/convergence.cc.o"
+  "CMakeFiles/willow_hier.dir/convergence.cc.o.d"
+  "CMakeFiles/willow_hier.dir/dump.cc.o"
+  "CMakeFiles/willow_hier.dir/dump.cc.o.d"
+  "CMakeFiles/willow_hier.dir/tree.cc.o"
+  "CMakeFiles/willow_hier.dir/tree.cc.o.d"
+  "libwillow_hier.a"
+  "libwillow_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/willow_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fabric.cc" "src/net/CMakeFiles/willow_net.dir/fabric.cc.o" "gcc" "src/net/CMakeFiles/willow_net.dir/fabric.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/util/CMakeFiles/willow_util.dir/DependInfo.cmake"
+  "/root/repo/src/hier/CMakeFiles/willow_hier.dir/DependInfo.cmake"
+  "/root/repo/src/power/CMakeFiles/willow_power.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/willow_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

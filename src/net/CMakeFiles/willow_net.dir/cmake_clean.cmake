@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/willow_net.dir/fabric.cc.o"
+  "CMakeFiles/willow_net.dir/fabric.cc.o.d"
+  "libwillow_net.a"
+  "libwillow_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/willow_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/bus.cc" "src/obs/CMakeFiles/willow_obs.dir/bus.cc.o" "gcc" "src/obs/CMakeFiles/willow_obs.dir/bus.cc.o.d"
+  "/root/repo/src/obs/event.cc" "src/obs/CMakeFiles/willow_obs.dir/event.cc.o" "gcc" "src/obs/CMakeFiles/willow_obs.dir/event.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "src/obs/CMakeFiles/willow_obs.dir/metrics.cc.o" "gcc" "src/obs/CMakeFiles/willow_obs.dir/metrics.cc.o.d"
+  "/root/repo/src/obs/sink.cc" "src/obs/CMakeFiles/willow_obs.dir/sink.cc.o" "gcc" "src/obs/CMakeFiles/willow_obs.dir/sink.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/util/CMakeFiles/willow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/willow_obs.dir/bus.cc.o"
+  "CMakeFiles/willow_obs.dir/bus.cc.o.d"
+  "CMakeFiles/willow_obs.dir/event.cc.o"
+  "CMakeFiles/willow_obs.dir/event.cc.o.d"
+  "CMakeFiles/willow_obs.dir/metrics.cc.o"
+  "CMakeFiles/willow_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/willow_obs.dir/sink.cc.o"
+  "CMakeFiles/willow_obs.dir/sink.cc.o.d"
+  "libwillow_obs.a"
+  "libwillow_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/willow_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/cooling.cc" "src/power/CMakeFiles/willow_power.dir/cooling.cc.o" "gcc" "src/power/CMakeFiles/willow_power.dir/cooling.cc.o.d"
+  "/root/repo/src/power/server_power.cc" "src/power/CMakeFiles/willow_power.dir/server_power.cc.o" "gcc" "src/power/CMakeFiles/willow_power.dir/server_power.cc.o.d"
+  "/root/repo/src/power/supply.cc" "src/power/CMakeFiles/willow_power.dir/supply.cc.o" "gcc" "src/power/CMakeFiles/willow_power.dir/supply.cc.o.d"
+  "/root/repo/src/power/switch_power.cc" "src/power/CMakeFiles/willow_power.dir/switch_power.cc.o" "gcc" "src/power/CMakeFiles/willow_power.dir/switch_power.cc.o.d"
+  "/root/repo/src/power/trace_io.cc" "src/power/CMakeFiles/willow_power.dir/trace_io.cc.o" "gcc" "src/power/CMakeFiles/willow_power.dir/trace_io.cc.o.d"
+  "/root/repo/src/power/ups.cc" "src/power/CMakeFiles/willow_power.dir/ups.cc.o" "gcc" "src/power/CMakeFiles/willow_power.dir/ups.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/util/CMakeFiles/willow_util.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/willow_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/willow_power.dir/cooling.cc.o"
+  "CMakeFiles/willow_power.dir/cooling.cc.o.d"
+  "CMakeFiles/willow_power.dir/server_power.cc.o"
+  "CMakeFiles/willow_power.dir/server_power.cc.o.d"
+  "CMakeFiles/willow_power.dir/supply.cc.o"
+  "CMakeFiles/willow_power.dir/supply.cc.o.d"
+  "CMakeFiles/willow_power.dir/switch_power.cc.o"
+  "CMakeFiles/willow_power.dir/switch_power.cc.o.d"
+  "CMakeFiles/willow_power.dir/trace_io.cc.o"
+  "CMakeFiles/willow_power.dir/trace_io.cc.o.d"
+  "CMakeFiles/willow_power.dir/ups.cc.o"
+  "CMakeFiles/willow_power.dir/ups.cc.o.d"
+  "libwillow_power.a"
+  "libwillow_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/willow_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

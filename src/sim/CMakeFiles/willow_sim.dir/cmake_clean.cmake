@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/willow_sim.dir/datacenter.cc.o"
+  "CMakeFiles/willow_sim.dir/datacenter.cc.o.d"
+  "CMakeFiles/willow_sim.dir/result_io.cc.o"
+  "CMakeFiles/willow_sim.dir/result_io.cc.o.d"
+  "CMakeFiles/willow_sim.dir/scenario_io.cc.o"
+  "CMakeFiles/willow_sim.dir/scenario_io.cc.o.d"
+  "CMakeFiles/willow_sim.dir/simulation.cc.o"
+  "CMakeFiles/willow_sim.dir/simulation.cc.o.d"
+  "libwillow_sim.a"
+  "libwillow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/willow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/willow_testbed.dir/testbed.cc.o"
+  "CMakeFiles/willow_testbed.dir/testbed.cc.o.d"
+  "libwillow_testbed.a"
+  "libwillow_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/willow_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/calibration.cc" "src/thermal/CMakeFiles/willow_thermal.dir/calibration.cc.o" "gcc" "src/thermal/CMakeFiles/willow_thermal.dir/calibration.cc.o.d"
+  "/root/repo/src/thermal/thermal_model.cc" "src/thermal/CMakeFiles/willow_thermal.dir/thermal_model.cc.o" "gcc" "src/thermal/CMakeFiles/willow_thermal.dir/thermal_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/util/CMakeFiles/willow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

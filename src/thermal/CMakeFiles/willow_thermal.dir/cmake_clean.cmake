@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/willow_thermal.dir/calibration.cc.o"
+  "CMakeFiles/willow_thermal.dir/calibration.cc.o.d"
+  "CMakeFiles/willow_thermal.dir/thermal_model.cc.o"
+  "CMakeFiles/willow_thermal.dir/thermal_model.cc.o.d"
+  "libwillow_thermal.a"
+  "libwillow_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/willow_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

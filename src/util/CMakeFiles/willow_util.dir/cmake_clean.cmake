@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/willow_util.dir/json.cc.o"
+  "CMakeFiles/willow_util.dir/json.cc.o.d"
+  "CMakeFiles/willow_util.dir/logging.cc.o"
+  "CMakeFiles/willow_util.dir/logging.cc.o.d"
+  "CMakeFiles/willow_util.dir/rng.cc.o"
+  "CMakeFiles/willow_util.dir/rng.cc.o.d"
+  "CMakeFiles/willow_util.dir/table.cc.o"
+  "CMakeFiles/willow_util.dir/table.cc.o.d"
+  "CMakeFiles/willow_util.dir/thread_pool.cc.o"
+  "CMakeFiles/willow_util.dir/thread_pool.cc.o.d"
+  "libwillow_util.a"
+  "libwillow_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/willow_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/application.cc" "src/workload/CMakeFiles/willow_workload.dir/application.cc.o" "gcc" "src/workload/CMakeFiles/willow_workload.dir/application.cc.o.d"
+  "/root/repo/src/workload/demand.cc" "src/workload/CMakeFiles/willow_workload.dir/demand.cc.o" "gcc" "src/workload/CMakeFiles/willow_workload.dir/demand.cc.o.d"
+  "/root/repo/src/workload/flows.cc" "src/workload/CMakeFiles/willow_workload.dir/flows.cc.o" "gcc" "src/workload/CMakeFiles/willow_workload.dir/flows.cc.o.d"
+  "/root/repo/src/workload/intensity.cc" "src/workload/CMakeFiles/willow_workload.dir/intensity.cc.o" "gcc" "src/workload/CMakeFiles/willow_workload.dir/intensity.cc.o.d"
+  "/root/repo/src/workload/mix.cc" "src/workload/CMakeFiles/willow_workload.dir/mix.cc.o" "gcc" "src/workload/CMakeFiles/willow_workload.dir/mix.cc.o.d"
+  "/root/repo/src/workload/qos.cc" "src/workload/CMakeFiles/willow_workload.dir/qos.cc.o" "gcc" "src/workload/CMakeFiles/willow_workload.dir/qos.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/util/CMakeFiles/willow_util.dir/DependInfo.cmake"
+  "/root/repo/src/power/CMakeFiles/willow_power.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/willow_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

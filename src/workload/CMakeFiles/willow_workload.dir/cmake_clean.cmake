@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/willow_workload.dir/application.cc.o"
+  "CMakeFiles/willow_workload.dir/application.cc.o.d"
+  "CMakeFiles/willow_workload.dir/demand.cc.o"
+  "CMakeFiles/willow_workload.dir/demand.cc.o.d"
+  "CMakeFiles/willow_workload.dir/flows.cc.o"
+  "CMakeFiles/willow_workload.dir/flows.cc.o.d"
+  "CMakeFiles/willow_workload.dir/intensity.cc.o"
+  "CMakeFiles/willow_workload.dir/intensity.cc.o.d"
+  "CMakeFiles/willow_workload.dir/mix.cc.o"
+  "CMakeFiles/willow_workload.dir/mix.cc.o.d"
+  "CMakeFiles/willow_workload.dir/qos.cc.o"
+  "CMakeFiles/willow_workload.dir/qos.cc.o.d"
+  "libwillow_workload.a"
+  "libwillow_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/willow_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambient_events_test.dir/sim/ambient_events_test.cc.o"
+  "CMakeFiles/ambient_events_test.dir/sim/ambient_events_test.cc.o.d"
+  "ambient_events_test"
+  "ambient_events_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambient_events_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

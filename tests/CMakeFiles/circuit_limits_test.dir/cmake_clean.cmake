@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_limits_test.dir/core/circuit_limits_test.cc.o"
+  "CMakeFiles/circuit_limits_test.dir/core/circuit_limits_test.cc.o.d"
+  "circuit_limits_test"
+  "circuit_limits_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_limits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_consolidation_test.dir/core/controller_consolidation_test.cc.o"
+  "CMakeFiles/controller_consolidation_test.dir/core/controller_consolidation_test.cc.o.d"
+  "controller_consolidation_test"
+  "controller_consolidation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_consolidation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

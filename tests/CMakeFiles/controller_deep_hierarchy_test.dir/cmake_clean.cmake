@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_deep_hierarchy_test.dir/core/controller_deep_hierarchy_test.cc.o"
+  "CMakeFiles/controller_deep_hierarchy_test.dir/core/controller_deep_hierarchy_test.cc.o.d"
+  "controller_deep_hierarchy_test"
+  "controller_deep_hierarchy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_deep_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_migration_test.dir/core/controller_migration_test.cc.o"
+  "CMakeFiles/controller_migration_test.dir/core/controller_migration_test.cc.o.d"
+  "controller_migration_test"
+  "controller_migration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_misc_test.dir/core/controller_misc_test.cc.o"
+  "CMakeFiles/controller_misc_test.dir/core/controller_misc_test.cc.o.d"
+  "controller_misc_test"
+  "controller_misc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_property_test.dir/core/controller_property_test.cc.o"
+  "CMakeFiles/controller_property_test.dir/core/controller_property_test.cc.o.d"
+  "controller_property_test"
+  "controller_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_shedding_test.dir/core/controller_shedding_test.cc.o"
+  "CMakeFiles/controller_shedding_test.dir/core/controller_shedding_test.cc.o.d"
+  "controller_shedding_test"
+  "controller_shedding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_shedding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

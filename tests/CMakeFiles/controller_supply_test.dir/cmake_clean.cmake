@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_supply_test.dir/core/controller_supply_test.cc.o"
+  "CMakeFiles/controller_supply_test.dir/core/controller_supply_test.cc.o.d"
+  "controller_supply_test"
+  "controller_supply_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_supply_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convergence_test.dir/hier/convergence_test.cc.o"
+  "CMakeFiles/convergence_test.dir/hier/convergence_test.cc.o.d"
+  "convergence_test"
+  "convergence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooling_test.dir/power/cooling_test.cc.o"
+  "CMakeFiles/cooling_test.dir/power/cooling_test.cc.o.d"
+  "cooling_test"
+  "cooling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demand_test.dir/workload/demand_test.cc.o"
+  "CMakeFiles/demand_test.dir/workload/demand_test.cc.o.d"
+  "demand_test"
+  "demand_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demand_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_test.dir/hier/dump_test.cc.o"
+  "CMakeFiles/dump_test.dir/hier/dump_test.cc.o.d"
+  "dump_test"
+  "dump_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

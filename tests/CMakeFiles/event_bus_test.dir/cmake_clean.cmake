@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_bus_test.dir/obs/event_bus_test.cc.o"
+  "CMakeFiles/event_bus_test.dir/obs/event_bus_test.cc.o.d"
+  "event_bus_test"
+  "event_bus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_bus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ewma_test.dir/util/ewma_test.cc.o"
+  "CMakeFiles/ewma_test.dir/util/ewma_test.cc.o.d"
+  "ewma_test"
+  "ewma_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ewma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

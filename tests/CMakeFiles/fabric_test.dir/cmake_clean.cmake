@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_test.dir/net/fabric_test.cc.o"
+  "CMakeFiles/fabric_test.dir/net/fabric_test.cc.o.d"
+  "fabric_test"
+  "fabric_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

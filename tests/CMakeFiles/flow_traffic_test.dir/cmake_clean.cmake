@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_traffic_test.dir/net/flow_traffic_test.cc.o"
+  "CMakeFiles/flow_traffic_test.dir/net/flow_traffic_test.cc.o.d"
+  "flow_traffic_test"
+  "flow_traffic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_traffic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

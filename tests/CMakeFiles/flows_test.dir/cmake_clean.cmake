@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flows_test.dir/workload/flows_test.cc.o"
+  "CMakeFiles/flows_test.dir/workload/flows_test.cc.o.d"
+  "flows_test"
+  "flows_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flows_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

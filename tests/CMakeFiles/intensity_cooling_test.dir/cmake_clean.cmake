@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intensity_cooling_test.dir/sim/intensity_cooling_test.cc.o"
+  "CMakeFiles/intensity_cooling_test.dir/sim/intensity_cooling_test.cc.o.d"
+  "intensity_cooling_test"
+  "intensity_cooling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intensity_cooling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intensity_test.dir/workload/intensity_test.cc.o"
+  "CMakeFiles/intensity_test.dir/workload/intensity_test.cc.o.d"
+  "intensity_test"
+  "intensity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intensity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

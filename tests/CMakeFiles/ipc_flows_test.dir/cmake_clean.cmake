@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipc_flows_test.dir/sim/ipc_flows_test.cc.o"
+  "CMakeFiles/ipc_flows_test.dir/sim/ipc_flows_test.cc.o.d"
+  "ipc_flows_test"
+  "ipc_flows_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipc_flows_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

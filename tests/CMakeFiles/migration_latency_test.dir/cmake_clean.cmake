@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_latency_test.dir/core/migration_latency_test.cc.o"
+  "CMakeFiles/migration_latency_test.dir/core/migration_latency_test.cc.o.d"
+  "migration_latency_test"
+  "migration_latency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

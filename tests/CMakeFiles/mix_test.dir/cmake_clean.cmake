@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_test.dir/workload/mix_test.cc.o"
+  "CMakeFiles/mix_test.dir/workload/mix_test.cc.o.d"
+  "mix_test"
+  "mix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_faults_test.dir/sim/qos_faults_test.cc.o"
+  "CMakeFiles/qos_faults_test.dir/sim/qos_faults_test.cc.o.d"
+  "qos_faults_test"
+  "qos_faults_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_faults_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

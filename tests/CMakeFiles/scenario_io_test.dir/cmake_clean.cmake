@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_io_test.dir/sim/scenario_io_test.cc.o"
+  "CMakeFiles/scenario_io_test.dir/sim/scenario_io_test.cc.o.d"
+  "scenario_io_test"
+  "scenario_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_power_test.dir/power/server_power_test.cc.o"
+  "CMakeFiles/server_power_test.dir/power/server_power_test.cc.o.d"
+  "server_power_test"
+  "server_power_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

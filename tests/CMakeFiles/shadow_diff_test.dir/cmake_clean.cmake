@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_diff_test.dir/integration/shadow_diff_test.cc.o"
+  "CMakeFiles/shadow_diff_test.dir/integration/shadow_diff_test.cc.o.d"
+  "shadow_diff_test"
+  "shadow_diff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

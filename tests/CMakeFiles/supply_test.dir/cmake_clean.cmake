@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supply_test.dir/power/supply_test.cc.o"
+  "CMakeFiles/supply_test.dir/power/supply_test.cc.o.d"
+  "supply_test"
+  "supply_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supply_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

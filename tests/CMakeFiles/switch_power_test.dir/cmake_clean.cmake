@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_power_test.dir/power/switch_power_test.cc.o"
+  "CMakeFiles/switch_power_test.dir/power/switch_power_test.cc.o.d"
+  "switch_power_test"
+  "switch_power_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

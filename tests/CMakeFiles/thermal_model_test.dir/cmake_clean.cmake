@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_model_test.dir/thermal/thermal_model_test.cc.o"
+  "CMakeFiles/thermal_model_test.dir/thermal/thermal_model_test.cc.o.d"
+  "thermal_model_test"
+  "thermal_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_determinism_test.dir/obs/trace_determinism_test.cc.o"
+  "CMakeFiles/trace_determinism_test.dir/obs/trace_determinism_test.cc.o.d"
+  "trace_determinism_test"
+  "trace_determinism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/units_test.dir/util/units_test.cc.o"
+  "CMakeFiles/units_test.dir/util/units_test.cc.o.d"
+  "units_test"
+  "units_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ups_test.dir/power/ups_test.cc.o"
+  "CMakeFiles/ups_test.dir/power/ups_test.cc.o.d"
+  "ups_test"
+  "ups_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ups_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbp_test.dir/binpack/vbp_test.cc.o"
+  "CMakeFiles/vbp_test.dir/binpack/vbp_test.cc.o.d"
+  "vbp_test"
+  "vbp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/willow_cli.dir/willow_cli.cc.o"
+  "CMakeFiles/willow_cli.dir/willow_cli.cc.o.d"
+  "willow_cli"
+  "willow_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/willow_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
