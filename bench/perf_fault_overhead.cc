@@ -1,0 +1,130 @@
+// Fault-plane overhead guard: armed-but-silent faults must be free.
+//
+// Times the tick loop twice on the same 200-server scenario: once with the
+// fault subsystem fully disabled (no FaultPlane, no LinkFaultModel, no
+// degraded-mode loops), and once "armed" — every fault source configured so
+// all hooks are installed (per-link verdict draws, per-server fault sampling,
+// stale/fallback sweeps, a scripted crash) but with probabilities of 1e-9 and
+// the crash scheduled far past the end of the run, so nothing ever fires.
+// The armed run must stay within 2% of the disabled run (plus a small
+// absolute allowance for timer noise), and its result checksum must match
+// bitwise — proving silent arming does not perturb the control trace.
+// Writes BENCH_fault_overhead.json (or argv[1]) via bench::write_perf_json.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+
+namespace willow::bench {
+namespace {
+
+sim::SimConfig base_config(std::size_t threads) {
+  auto cfg = paper_sim_config(0.7, /*seed=*/12345);
+  cfg.datacenter.layout = {2, 10, 10};  // 200 servers
+  cfg.warmup_ticks = 5;
+  cfg.measure_ticks = 45;
+  cfg.churn_probability = 0.08;
+  cfg.threads = threads;
+  return cfg;
+}
+
+void arm_faults(sim::SimConfig& cfg) {
+  // Every hook installed, nothing fires: 1e-9 per-draw probabilities are
+  // deterministic under the fixed seed (the checksum check below would catch
+  // a draw landing under them), and the scripted crash sits past the horizon.
+  constexpr double kSilent = 1e-9;
+  cfg.faults.link.up_loss = kSilent;
+  cfg.faults.link.up_delay = kSilent;
+  cfg.faults.link.up_duplicate = kSilent;
+  cfg.faults.link.down_loss = kSilent;
+  cfg.faults.link.down_duplicate = kSilent;
+  cfg.faults.power_sensor.stuck_probability = kSilent;
+  cfg.faults.power_sensor.bias_probability = kSilent;
+  cfg.faults.power_sensor.dropout_probability = kSilent;
+  cfg.faults.temp_sensor.stuck_probability = kSilent;
+  cfg.faults.temp_sensor.bias_probability = kSilent;
+  cfg.faults.temp_sensor.dropout_probability = kSilent;
+  cfg.faults.crash_probability = kSilent;
+  cfg.faults.crash_events.push_back({/*tick=*/1'000'000, 0, 0, 10});
+  cfg.controller.stale_timeout_ticks = 3;  // arms the degraded-mode sweeps
+}
+
+double time_run(bool armed, std::size_t threads, int reps, double* checksum) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    auto cfg = base_config(threads);
+    if (armed) arm_faults(cfg);
+    sim::Simulation simulation(std::move(cfg));
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = simulation.run();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    best = std::min(best, elapsed.count());
+    *checksum = result.total_power.stats().sum() + result.max_temperature_c +
+                static_cast<double>(result.controller_stats.total_migrations());
+  }
+  return best;
+}
+
+int run(int argc, char** argv) {
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t threads = std::min<std::size_t>(4, hw);
+  const long ticks = base_config(threads).warmup_ticks +
+                     base_config(threads).measure_ticks;
+
+  double off_checksum = 0.0;
+  double armed_checksum = 0.0;
+  const double off_s = time_run(false, threads, /*reps=*/3, &off_checksum);
+  const double armed_s = time_run(true, threads, /*reps=*/3, &armed_checksum);
+  const double overhead = off_s > 0.0 ? armed_s / off_s - 1.0 : 0.0;
+
+  std::cout << "== fault-plane overhead (200 servers, threads=" << threads
+            << ") ==\n"
+            << "faults disabled:     " << off_s << " s\n"
+            << "armed but silent:    " << armed_s << " s ("
+            << overhead * 100.0 << " % vs disabled)\n";
+
+  if (armed_checksum != off_checksum) {
+    std::cerr << "ERROR: armed-but-silent run diverged from fault-free run ("
+              << armed_checksum << " vs " << off_checksum << ")\n";
+    return 1;
+  }
+  std::cout << "(armed run bit-identical to fault-free run)\n";
+  if (armed_s > off_s * 1.02 + 0.05) {
+    std::cerr << "ERROR: silent fault-plane overhead exceeds 2%\n";
+    return 1;
+  }
+
+  std::vector<PerfPoint> points;
+  for (const auto& [name, wall] :
+       {std::pair<std::string, double>{"fault_off", off_s},
+        std::pair<std::string, double>{"fault_armed", armed_s}}) {
+    PerfPoint p;
+    p.scenario = name;
+    p.servers = 200;
+    p.threads = threads;
+    p.ticks = ticks;
+    p.wall_seconds = wall;
+    p.ticks_per_second = static_cast<double>(ticks) / wall;
+    p.speedup_vs_serial = 1.0;
+    points.push_back(p);
+  }
+  const std::string path = argc > 1 ? argv[1] : "BENCH_fault_overhead.json";
+  if (!write_perf_json(path, "fault_overhead", points)) {
+    std::cerr << "failed to write " << path << '\n';
+    return 1;
+  }
+  std::cout << "(json written to " << path << ")\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace willow::bench
+
+int main(int argc, char** argv) { return willow::bench::run(argc, argv); }

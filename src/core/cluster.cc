@@ -36,19 +36,47 @@ void ManagedServer::age_temporary_demand() {
 }
 
 Watts ManagedServer::power_demand() const {
-  if (asleep_) return Watts{0.0};
+  if (asleep_ || crashed_) return Watts{0.0};
   const Watts apps = app_demand_valid_ ? cached_app_demand_
                                        : workload::total_demand(apps_);
   return idle_floor() + apps + temp_demand_;
 }
 
+Watts ManagedServer::sensed_demand() const {
+  const Watts actual = power_demand();
+  switch (power_sensor_.mode) {
+    case fault::SensorMode::kStuck:
+      return Watts{power_sensor_.param < 0.0 ? 0.0 : power_sensor_.param};
+    case fault::SensorMode::kBias:
+      return util::max(Watts{0.0}, actual + Watts{power_sensor_.param});
+    case fault::SensorMode::kOk:
+    case fault::SensorMode::kDropout:
+      break;
+  }
+  return actual;
+}
+
+util::Celsius ManagedServer::sensed_temperature() const {
+  const util::Celsius actual = thermal_.temperature();
+  switch (temp_sensor_.mode) {
+    case fault::SensorMode::kStuck:
+      return util::Celsius{temp_sensor_.param};
+    case fault::SensorMode::kBias:
+      return actual + util::Celsius{temp_sensor_.param};
+    case fault::SensorMode::kOk:
+    case fault::SensorMode::kDropout:
+      break;
+  }
+  return actual;
+}
+
 Watts ManagedServer::consumed_power(Watts budget) const {
-  if (asleep_) return Watts{0.0};
+  if (asleep_ || crashed_) return Watts{0.0};
   return util::min(power_demand(), util::max(budget, idle_floor()));
 }
 
 double ManagedServer::utilization(Watts budget) const {
-  if (asleep_) return 0.0;
+  if (asleep_ || crashed_) return 0.0;
   const Watts dynamic = consumed_power(budget) - idle_floor();
   const Watts range = power_model_.dynamic_range();
   if (range.value() <= 0.0) return 0.0;
@@ -157,6 +185,18 @@ void Cluster::wake_server(NodeId id) {
   tree_.node(id).set_active(true);
 }
 
+void Cluster::crash_server(NodeId id) {
+  auto& s = server(id);
+  s.set_crashed(true);
+  tree_.node(id).set_active(false);
+}
+
+void Cluster::restore_server(NodeId id) {
+  auto& s = server(id);
+  s.set_crashed(false);
+  tree_.node(id).set_active(s.asleep() ? false : true);
+}
+
 void Cluster::set_group_circuit_limit(NodeId group, Watts limit) {
   if (is_server(group) || tree_.node(group).is_leaf()) {
     throw std::invalid_argument(
@@ -199,7 +239,7 @@ void Cluster::refresh_demands(const workload::PoissonDemand& process,
           process.refresh_all(servers_[i].apps(), rng, intensity);
           servers_[i].set_cached_app_demand(
               workload::total_demand(servers_[i].apps()));
-          if (observe && !servers_[i].asleep()) {
+          if (observe && !servers_[i].asleep() && !servers_[i].crashed()) {
             obs::Event e;
             e.type = obs::EventType::kDemandReport;
             e.node = servers_[i].node();
@@ -228,7 +268,7 @@ void Cluster::refresh_demands_deterministic(double intensity,
           workload::ConstantDemand::refresh_all(servers_[i].apps(), intensity);
           servers_[i].set_cached_app_demand(
               workload::total_demand(servers_[i].apps()));
-          if (observe && !servers_[i].asleep()) {
+          if (observe && !servers_[i].asleep() && !servers_[i].crashed()) {
             obs::Event e;
             e.type = obs::EventType::kDemandReport;
             e.node = servers_[i].node();
@@ -242,11 +282,26 @@ void Cluster::refresh_demands_deterministic(double intensity,
 
 void Cluster::observe_leaf_demands() {
   for (auto& s : servers_) {
-    // A lost report leaves the leaf acting on its previous observation.
-    if (s.report_fault()) continue;
+    // A crashed server is dark: its leaf is inactive (the sweep feeds the
+    // subtree 0) and no reading arrives until restore.
+    if (s.crashed()) {
+      s.note_lost_observation();
+      continue;
+    }
+    // A lost report (or power-sensor dropout) leaves the leaf acting on its
+    // previous observation; the controller's stale-timeout fallback decides
+    // what to do once the silence lasts (docs/fault_model.md).
+    if (s.demand_reading_lost()) {
+      s.note_lost_observation();
+      continue;
+    }
     // observe_leaf carries the incremental fast path (bitwise-unchanged
-    // observation into a settled EWMA is a no-op).
-    tree_.observe_leaf(s.node(), s.power_demand());
+    // observation into a settled EWMA is a no-op).  A stuck/biased sensor
+    // still counts as a fresh observation — a report arrived, it is just
+    // wrong — so staleness tracks silence, not accuracy.
+    const Watts seen = s.sensed_demand();
+    s.note_fresh_observation(seen);
+    tree_.observe_leaf(s.node(), seen);
   }
 }
 

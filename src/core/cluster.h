@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault.h"
 #include "hier/tree.h"
 #include "obs/bus.h"
 #include "power/server_power.h"
@@ -104,6 +105,65 @@ class ManagedServer {
   [[nodiscard]] bool report_fault() const { return report_fault_; }
   void set_report_fault(bool faulty) { report_fault_ = faulty; }
 
+  /// Crashed: the server is down hard (no demand, no consumption, apps
+  /// denied) until restarted.  Unlike sleep, a crash keeps the hosted
+  /// applications in place — they resume when the server comes back.
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  void set_crashed(bool c) { crashed_ = c; }
+
+  /// Sensor overrides (fault injection; see docs/fault_model.md).  The
+  /// controller consumes *sensed* values; the plant itself keeps evolving on
+  /// the true ones.  Setting an override bumps sensor_version() so cached
+  /// derived limits refresh.
+  [[nodiscard]] const fault::SensorOverride& power_sensor() const {
+    return power_sensor_;
+  }
+  void set_power_sensor(const fault::SensorOverride& o) {
+    power_sensor_ = o;
+    ++sensor_version_;
+  }
+  [[nodiscard]] const fault::SensorOverride& temp_sensor() const {
+    return temp_sensor_;
+  }
+  void set_temp_sensor(const fault::SensorOverride& o) {
+    temp_sensor_ = o;
+    ++sensor_version_;
+  }
+  /// Bumped whenever a sensor override changes (0 on a healthy server that
+  /// never faulted — cache keys stay stable for fault-free runs).
+  [[nodiscard]] std::uint64_t sensor_version() const { return sensor_version_; }
+
+  /// The power demand the PMU *sees*: power_demand() filtered through the
+  /// power-sensor override.  Bitwise equal to power_demand() while healthy.
+  [[nodiscard]] Watts sensed_demand() const;
+  /// True when no usable demand reading reaches the PMU this tick (lost
+  /// report or power-sensor dropout).
+  [[nodiscard]] bool demand_reading_lost() const {
+    return report_fault_ ||
+           power_sensor_.mode == fault::SensorMode::kDropout;
+  }
+
+  /// The temperature the controller sees (temp-sensor override applied).
+  [[nodiscard]] util::Celsius sensed_temperature() const;
+  /// False during a temperature-sensor dropout: the thermal hard limit must
+  /// fall back to the always-safe steady-state envelope.
+  [[nodiscard]] bool temp_reading_valid() const {
+    return temp_sensor_.mode != fault::SensorMode::kDropout;
+  }
+
+  /// Stale-report bookkeeping for the controller's degraded mode: ticks
+  /// since the last usable demand observation, and what that observation
+  /// was (the last-known-good value the fallback decays from).
+  [[nodiscard]] long stale_ticks() const { return stale_ticks_; }
+  [[nodiscard]] Watts last_good_demand() const { return last_good_demand_; }
+  [[nodiscard]] bool has_last_good_demand() const { return have_last_good_; }
+  void note_fresh_observation(Watts d) {
+    last_good_demand_ = d;
+    have_last_good_ = true;
+    stale_ticks_ = 0;
+  }
+  void note_lost_observation() { ++stale_ticks_; }
+
   /// Actual electrical draw under the node's current budget.
   [[nodiscard]] Watts consumed_power(Watts budget) const;
 
@@ -123,6 +183,13 @@ class ManagedServer {
   bool app_demand_valid_ = false;
   bool asleep_ = false;
   bool report_fault_ = false;
+  bool crashed_ = false;
+  fault::SensorOverride power_sensor_{};
+  fault::SensorOverride temp_sensor_{};
+  std::uint64_t sensor_version_ = 0;
+  long stale_ticks_ = 0;
+  Watts last_good_demand_{0.0};
+  bool have_last_good_ = false;
 };
 
 class Cluster {
@@ -174,6 +241,15 @@ class Cluster {
   /// Sleep/wake a server, keeping the PMU node's active flag in sync.
   void sleep_server(NodeId id);
   void wake_server(NodeId id);
+
+  /// Crash/restore a server (fault injection).  Unlike sleep, a crash is
+  /// legal with applications on board: they stay placed (denied service
+  /// while down) and resume seamlessly on restore.  The PMU leaf goes
+  /// inactive so the subtree aggregation excludes the dark node; callers
+  /// must also tell the controller (note_availability_change) so the
+  /// incremental plane re-dirties.
+  void crash_server(NodeId id);
+  void restore_server(NodeId id);
 
   /// Power-circuit rating of an internal node (rack/zone feed) — the
   /// "under-designed rack power circuits" lean-design scenario of Sec. I.

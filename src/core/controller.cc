@@ -126,6 +126,18 @@ void ControllerConfig::validate() const {
     throw std::invalid_argument(
         "ControllerConfig: report_deadband must stay below margin");
   }
+  if (stale_timeout_ticks < 0) {
+    throw std::invalid_argument(
+        "ControllerConfig: stale_timeout_ticks must be >= 0");
+  }
+  if (!(stale_decay > 0.0) || stale_decay > 1.0) {
+    throw std::invalid_argument(
+        "ControllerConfig: stale_decay must be in (0, 1]");
+  }
+  if (directive_retry_limit < 0) {
+    throw std::invalid_argument(
+        "ControllerConfig: directive_retry_limit must be >= 0");
+  }
 }
 
 Controller::Controller(Cluster& cluster, ControllerConfig config)
@@ -184,6 +196,8 @@ void Controller::ensure_topology_cache() {
   const std::size_t ns = cluster_.server_count();
   cached_leaf_limit_.assign(ns, 0.0);
   cached_limit_version_.assign(ns, kNever);
+  cached_sensor_version_.assign(ns, kNever);
+  pending_directives_.clear();
   consol_entry_.assign(ns, {});
   consol_entry_epoch_.assign(ns, kNever);
   server_envelope_.assign(ns, 0.0);
@@ -211,17 +225,64 @@ void Controller::note_external_change(NodeId node) {
   cluster_.tree().mark_report_dirty(node);
 }
 
+void Controller::note_availability_change(NodeId node) {
+  // Same dirtying as the sleep/wake paths: the active flip changes the
+  // parent's roll-up and division, and the node must re-report on recovery.
+  // Unconditional (not gated on config_.incremental): the dirty flags are
+  // only consulted by the incremental walk, and the full walk ignores them.
+  ensure_topology_cache();
+  auto& tree = cluster_.tree();
+  const NodeId p = tree.node(node).parent();
+  if (p != hier::kNoNode) {
+    limit_dirty_[p] = 1;
+    division_dirty_[p] = 1;
+  }
+  tree.mark_report_dirty(node);
+  touch(node);
+}
+
+void Controller::set_link_faults(const fault::LinkFaultModel* faults) {
+  link_faults_ = faults;
+  cluster_.tree().set_link_faults(faults);
+  resolve_fault_instruments();
+}
+
 Watts Controller::leaf_limit(std::size_t server_index) {
   const auto& srv = cluster_.server_at(server_index);
   const std::uint64_t v = srv.thermal().state_version();
-  if (cached_limit_version_[server_index] != v) {
+  const std::uint64_t sv = srv.sensor_version();
+  if (cached_limit_version_[server_index] != v ||
+      cached_sensor_version_[server_index] != sv) {
     cached_limit_version_[server_index] = v;
-    // "So that the temperature does not exceed T_limit during the next
-    // adjustment window" (Sec. III-A): the window is one demand period.
+    cached_sensor_version_[server_index] = sv;
+    const auto& th = srv.thermal();
+    Watts thermal_limit{0.0};
+    switch (srv.temp_sensor().mode) {
+      case fault::SensorMode::kOk:
+        // "So that the temperature does not exceed T_limit during the next
+        // adjustment window" (Sec. III-A): the window is one demand period.
+        thermal_limit = th.power_limit(config_.demand_period);
+        break;
+      case fault::SensorMode::kDropout: {
+        // Known-missing reading: fail safe to the steady-state envelope,
+        // which keeps T <= T_limit from *any* starting temperature — the
+        // conservative choice when the controller is blind.
+        const Watts ss = th.steady_state_power_limit();
+        thermal_limit = util::min(util::positive_part(ss),
+                                  th.params().nameplate);
+        break;
+      }
+      case fault::SensorMode::kStuck:
+      case fault::SensorMode::kBias:
+        // The controller believes the lying sensor — that is the fault being
+        // modeled.  A stuck-low sensor over-budgets a hot server; the plant
+        // keeps evolving on the true temperature.
+        thermal_limit = thermal::power_limit_from(
+            th.params(), srv.sensed_temperature(), config_.demand_period);
+        break;
+    }
     cached_leaf_limit_[server_index] =
-        util::min(srv.circuit_limit(),
-                  srv.thermal().power_limit(config_.demand_period))
-            .value();
+        util::min(srv.circuit_limit(), thermal_limit).value();
   }
   return Watts{cached_leaf_limit_[server_index]};
 }
@@ -233,6 +294,7 @@ void Controller::resolve_instruments() {
     c_packings_reused_ = nullptr;
     c_shadow_checks_ = nullptr;
     c_shadow_mismatches_ = nullptr;
+    resolve_fault_instruments();
     return;
   }
   auto& m = bus_->metrics();
@@ -241,12 +303,202 @@ void Controller::resolve_instruments() {
   c_packings_reused_ = &m.counter("control.packings_reused");
   c_shadow_checks_ = &m.counter("control.shadow_checks");
   c_shadow_mismatches_ = &m.counter("control.shadow_mismatches");
+  resolve_fault_instruments();
+}
+
+void Controller::resolve_fault_instruments() {
+  // Registered only when the degraded-mode machinery is actually armed, so a
+  // fault-free run's metrics snapshot carries no fault.* names at all.
+  const bool active =
+      link_faults_ != nullptr || config_.stale_timeout_ticks > 0;
+  if (bus_ == nullptr || !active) {
+    c_directive_losses_ = nullptr;
+    c_directive_retries_ = nullptr;
+    c_directives_abandoned_ = nullptr;
+    c_stale_timeouts_ = nullptr;
+    c_fallback_budgets_ = nullptr;
+    return;
+  }
+  auto& m = bus_->metrics();
+  c_directive_losses_ = &m.counter("fault.directive_losses");
+  c_directive_retries_ = &m.counter("fault.directive_retries");
+  c_directives_abandoned_ = &m.counter("fault.directives_abandoned");
+  c_stale_timeouts_ = &m.counter("fault.stale_timeouts");
+  c_fallback_budgets_ = &m.counter("fault.fallback_budgets");
 }
 
 void Controller::count_shadow_check(bool mismatch) {
   if (c_shadow_checks_ != nullptr) {
     c_shadow_checks_->increment();
     if (mismatch) c_shadow_mismatches_->increment();
+  }
+}
+
+void Controller::apply_stale_observations() {
+  if (config_.stale_timeout_ticks <= 0) return;
+  auto& tree = cluster_.tree();
+  const bool observe = bus_ != nullptr && bus_->enabled();
+  const std::size_t count = cluster_.server_count();
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& srv = cluster_.server_at(i);
+    // A crashed server's leaf is inactive (the sweep already feeds its
+    // subtree zero); synthesis only covers servers that are up but silent.
+    if (srv.asleep() || srv.crashed()) continue;
+    const int stale = srv.stale_ticks();
+    if (stale < config_.stale_timeout_ticks || !srv.has_last_good_demand()) {
+      continue;
+    }
+    // Decayed last-known-good: the dynamic part above the idle floor shrinks
+    // geometrically the longer the silence lasts, so a dark server's claim on
+    // the budget fades instead of freezing at its final report.
+    const double steps =
+        static_cast<double>(stale - config_.stale_timeout_ticks);
+    const Watts synthetic =
+        srv.idle_floor() +
+        util::positive_part(srv.last_good_demand() - srv.idle_floor()) *
+            std::pow(config_.stale_decay, steps);
+    if (stale == config_.stale_timeout_ticks) {
+      if (c_stale_timeouts_ != nullptr) c_stale_timeouts_->increment();
+      if (observe) {
+        bus_->emit(make_event(obs::EventType::kStaleTimeout, srv.node(),
+                              hier::kNoNode, 0, obs::Reason::kNone,
+                              synthetic.value(), static_cast<double>(stale)));
+      }
+    }
+    // Through the normal EWMA/report path, so the incremental and full walks
+    // see identical inputs and shadow_diff keeps holding under faults.
+    tree.observe_leaf(srv.node(), synthetic);
+  }
+}
+
+void Controller::apply_fallback_budgets() {
+  if (config_.stale_timeout_ticks <= 0) return;
+  auto& tree = cluster_.tree();
+  const bool observe = bus_ != nullptr && bus_->enabled();
+  const auto& sids = cluster_.server_ids();
+  for (std::size_t i = 0; i < sids.size(); ++i) {
+    const auto& srv = cluster_.server_at(i);
+    if (srv.asleep() || srv.crashed()) continue;
+    if (srv.stale_ticks() < config_.stale_timeout_ticks) continue;
+    const NodeId s = sids[i];
+    auto& leaf = tree.node(s);
+    if (!leaf.active()) continue;
+    // Safe envelope for a dark server: holdable at steady state from any
+    // starting temperature, and never above the regular per-window limit —
+    // the clamp only ever tightens (fail-safe toward the thermal limit).
+    const auto& th = srv.thermal();
+    const Watts steady = util::min(
+        util::positive_part(th.steady_state_power_limit()),
+        th.params().nameplate);
+    const Watts safe = util::min(leaf_limit(i), steady);
+    if (leaf.budget() > safe + Watts{kEps}) {
+      if (observe) {
+        bus_->emit(make_event(obs::EventType::kFallbackBudget, s,
+                              hier::kNoNode, 0, obs::Reason::kNone,
+                              safe.value(), leaf.budget().value()));
+      }
+      leaf.set_budget(safe);
+      budget_reduced_[s] = true;
+      const NodeId p = leaf.parent();
+      if (p != hier::kNoNode) division_dirty_[p] = 1;
+      touch(s);
+      if (c_fallback_budgets_ != nullptr) c_fallback_budgets_->increment();
+    }
+  }
+}
+
+void Controller::deliver_directive(NodeId id, Watts budget) {
+  auto& tree = cluster_.tree();
+  auto& n = tree.node(id);
+  if (budget < n.budget() - Watts{kEps}) budget_reduced_[id] = true;
+  if (bus_ != nullptr && bus_->enabled()) {
+    bus_->emit(make_event(obs::EventType::kBudgetDirective, id, hier::kNoNode,
+                          0, obs::Reason::kNone, budget.value(),
+                          n.budget().value()));
+  }
+  n.set_budget(budget);
+  tree.record_budget_directive(id);
+  division_dirty_[id] = 1;  // its own children now share a different pie
+  touch(id);
+}
+
+void Controller::queue_directive_retry(NodeId id, Watts budget) {
+  // The division above believes the child now holds `budget`; it does not.
+  // Keep the dividing parent dirty so the next supply pass re-derives (and
+  // re-announces) rather than memoizing outputs that never landed.
+  const NodeId p = cluster_.tree().node(id).parent();
+  if (p != hier::kNoNode) division_dirty_[p] = 1;
+  for (auto& pd : pending_directives_) {
+    if (pd.node == id) {
+      pd.budget = budget;
+      pd.attempts = 1;
+      pd.next_retry = tick_ + 2;
+      return;
+    }
+  }
+  pending_directives_.push_back({id, budget, 1, tick_ + 2});
+}
+
+void Controller::retry_pending_directives() {
+  if (pending_directives_.empty()) return;
+  auto& tree = cluster_.tree();
+  const bool observe = bus_ != nullptr && bus_->enabled();
+  std::uint64_t directives = 0;
+  auto keep = pending_directives_.begin();
+  for (auto& p : pending_directives_) {
+    if (p.next_retry > tick_) {
+      *keep++ = p;
+      continue;
+    }
+    auto& n = tree.node(p.node);
+    if (p.budget.value() == n.budget().value()) {
+      // Something else (a fresh division, a clamp) already put the node at
+      // this value; resending would fabricate a spurious directive.
+      continue;
+    }
+    fault::DownVerdict fate{};
+    if (link_faults_ != nullptr) fate = link_faults_->down(p.node);
+    if (fate.lose) {
+      ++p.attempts;
+      if (c_directive_losses_ != nullptr) c_directive_losses_->increment();
+      if (observe) {
+        obs::Event e = make_event(obs::EventType::kLinkDrop, p.node,
+                                  hier::kNoNode, 0, obs::Reason::kNone,
+                                  p.budget.value(), n.budget().value());
+        e.direction = obs::LinkDirection::kDown;
+        bus_->emit(std::move(e));
+      }
+      if (p.attempts > config_.directive_retry_limit) {
+        // Abandoned: the parent stayed division-dirty the whole time, so the
+        // next supply pass re-derives a fresh directive from live state.
+        if (c_directives_abandoned_ != nullptr) {
+          c_directives_abandoned_->increment();
+        }
+        continue;
+      }
+      p.next_retry = tick_ + (1L << std::min(p.attempts, 6));
+      *keep++ = p;
+      continue;
+    }
+    const double previous = n.budget().value();
+    deliver_directive(p.node, p.budget);
+    ++directives;
+    if (c_directive_retries_ != nullptr) c_directive_retries_->increment();
+    if (fate.duplicate) {
+      // Same message applied twice: state is unchanged, but the message
+      // counters and the trace must carry both copies.
+      tree.record_budget_directive(p.node);
+      ++directives;
+      if (observe) {
+        bus_->emit(make_event(obs::EventType::kBudgetDirective, p.node,
+                              hier::kNoNode, 0, obs::Reason::kNone,
+                              p.budget.value(), previous));
+      }
+    }
+  }
+  pending_directives_.erase(keep, pending_directives_.end());
+  if (c_budget_directives_ != nullptr && directives > 0) {
+    c_budget_directives_->increment(directives);
   }
 }
 
@@ -262,6 +514,7 @@ void Controller::tick(Watts available_supply) {
   complete_due_migrations();
 
   cluster_.observe_leaf_demands();
+  apply_stale_observations();
   auto& tree = cluster_.tree();
   tree.report_demands();
   // Every report that fired is a change the decision phases must see: the
@@ -272,12 +525,14 @@ void Controller::tick(Watts available_supply) {
     const NodeId p = tree.node(r).parent();
     if (p != hier::kNoNode) division_dirty_[p] = 1;
   }
+  retry_pending_directives();
 
   last_supply_ = available_supply;
   if (tick_ == 1 || tick_ % config_.eta1 == 0) {
     supply_adaptation(available_supply);
   }
   enforce_thermal_limits();
+  apply_fallback_budgets();
 
   demand_adaptation();
 
@@ -408,26 +663,56 @@ void Controller::supply_adaptation(Watts available_supply) {
   const bool inc = config_.incremental;
   std::uint64_t directives = 0;
   std::uint64_t memoized = 0;
+  // Queued retries carry point-in-time values; once a fresh division speaks
+  // for a node (same value or a delivered replacement), the queued copy is
+  // stale and resending it would fabricate a directive.
+  auto drop_pending = [&](NodeId id) {
+    if (pending_directives_.empty()) return;
+    std::erase_if(pending_directives_,
+                  [id](const PendingDirective& p) { return p.node == id; });
+  };
   // Event-driven directive: a budget message flows down only when the value
   // actually changed (bitwise).  Identical decisions in both walk modes: the
   // full walk re-derives every budget but announces only the changed ones.
   auto mark_and_set = [&](NodeId id, Watts budget) {
     auto& n = tree.node(id);
-    if (budget.value() == n.budget().value()) return;
-    if (budget < n.budget() - Watts{kEps}) budget_reduced_[id] = true;
-    if (observe) {
-      bus_->emit(make_event(obs::EventType::kBudgetDirective, id,
-                            hier::kNoNode, 0, obs::Reason::kNone,
-                            budget.value(), n.budget().value()));
+    if (budget.value() == n.budget().value()) {
+      drop_pending(id);
+      return;
     }
-    n.set_budget(budget);
-    tree.record_budget_directive(id);
     // The root's budget assignment crosses no link — it is the division's
-    // input, not a directive to anyone — so the directive counter (which
-    // reconciles against downward link-message trace lines) excludes it.
+    // input, not a directive to anyone — so it can neither be lost nor
+    // counted (the directive counter reconciles against downward
+    // link-message trace lines).
+    fault::DownVerdict fate{};
+    if (link_faults_ != nullptr && !n.is_root()) fate = link_faults_->down(id);
+    if (fate.lose) {
+      if (c_directive_losses_ != nullptr) c_directive_losses_->increment();
+      if (observe) {
+        obs::Event e = make_event(obs::EventType::kLinkDrop, id, hier::kNoNode,
+                                  0, obs::Reason::kNone, budget.value(),
+                                  n.budget().value());
+        e.direction = obs::LinkDirection::kDown;
+        bus_->emit(std::move(e));
+      }
+      queue_directive_retry(id, budget);
+      return;
+    }
+    const double previous = n.budget().value();
+    deliver_directive(id, budget);
+    drop_pending(id);
     if (!n.is_root()) ++directives;
-    division_dirty_[id] = 1;  // its own children now share a different pie
-    touch(id);
+    if (fate.duplicate) {
+      // Same message applied twice: state is unchanged, but the message
+      // counters and the trace must carry both copies.
+      tree.record_budget_directive(id);
+      ++directives;
+      if (observe) {
+        bus_->emit(make_event(obs::EventType::kBudgetDirective, id,
+                              hier::kNoNode, 0, obs::Reason::kNone,
+                              budget.value(), previous));
+      }
+    }
   };
 
   const NodeId root = tree.root();

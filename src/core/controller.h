@@ -36,6 +36,7 @@
 #include "binpack/pack.h"
 #include "core/balance.h"
 #include "core/cluster.h"
+#include "fault/link_faults.h"
 #include "obs/bus.h"
 #include "util/units.h"
 
@@ -144,6 +145,18 @@ struct ControllerConfig {
   /// Debug shadow mode: every skip the incremental path takes is re-derived
   /// from scratch; any bitwise divergence throws std::logic_error.
   bool shadow_diff = false;
+  /// Degraded mode (docs/fault_model.md): ticks of demand-report silence
+  /// after which a server is treated as dark — its last-known-good demand is
+  /// decayed toward the idle floor and its budget is clamped to the safe
+  /// steady-state envelope.  0 (default) disables the machinery entirely.
+  int stale_timeout_ticks = 0;
+  /// Per-tick geometric decay applied to the last-known-good demand once the
+  /// stale timeout has tripped (in (0, 1]; 1 = hold the value forever).
+  double stale_decay = 0.9;
+  /// Bounded-backoff retries for budget directives lost on a faulty link
+  /// (delay doubles per attempt); after this many losses the directive is
+  /// abandoned and the next supply pass re-derives it.
+  int directive_retry_limit = 3;
 
   void validate() const;
 };
@@ -275,6 +288,20 @@ class Controller {
   /// incremental machinery is off.
   void note_external_change(NodeId node);
 
+  /// Tell the controller a server's availability flipped (crash or restore).
+  /// Re-dirties the incremental plane exactly like the sleep/wake paths:
+  /// the parent's aggregation, hard-limit roll-up and division must re-run,
+  /// and the node's own report path is marked pending.  Safe in both walk
+  /// modes.
+  void note_availability_change(NodeId node);
+
+  /// Attach a link-fault model (not owned; may be null).  Installed on the
+  /// tree (up-link report faults) and consulted by the budget distributor:
+  /// lost directives enter a bounded-backoff retry queue instead of being
+  /// applied.  Null keeps every budget path byte-identical to a fault-free
+  /// build.
+  void set_link_faults(const fault::LinkFaultModel* faults);
+
  private:
   struct PlanItem {
     workload::AppId app;
@@ -301,6 +328,27 @@ class Controller {
   void demand_adaptation();
   void consolidate();
   void revive_dropped();
+
+  // ---- degraded mode (fault handling; docs/fault_model.md) ----------------
+
+  /// Feed decayed last-known-good demand for servers whose reports have been
+  /// silent past the stale timeout (runs between leaf observation and the
+  /// report sweep; the synthetic value flows through the normal EWMA path so
+  /// incremental == full holds under faults).
+  void apply_stale_observations();
+  /// Clamp dark servers' budgets to the always-safe steady-state envelope
+  /// (fail-safe toward thermal limits, never above) — the budget-side twin
+  /// of enforce_thermal_limits, with identical dirtying mechanics.
+  void apply_fallback_budgets();
+  /// Apply one directive to `id` with full bookkeeping (event, tree
+  /// accounting, dirty marks, budget_reduced on decrease).  Shared by the
+  /// normal supply pass and the retry queue.
+  void deliver_directive(NodeId id, Watts budget);
+  /// A directive to `id` was lost; remember it for bounded-backoff retry and
+  /// keep the dividing parent dirty so supply passes re-derive it.
+  void queue_directive_retry(NodeId id, Watts budget);
+  /// Re-send queued directives whose backoff expired (runs every tick).
+  void retry_pending_directives();
 
   /// Select apps on `server` whose combined demand covers `needed`;
   /// largest-demand-first, skipping dropped apps.
@@ -368,9 +416,11 @@ class Controller {
   /// Internal nodes whose hard-limit roll-up must re-run (a descendant's
   /// leaf limit or active flag moved).
   std::vector<char> limit_dirty_;  ///< by NodeId
-  /// leaf_limit() memo, keyed on the thermal state version.
+  /// leaf_limit() memo, keyed on the thermal state version and (for
+  /// fault-injected runs) the server's sensor version.
   std::vector<double> cached_leaf_limit_;             ///< by NodeId
   std::vector<std::uint64_t> cached_limit_version_;   ///< by NodeId
+  std::vector<std::uint64_t> cached_sensor_version_;  ///< by server index
 
   /// Consolidation-candidate index: one entry per server, refreshed only when
   /// the server's subtree epoch moved (or the fleet envelope shifted), plus
@@ -428,6 +478,26 @@ class Controller {
   obs::Counter* c_packings_reused_ = nullptr;
   obs::Counter* c_shadow_checks_ = nullptr;
   obs::Counter* c_shadow_mismatches_ = nullptr;
+
+  /// Fault instruments, resolved only when a link-fault model or the stale
+  /// machinery is active so fault-free runs register no extra counters.
+  void resolve_fault_instruments();
+  obs::Counter* c_directive_losses_ = nullptr;
+  obs::Counter* c_directive_retries_ = nullptr;
+  obs::Counter* c_directives_abandoned_ = nullptr;
+  obs::Counter* c_stale_timeouts_ = nullptr;
+  obs::Counter* c_fallback_budgets_ = nullptr;
+
+  /// Link-fault model (not owned; null in fault-free runs).
+  const fault::LinkFaultModel* link_faults_ = nullptr;
+  /// Directives lost in transit, awaiting retry with exponential backoff.
+  struct PendingDirective {
+    NodeId node = hier::kNoNode;
+    Watts budget{0.0};
+    int attempts = 0;      ///< failed sends so far
+    long next_retry = 0;   ///< earliest controller tick to try again
+  };
+  std::vector<PendingDirective> pending_directives_;
 
   Cluster& cluster_;
   ControllerConfig config_;

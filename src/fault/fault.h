@@ -1,0 +1,121 @@
+// Fault-injection configuration — the knobs of the willow_fault plane.
+//
+// Willow's hierarchy (demand reports up, budget directives down) is only as
+// good as its inputs; this library models the ways a real plant lies to its
+// controller: control messages lost/delayed/duplicated on PMU links, sensors
+// that stick, drift, or go silent, servers that crash and come back, and UPS
+// batteries that fail open.  Everything is sampled from the simulator's
+// counter-based per-(tick, server, phase) streams (util::tick_stream), so a
+// fault schedule is a pure function of the scenario seed: traces are
+// byte-identical for any SimConfig::threads, and a disabled FaultConfig
+// (the default) injects nothing and costs nothing.
+//
+// Taxonomy, scenario keys and degraded-mode semantics: docs/fault_model.md.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace willow::fault {
+
+/// What a faulty sensor reports instead of the true plant value.
+enum class SensorMode : std::uint8_t {
+  kOk,       ///< healthy: reading equals the plant value bitwise
+  kStuck,    ///< stuck-at: reports `param` (captured at fault onset)
+  kBias,     ///< additive offset: reports value + `param`
+  kDropout,  ///< no reading at all (the consumer knows it is missing)
+};
+
+/// One sensor's current override, as seen by the control plane.  A default
+/// constructed override is a healthy sensor.
+struct SensorOverride {
+  SensorMode mode = SensorMode::kOk;
+  /// Stuck-at value (W or degC) for kStuck, additive offset for kBias.
+  double param = 0.0;
+
+  [[nodiscard]] bool healthy() const { return mode == SensorMode::kOk; }
+};
+
+/// Per-tick onset probabilities for one sensor class (power or temperature).
+/// At most one episode is active per sensor; onset draws happen only while
+/// the sensor is healthy.
+struct SensorFaultKnobs {
+  double stuck_probability = 0.0;
+  double bias_probability = 0.0;
+  double dropout_probability = 0.0;
+  /// Additive offset applied during a kBias episode (W or degC).
+  double bias = 0.0;
+
+  [[nodiscard]] bool any() const {
+    return stuck_probability > 0.0 || bias_probability > 0.0 ||
+           dropout_probability > 0.0;
+  }
+};
+
+/// Per-message fault probabilities on the PMU tree links (Fig. 2 messages).
+/// `up` = demand reports child -> parent, `down` = budget directives
+/// parent -> child.  A lost up-report leaves the child pending, so it
+/// naturally retries next sweep; a lost directive enters the controller's
+/// bounded-backoff retry queue.
+struct LinkFaultConfig {
+  double up_loss = 0.0;
+  double up_delay = 0.0;      ///< report deferred to the next sweep
+  double up_duplicate = 0.0;  ///< report delivered twice (idempotent)
+  double down_loss = 0.0;
+  double down_duplicate = 0.0;
+
+  [[nodiscard]] bool any() const {
+    return up_loss > 0.0 || up_delay > 0.0 || up_duplicate > 0.0 ||
+           down_loss > 0.0 || down_duplicate > 0.0;
+  }
+};
+
+/// A scheduled crash: at `tick`, servers with index in
+/// [first_server, last_server] (0-based, inclusive) go down for `down_ticks`
+/// ticks.  Mirrors SimConfig::AmbientEvent so operators can script
+/// correlated outages (a rack PDU trip) alongside probabilistic crashes.
+struct CrashEvent {
+  long tick = 0;
+  std::size_t first_server = 0;
+  std::size_t last_server = 0;
+  long down_ticks = 10;
+};
+
+/// A window [first_tick, last_tick] (inclusive) during which the UPS battery
+/// is failed open: no charge, no discharge, deliverable = min(demand, raw).
+struct UpsFailureWindow {
+  long first_tick = 0;
+  long last_tick = 0;
+};
+
+/// The complete fault plane configuration.  All knobs default to
+/// zero/disabled; enabled() false means no fault hooks are installed and the
+/// simulation output is byte-identical to a build without the subsystem.
+struct FaultConfig {
+  LinkFaultConfig link{};
+  SensorFaultKnobs power_sensor{};
+  SensorFaultKnobs temp_sensor{};
+  /// Mean sensor-episode length in ticks (geometric-ish: 1 + Exp(mean-1)).
+  double sensor_fault_mean_ticks = 5.0;
+  /// Per-server, per-tick probability of an uncorrelated crash.
+  double crash_probability = 0.0;
+  /// Down time for probabilistic crashes (scheduled ones carry their own).
+  long crash_down_ticks = 10;
+  std::vector<CrashEvent> crash_events{};
+  std::vector<UpsFailureWindow> ups_failures{};
+
+  /// True when any per-server fault source (sensors or crashes) is active —
+  /// the simulator builds a FaultPlane only then.
+  [[nodiscard]] bool server_faults_enabled() const;
+  /// True when any fault source at all is configured.
+  [[nodiscard]] bool enabled() const;
+
+  /// Structured validation matching SimConfig::validate(): one
+  /// human-readable "field: why" string per problem, each prefixed with
+  /// `prefix` (e.g. "faults.").  Empty means usable.
+  [[nodiscard]] std::vector<std::string> validate(
+      const std::string& prefix) const;
+};
+
+}  // namespace willow::fault

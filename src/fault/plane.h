@@ -1,0 +1,95 @@
+// The per-server fault plane: sensor episodes and crash/restart schedules.
+//
+// Each tick the plane runs the simulator's standard two-phase pattern:
+//
+//   sample (sharded)  per-server draws from util::tick_stream
+//                     (seed, tick, server, kSensor / kCrash) into a plan —
+//                     read-only against plane state, so outcomes cannot
+//                     depend on thread count or visit order;
+//   apply  (serial)   plan entries and scheduled crash events are applied in
+//                     fixed server order through caller-supplied hooks.
+//
+// The plane owns the fault *state machine* (which episode is active, who is
+// down, when they restart); the caller (sim::Simulation) owns the plant and
+// performs the actual mutations, event emission, and metrics accounting in
+// its hooks.  This keeps willow_fault below core/sim in the layering.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/fault.h"
+#include "util/thread_pool.h"
+
+namespace willow::fault {
+
+/// One sensor's active episode; until_tick is the first tick at which the
+/// sensor is healthy again.
+struct SensorEpisode {
+  SensorMode mode = SensorMode::kOk;
+  double param = 0.0;
+  long until_tick = 0;
+};
+
+class FaultPlane {
+ public:
+  FaultPlane(const FaultConfig& config, std::uint64_t seed,
+             std::size_t n_servers);
+
+  /// Serial-phase hooks.  All receive the server *index* (paper numbering
+  /// order); the caller maps indices to tree node ids.
+  struct Callbacks {
+    /// Servers for which crash sampling is skipped (e.g. asleep: a
+    /// consolidated server has no plant activity to crash).  May be null.
+    std::function<bool(std::size_t)> skip_crash;
+    std::function<void(std::size_t, long down_ticks)> crash;
+    std::function<void(std::size_t)> restart;
+    /// A sensor override changed (onset or recovery).  For kStuck onsets the
+    /// override's param is 0; the caller captures the current plant reading.
+    std::function<void(std::size_t, const SensorOverride&, bool temp_sensor)>
+        sensor;
+  };
+
+  /// Advance the plane by one tick.  `pool` may be null (serial sampling).
+  void step(long tick, util::ThreadPool* pool, const Callbacks& cb);
+
+  [[nodiscard]] bool down(std::size_t i) const { return state_[i].down; }
+  [[nodiscard]] const SensorEpisode& power_episode(std::size_t i) const {
+    return state_[i].power;
+  }
+  [[nodiscard]] const SensorEpisode& temp_episode(std::size_t i) const {
+    return state_[i].temp;
+  }
+
+ private:
+  struct ServerState {
+    SensorEpisode power{};
+    SensorEpisode temp{};
+    bool down = false;
+    long up_at = 0;
+  };
+  /// Sharded sampling output for one server at one tick.
+  struct Proposal {
+    bool crash = false;
+    bool power_onset = false;
+    bool temp_onset = false;
+    SensorEpisode power{};
+    SensorEpisode temp{};
+  };
+
+  /// Draw (at most) one new episode for a healthy sensor.  Draw order is
+  /// fixed — stuck, bias, dropout, then duration — and independent of which
+  /// probabilities are zero.
+  template <typename Rng>
+  static bool sample_sensor(Rng& rng, const SensorFaultKnobs& knobs,
+                            double mean_ticks, long tick, SensorEpisode* out);
+
+  FaultConfig config_;
+  std::uint64_t seed_;
+  std::vector<ServerState> state_;
+  std::vector<Proposal> plan_;
+};
+
+}  // namespace willow::fault

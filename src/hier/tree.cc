@@ -127,7 +127,27 @@ void Tree::set_event_bus(obs::EventBus* bus) {
     c_reaggregated_ = nullptr;
     c_skipped_ = nullptr;
     c_reports_ = nullptr;
+    c_link_drops_up_ = nullptr;
+    c_link_defers_up_ = nullptr;
+    c_link_dups_up_ = nullptr;
   }
+  if (link_faults_ != nullptr) resolve_fault_counters();
+}
+
+void Tree::set_link_faults(const fault::LinkFaultModel* faults) {
+  link_faults_ = faults;
+  if (link_faults_ != nullptr) resolve_fault_counters();
+}
+
+void Tree::resolve_fault_counters() {
+  // Resolved only when a fault model is actually installed: registering the
+  // counters unconditionally would add zero-valued entries to the metrics
+  // snapshot and change fault-free result JSON.
+  if (bus_ == nullptr) return;
+  auto& m = bus_->metrics();
+  c_link_drops_up_ = &m.counter("fault.link_drops_up");
+  c_link_defers_up_ = &m.counter("fault.link_defers_up");
+  c_link_dups_up_ = &m.counter("fault.link_duplicates_up");
 }
 
 void Tree::observe_leaf(NodeId id, Watts demand) {
@@ -210,6 +230,33 @@ void Tree::report_demands() {
         !n.reported_once_ ||
         (deadband_.value() > 0.0 ? moved > deadband_.value() : moved != 0.0);
     if (!changed) continue;
+    fault::UpVerdict fate{};
+    if (link_faults_ != nullptr) fate = link_faults_->up(id);
+    if (fate.lose || fate.defer) {
+      // The report left the node but never reached the parent: reported_ is
+      // unchanged, the parent is not pended, and the node stays pending so
+      // the next sweep naturally re-sends (a deferred report *is* its own
+      // retransmission).  Skips stay provable: the parent's view of this
+      // child did not move.
+      n.pending_ = true;
+      if (fate.lose) {
+        if (c_link_drops_up_ != nullptr) c_link_drops_up_->increment();
+      } else if (c_link_defers_up_ != nullptr) {
+        c_link_defers_up_->increment();
+      }
+      if (observe) {
+        obs::Event e;
+        e.type = fate.lose ? obs::EventType::kLinkDrop
+                           : obs::EventType::kLinkDefer;
+        e.node = id;
+        e.node2 = n.parent_;
+        e.direction = obs::LinkDirection::kUp;
+        e.value = smoothed.value();
+        e.aux = n.raw_demand_.value();
+        bus_->emit(std::move(e));
+      }
+      continue;
+    }
     n.reported_ = smoothed;
     n.reported_once_ = true;
     nodes_[n.parent_].pending_ = true;
@@ -225,6 +272,23 @@ void Tree::report_demands() {
       e.value = smoothed.value();
       e.aux = n.raw_demand_.value();
       bus_->emit(std::move(e));
+    }
+    if (fate.duplicate) {
+      // Duplicated delivery: idempotent at the parent (same payload summed
+      // into the same aggregation), but one extra message on the link.
+      n.count_up();
+      ++reports;
+      if (c_link_dups_up_ != nullptr) c_link_dups_up_->increment();
+      if (observe) {
+        obs::Event e;
+        e.type = obs::EventType::kLinkMessage;
+        e.node = id;
+        e.node2 = n.parent_;
+        e.direction = obs::LinkDirection::kUp;
+        e.value = smoothed.value();
+        e.aux = n.raw_demand_.value();
+        bus_->emit(std::move(e));
+      }
     }
   }
   if (c_reaggregated_ != nullptr) {

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/link_faults.h"
 #include "obs/bus.h"
 #include "util/ewma.h"
 #include "util/units.h"
@@ -263,6 +264,16 @@ class Tree {
   void set_event_bus(obs::EventBus* bus);
   [[nodiscard]] obs::EventBus* event_bus() const { return bus_; }
 
+  /// Attach a link-fault model (not owned; may be null).  When set, every
+  /// demand report consults it: lost/deferred reports leave the child
+  /// pending (it re-sends next sweep) and emit kLinkDrop/kLinkDefer;
+  /// duplicated reports cost a second link message.  Null (the default)
+  /// keeps the sweep byte-identical to a fault-free build.
+  void set_link_faults(const fault::LinkFaultModel* faults);
+  [[nodiscard]] const fault::LinkFaultModel* link_faults() const {
+    return link_faults_;
+  }
+
  private:
   /// Shadow-diff verification of one node the incremental sweep skipped.
   void shadow_check_skipped(const Node& n) const;
@@ -280,6 +291,13 @@ class Tree {
   obs::Counter* c_reaggregated_ = nullptr;
   obs::Counter* c_skipped_ = nullptr;
   obs::Counter* c_reports_ = nullptr;
+  /// Fault instruments, resolved only when a link-fault model is installed
+  /// so fault-free runs register no extra counters.
+  void resolve_fault_counters();
+  const fault::LinkFaultModel* link_faults_ = nullptr;
+  obs::Counter* c_link_drops_up_ = nullptr;
+  obs::Counter* c_link_defers_up_ = nullptr;
+  obs::Counter* c_link_dups_up_ = nullptr;
 };
 
 }  // namespace willow::hier

@@ -21,6 +21,16 @@ const char* to_string(EventType type) {
     case EventType::kSleep: return "sleep";
     case EventType::kWake: return "wake";
     case EventType::kLog: return "log";
+    case EventType::kLinkDrop: return "link_drop";
+    case EventType::kLinkDefer: return "link_defer";
+    case EventType::kSensorFault: return "sensor_fault";
+    case EventType::kNodeDown: return "node_down";
+    case EventType::kNodeUp: return "node_up";
+    case EventType::kFallbackBudget: return "fallback_budget";
+    case EventType::kStaleTimeout: return "stale_timeout";
+    case EventType::kResyncComplete: return "resync_complete";
+    case EventType::kUpsFail: return "ups_fail";
+    case EventType::kUpsRestore: return "ups_restore";
   }
   return "unknown";
 }
@@ -47,7 +57,8 @@ std::string describe(const Event& e) {
   if (e.node2 != kNoNode) os << " node2=" << e.node2;
   if (e.app != 0) os << " app=" << e.app;
   if (e.reason != Reason::kNone) os << " reason=" << to_string(e.reason);
-  if (e.type == EventType::kLinkMessage) {
+  if (e.type == EventType::kLinkMessage || e.type == EventType::kLinkDrop ||
+      e.type == EventType::kLinkDefer) {
     os << " dir=" << to_string(e.direction);
   }
   os << " value=" << e.value;

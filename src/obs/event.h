@@ -35,6 +35,19 @@ enum class EventType : std::uint8_t {
   kSleep,             ///< server consolidated to sleep
   kWake,              ///< server woken for unplaceable demand
   kLog,               ///< narrative log line routed through the bus
+  // Fault-injection and degraded-mode vocabulary (docs/fault_model.md).
+  // Appended after kLog so earlier types keep their numeric values; traces
+  // from fault-free runs are unchanged (schema version stays 1).
+  kLinkDrop,          ///< a control message was lost on a PMU link
+  kLinkDefer,         ///< a demand report was delayed (delivered next sweep)
+  kSensorFault,       ///< sensor override changed (aux encodes kind+mode)
+  kNodeDown,          ///< server crashed; its subtree goes dark
+  kNodeUp,            ///< crashed server restarted
+  kFallbackBudget,    ///< conservative budget clamp on a dark server
+  kStaleTimeout,      ///< demand reports stale past the timeout; decay begins
+  kResyncComplete,    ///< control plane re-dirtied after a node recovery
+  kUpsFail,           ///< UPS failure window opened (battery unavailable)
+  kUpsRestore,        ///< UPS failure window closed
 };
 
 /// Why a migration (or shedding action) happened — the paper's Sec. IV

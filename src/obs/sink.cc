@@ -42,7 +42,8 @@ void JsonlTraceSink::on_event(const Event& e) {
   }
   if (e.app != 0) w.key("app").value(static_cast<long long>(e.app));
   if (e.reason != Reason::kNone) w.key("reason").value(to_string(e.reason));
-  if (e.type == EventType::kLinkMessage) {
+  if (e.type == EventType::kLinkMessage || e.type == EventType::kLinkDrop ||
+      e.type == EventType::kLinkDefer) {
     w.key("dir").value(to_string(e.direction));
   }
   w.key("v").value(e.value);

@@ -72,7 +72,7 @@ class CountingSink final : public Sink {
   [[nodiscard]] std::uint64_t total() const { return total_; }
 
  private:
-  std::array<std::uint64_t, 16> by_type_{};
+  std::array<std::uint64_t, 32> by_type_{};
   std::uint64_t total_ = 0;
 };
 

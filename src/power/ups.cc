@@ -20,7 +20,19 @@ Ups::Ups(Joules capacity, Watts max_discharge, Watts max_charge,
   }
 }
 
+void Ups::set_failed(bool failed) {
+  if (failed == failed_) return;
+  failed_ = failed;
+  if (bus_ != nullptr && bus_->enabled()) {
+    obs::Event e;
+    e.type = failed ? obs::EventType::kUpsFail : obs::EventType::kUpsRestore;
+    e.value = state_of_charge();
+    bus_->emit(std::move(e));
+  }
+}
+
 Watts Ups::deliverable(Watts supply, Watts demand, Seconds dt) const {
+  if (failed_) return util::min(demand, supply);
   if (demand <= supply) return demand;
   const Watts deficit = demand - supply;
   Watts discharge = util::min(deficit, max_discharge_);
@@ -34,6 +46,9 @@ Watts Ups::deliverable(Watts supply, Watts demand, Seconds dt) const {
 Watts Ups::step(Watts supply, Watts demand, Seconds dt) {
   if (dt.value() <= 0.0) throw std::invalid_argument("Ups::step: dt <= 0");
   constexpr double kEps = 1e-12;
+  // A failed UPS is a straight wire: stored energy is held (neither spent
+  // nor replenished) until the unit is restored.
+  if (failed_) return util::min(demand, supply);
   if (demand <= supply) {
     // Surplus recharges the battery (bounded by charge rate and capacity).
     const Watts surplus = supply - demand;

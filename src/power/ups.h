@@ -50,11 +50,19 @@ class Ups {
   void set_event_bus(obs::EventBus* bus) { bus_ = bus; }
   [[nodiscard]] obs::EventBus* event_bus() const { return bus_; }
 
+  /// Fault injection: a failed UPS passes the raw feed through untouched —
+  /// no discharge support, no recharge draw — so supply dips that the
+  /// battery would have integrated out hit the control plane directly.
+  /// Transitions emit kUpsFail / kUpsRestore (value = state of charge).
+  void set_failed(bool failed);
+  [[nodiscard]] bool failed() const { return failed_; }
+
  private:
   Joules capacity_;
   Joules stored_;
   Watts max_discharge_;
   Watts max_charge_;
+  bool failed_ = false;
   obs::EventBus* bus_ = nullptr;
 };
 

@@ -298,6 +298,80 @@ SimConfig parse_scenario(std::istream& in) {
       power::CoolingConfig cool;
       cool.cop_at_reference = parse_double(value, line);
       cfg.cooling = power::CoolingModel(cool);
+    } else if (key == "link_up_loss_probability") {
+      cfg.faults.link.up_loss = parse_double(value, line);
+    } else if (key == "link_up_delay_probability") {
+      cfg.faults.link.up_delay = parse_double(value, line);
+    } else if (key == "link_up_duplicate_probability") {
+      cfg.faults.link.up_duplicate = parse_double(value, line);
+    } else if (key == "link_down_loss_probability") {
+      cfg.faults.link.down_loss = parse_double(value, line);
+    } else if (key == "link_down_duplicate_probability") {
+      cfg.faults.link.down_duplicate = parse_double(value, line);
+    } else if (key == "power_sensor_stuck_probability") {
+      cfg.faults.power_sensor.stuck_probability = parse_double(value, line);
+    } else if (key == "power_sensor_bias_probability") {
+      cfg.faults.power_sensor.bias_probability = parse_double(value, line);
+    } else if (key == "power_sensor_dropout_probability") {
+      cfg.faults.power_sensor.dropout_probability = parse_double(value, line);
+    } else if (key == "power_sensor_bias_w") {
+      cfg.faults.power_sensor.bias = parse_double(value, line);
+    } else if (key == "temp_sensor_stuck_probability") {
+      cfg.faults.temp_sensor.stuck_probability = parse_double(value, line);
+    } else if (key == "temp_sensor_bias_probability") {
+      cfg.faults.temp_sensor.bias_probability = parse_double(value, line);
+    } else if (key == "temp_sensor_dropout_probability") {
+      cfg.faults.temp_sensor.dropout_probability = parse_double(value, line);
+    } else if (key == "temp_sensor_bias_c") {
+      cfg.faults.temp_sensor.bias = parse_double(value, line);
+    } else if (key == "sensor_fault_mean_ticks") {
+      cfg.faults.sensor_fault_mean_ticks = parse_double(value, line);
+    } else if (key == "crash_probability") {
+      cfg.faults.crash_probability = parse_double(value, line);
+    } else if (key == "crash_down_ticks") {
+      cfg.faults.crash_down_ticks = parse_long(value, line);
+    } else if (key == "crash_event") {
+      // tick first_server last_server [down_ticks]
+      const auto words = split_words(value);
+      if (words.size() != 3 && words.size() != 4) {
+        fail(line, "crash_event takes 'tick first last [down_ticks]'");
+      }
+      fault::CrashEvent ev;
+      ev.tick = parse_long(words[0], line);
+      ev.first_server = static_cast<std::size_t>(parse_long(words[1], line));
+      ev.last_server = static_cast<std::size_t>(parse_long(words[2], line));
+      if (words.size() == 4) ev.down_ticks = parse_long(words[3], line);
+      cfg.faults.crash_events.push_back(ev);
+    } else if (key == "ups_failure") {
+      // first_tick last_tick (inclusive window of failed-open battery)
+      const auto words = split_words(value);
+      if (words.size() != 2) fail(line, "ups_failure takes 'first last'");
+      fault::UpsFailureWindow w;
+      w.first_tick = parse_long(words[0], line);
+      w.last_tick = parse_long(words[1], line);
+      cfg.faults.ups_failures.push_back(w);
+    } else if (key == "ups") {
+      // capacity_j max_discharge_w max_charge_w [initial_fraction]
+      const auto words = split_words(value);
+      if (words.size() != 3 && words.size() != 4) {
+        fail(line, "ups takes 'capacity_j max_discharge_w max_charge_w"
+                   " [initial_fraction]'");
+      }
+      try {
+        cfg.ups.emplace(util::Joules{parse_double(words[0], line)},
+                        Watts{parse_double(words[1], line)},
+                        Watts{parse_double(words[2], line)},
+                        words.size() == 4 ? parse_double(words[3], line) : 1.0);
+      } catch (const std::invalid_argument& e) {
+        fail(line, e.what());
+      }
+    } else if (key == "stale_timeout_ticks") {
+      cfg.controller.stale_timeout_ticks = parse_long(value, line);
+    } else if (key == "stale_decay") {
+      cfg.controller.stale_decay = parse_double(value, line);
+    } else if (key == "directive_retry_limit") {
+      cfg.controller.directive_retry_limit =
+          static_cast<int>(parse_long(value, line));
     } else {
       fail(line, "unknown key '" + key + "'");
     }
@@ -332,6 +406,82 @@ SimConfig load_scenario_file(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("cannot open scenario file: " + path);
   return parse_scenario(f);
+}
+
+const std::vector<ScenarioKeyDoc>& scenario_keys() {
+  // Samples are chosen so concatenating every `key = sample` line yields one
+  // valid scenario (scenario_keys_roundtrip_test feeds exactly that to
+  // parse_scenario).  Keep in lockstep with the if-chain above and with the
+  // key table in docs/scenario_format.md — scripts/check_docs_drift.sh
+  // cross-checks all three.
+  static const std::vector<ScenarioKeyDoc> kKeys = {
+      {"schema_version", "2"},
+      {"utilization", "0.7"},
+      {"seed", "11"},
+      {"warmup_ticks", "10"},
+      {"measure_ticks", "120"},
+      {"zones", "2"},
+      {"racks_per_zone", "3"},
+      {"servers_per_rack", "3"},
+      {"smoothing_alpha", "0.4"},
+      {"thermal_c1", "0.08"},
+      {"thermal_c2", "0.05"},
+      {"ambient_c", "25"},
+      {"thermal_limit_c", "60"},
+      {"nameplate_w", "450"},
+      {"hot_zone_servers", "4"},
+      {"hot_ambient_c", "40"},
+      {"margin_w", "1.5"},
+      {"migration_cost_w", "0.5"},
+      {"eta1", "3"},
+      {"eta2", "9"},
+      {"consolidation_threshold", "0.5"},
+      {"packing", "ffdlr"},
+      {"allocation", "demand"},
+      {"prefer_local", "true"},
+      {"enforce_unidirectional", "true"},
+      {"shedding", "degrade"},
+      {"degraded_service_level", "0.5"},
+      {"priority_levels", "3"},
+      {"demand_quantum_w", "1"},
+      {"ipc_chain_fraction", "0.0"},
+      {"ipc_flow_units", "0.25"},
+      {"supply", "sine 420 120 48"},
+      {"intensity", "constant 1.0"},
+      {"sla_inflation", "5"},
+      {"report_loss_probability", "0.1"},
+      {"churn_probability", "0.05"},
+      {"incremental_control", "true"},
+      {"shadow_diff", "false"},
+      {"report_deadband_w", "0.25"},
+      {"threads", "1"},
+      {"migration_periods_per_gib", "0.5"},
+      {"rack_circuit_w", "500"},
+      {"cooling_cop", "4.0"},
+      {"link_up_loss_probability", "0.05"},
+      {"link_up_delay_probability", "0.05"},
+      {"link_up_duplicate_probability", "0.02"},
+      {"link_down_loss_probability", "0.05"},
+      {"link_down_duplicate_probability", "0.02"},
+      {"power_sensor_stuck_probability", "0.01"},
+      {"power_sensor_bias_probability", "0.01"},
+      {"power_sensor_dropout_probability", "0.01"},
+      {"power_sensor_bias_w", "4"},
+      {"temp_sensor_stuck_probability", "0.01"},
+      {"temp_sensor_bias_probability", "0.01"},
+      {"temp_sensor_dropout_probability", "0.01"},
+      {"temp_sensor_bias_c", "3"},
+      {"sensor_fault_mean_ticks", "5"},
+      {"crash_probability", "0.002"},
+      {"crash_down_ticks", "10"},
+      {"crash_event", "40 0 1 8"},
+      {"ups", "90000 220 160 0.8"},
+      {"ups_failure", "60 80"},
+      {"stale_timeout_ticks", "3"},
+      {"stale_decay", "0.9"},
+      {"directive_retry_limit", "3"},
+  };
+  return kKeys;
 }
 
 }  // namespace willow::sim

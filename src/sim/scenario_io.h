@@ -18,6 +18,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "sim/simulation.h"
 
@@ -34,6 +35,22 @@ inline constexpr long kScenarioSchemaVersion = 2;
 /// number) on unknown keys, malformed values, out-of-range settings, or an
 /// unsupported schema_version.
 SimConfig parse_scenario(std::istream& in);
+
+/// One entry of the scenario-key registry: a key the parser accepts plus a
+/// valid sample right-hand side.  The samples are mutually consistent — a
+/// file made of every `key = sample` line parses and validates — which is
+/// what scenario_keys_roundtrip_test asserts, pinning the registry to the
+/// parser.  `willow_cli --keys` prints this table and
+/// scripts/check_docs_drift.sh diffs it against docs/scenario_format.md, so
+/// a key added to the parser without a registry + docs entry fails CI.
+struct ScenarioKeyDoc {
+  std::string key;
+  std::string sample;
+};
+
+/// Every key parse_scenario() accepts, in a stable order, with a valid
+/// sample value each.
+const std::vector<ScenarioKeyDoc>& scenario_keys();
 
 /// Parse a scenario file; throws std::runtime_error if unreadable.
 SimConfig load_scenario_file(const std::string& path);

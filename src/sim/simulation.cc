@@ -86,6 +86,9 @@ std::vector<std::string> SimConfig::validate() const {
                        "]: negative tick");
     }
   }
+  for (const auto& e : faults.validate("faults.")) {
+    errors.push_back(e);
+  }
   // threads: any value is meaningful (0 = hardware concurrency, 1 = serial,
   // n = pool of n), so there is nothing to reject.
   return errors;
@@ -155,6 +158,18 @@ void Simulation::build() {
   config_.controller.shadow_diff = config_.shadow_diff;
   controller_ = std::make_unique<core::Controller>(cluster, config_.controller);
   controller_->set_event_bus(&bus_);
+
+  // Fault plane arming: models exist only when the scenario configures them,
+  // so a zero-fault run installs no hooks (and registers no fault counters).
+  if (config_.faults.link.any()) {
+    link_faults_ = std::make_unique<fault::LinkFaultModel>(config_.faults.link,
+                                                           config_.seed);
+    controller_->set_link_faults(link_faults_.get());
+  }
+  if (config_.faults.server_faults_enabled()) {
+    fault_plane_ = std::make_unique<fault::FaultPlane>(
+        config_.faults, config_.seed, dc_->servers.size());
+  }
 
   const std::size_t threads =
       config_.threads == 0
@@ -243,10 +258,95 @@ SimResult Simulation::run() {
       metrics.histogram("sim.migrations_per_tick", {0, 1, 2, 4, 8, 16, 32});
   obs::Counter& c_ticks = metrics.counter("sim.ticks");
 
+  // Fault instruments are created only on armed runs (timer()/counter()
+  // register on first use), so a zero-fault metrics snapshot is unchanged.
+  obs::Timer* t_fault =
+      fault_plane_ ? &metrics.timer("sim.phase.fault") : nullptr;
+  obs::Counter* c_crashes =
+      fault_plane_ ? &metrics.counter("fault.crashes") : nullptr;
+  obs::Counter* c_restarts =
+      fault_plane_ ? &metrics.counter("fault.restarts") : nullptr;
+  obs::Counter* c_sensor_faults =
+      fault_plane_ ? &metrics.counter("fault.sensor_faults") : nullptr;
+  obs::Counter* c_sensor_recoveries =
+      fault_plane_ ? &metrics.counter("fault.sensor_recoveries") : nullptr;
+
+  fault::FaultPlane::Callbacks fault_cb;
+  if (fault_plane_) {
+    fault_cb.skip_crash = [&](std::size_t i) {
+      // A consolidated (asleep) server has no running plant to crash.
+      return cluster.server_at(i).asleep();
+    };
+    fault_cb.crash = [&, this](std::size_t i, long down_ticks) {
+      const hier::NodeId s = dc_->servers[i];
+      cluster.crash_server(s);
+      controller_->note_availability_change(s);
+      if (bus_.enabled()) {
+        obs::Event e;
+        e.type = obs::EventType::kNodeDown;
+        e.node = s;
+        e.value = static_cast<double>(down_ticks);
+        bus_.emit(std::move(e));
+      }
+      c_crashes->increment();
+    };
+    fault_cb.restart = [&, this](std::size_t i) {
+      const hier::NodeId s = dc_->servers[i];
+      cluster.restore_server(s);
+      // Recovery re-sync: the availability flip re-dirties the node's report
+      // path, the parent's roll-up and the division, exactly like a wake.
+      controller_->note_availability_change(s);
+      if (bus_.enabled()) {
+        obs::Event up;
+        up.type = obs::EventType::kNodeUp;
+        up.node = s;
+        bus_.emit(std::move(up));
+        obs::Event rs;
+        rs.type = obs::EventType::kResyncComplete;
+        rs.node = s;
+        bus_.emit(std::move(rs));
+      }
+      c_restarts->increment();
+    };
+    fault_cb.sensor = [&, this](std::size_t i, const fault::SensorOverride& o,
+                                bool temp_sensor) {
+      auto& srv = cluster.server_at(i);
+      fault::SensorOverride applied = o;
+      // Stuck-at onset: freeze at the value the sensor read at that moment.
+      if (applied.mode == fault::SensorMode::kStuck && applied.param == 0.0) {
+        applied.param = temp_sensor ? srv.thermal().temperature().value()
+                                    : srv.power_demand().value();
+      }
+      if (temp_sensor) {
+        srv.set_temp_sensor(applied);
+      } else {
+        srv.set_power_sensor(applied);
+      }
+      controller_->note_external_change(dc_->servers[i]);
+      if (bus_.enabled()) {
+        obs::Event e;
+        e.type = obs::EventType::kSensorFault;
+        e.node = dc_->servers[i];
+        e.value = applied.param;
+        // aux encodes which sensor and what happened: mode code (0 recovery,
+        // 1 stuck, 2 bias, 3 dropout) plus 10 for the temperature sensor.
+        e.aux = static_cast<double>(static_cast<int>(applied.mode)) +
+                (temp_sensor ? 10.0 : 0.0);
+        bus_.emit(std::move(e));
+      }
+      if (applied.healthy()) {
+        c_sensor_recoveries->increment();
+      } else {
+        c_sensor_faults->increment();
+      }
+    };
+  }
+
   for (long tick = 0; tick < total_ticks; ++tick) {
     const double t = static_cast<double>(tick) * dt.value();
     bus_.set_tick(tick);
     c_ticks.increment();
+    if (link_faults_) link_faults_->set_tick(tick);
 
     if (config_.churn_probability > 0.0) {
       const obs::ScopedTimer churn_timer(&t_churn);
@@ -259,7 +359,11 @@ SimResult Simulation::run() {
           pool_.get(), n_servers, [&](std::size_t begin, std::size_t end) {
             for (std::size_t i = begin; i < end; ++i) {
               const auto& srv = cluster.server_at(i);
-              if (srv.asleep() || srv.apps().empty()) continue;
+              // A crashed server is unreachable: nothing departs, nothing
+              // arrives, until it restarts.
+              if (srv.asleep() || srv.crashed() || srv.apps().empty()) {
+                continue;
+              }
               auto rng = util::tick_stream(config_.seed, tick, i,
                                            util::stream_phase::kChurn);
               if (!rng.chance(config_.churn_probability)) continue;
@@ -322,6 +426,11 @@ SimResult Simulation::run() {
       }
     }
 
+    if (fault_plane_) {
+      const obs::ScopedTimer fault_timer(t_fault);
+      fault_plane_->step(tick, pool_.get(), fault_cb);
+    }
+
     const double intensity =
         config_.intensity ? config_.intensity->at(Seconds{t}) : 1.0;
     {
@@ -347,6 +456,16 @@ SimResult Simulation::run() {
     }
 
     Watts supply = config_.supply ? config_.supply->at(Seconds{t}) : plenty;
+    if (config_.ups && !config_.faults.ups_failures.empty()) {
+      bool failed = false;
+      for (const auto& w : config_.faults.ups_failures) {
+        if (tick >= w.first_tick && tick <= w.last_tick) {
+          failed = true;
+          break;
+        }
+      }
+      config_.ups->set_failed(failed);
+    }
     if (config_.ups) {
       // The root PMU's demand from the previous reports is the best estimate
       // of what the load wants from the feed this period.
@@ -363,8 +482,9 @@ SimResult Simulation::run() {
           for (std::size_t i = begin; i < end; ++i) {
             const auto& srv = cluster.server_at(i);
             traffic_units[i] =
-                srv.asleep() ? -1.0
-                             : norm_util(srv, tree.node(srv.node()).budget());
+                srv.asleep() || srv.crashed()
+                    ? -1.0
+                    : norm_util(srv, tree.node(srv.node()).budget());
           }
         });
     for (std::size_t i = 0; i < n_servers; ++i) {
@@ -439,7 +559,8 @@ SimResult Simulation::run() {
         const auto& srv = cluster.server(s);
         double offered = 0.0, denied = 0.0;
         for (const auto& a : srv.apps()) {
-          if (a.dropped() || srv.asleep()) {
+          // A crashed host denies all of its hosted service until restart.
+          if (a.dropped() || srv.asleep() || srv.crashed()) {
             denied += a.effective_mean_power().value() * intensity;
           } else {
             offered += a.demand().value();

@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "core/controller.h"
+#include "fault/link_faults.h"
+#include "fault/plane.h"
 #include "net/fabric.h"
 #include "obs/bus.h"
 #include "obs/metrics.h"
@@ -120,6 +122,13 @@ struct SimConfig {
   /// Per-server, per-tick probability of a lost demand report (fault
   /// injection; the PMU acts on stale state until the next report).
   double report_loss_probability = 0.0;
+  /// Deterministic fault-injection plane (docs/fault_model.md): PMU link
+  /// message loss/delay/duplication, sensor stuck-at/bias/dropout episodes,
+  /// probabilistic and scripted server crashes, UPS failure windows.  All
+  /// schedules are pure functions of `seed` via util::tick_stream, so traces
+  /// stay byte-identical for any `threads`; the default (all zeros) installs
+  /// no hooks and reproduces a fault-free run byte for byte.
+  fault::FaultConfig faults{};
   /// Workload churn: per-server, per-tick probability that one hosted
   /// application departs and a fresh one (random class) arrives on the same
   /// server — the paper's "variations in workload ... characteristics".
@@ -249,6 +258,11 @@ class Simulation {
   std::unique_ptr<Datacenter> dc_;
   std::unique_ptr<net::Fabric> fabric_;
   std::unique_ptr<core::Controller> controller_;
+  /// Fault-injection state machines; null unless the scenario arms them
+  /// (construction is the arming: every fault path in the tick loop is
+  /// behind a null check, keeping fault-free runs byte-identical).
+  std::unique_ptr<fault::FaultPlane> fault_plane_;
+  std::unique_ptr<fault::LinkFaultModel> link_faults_;
   std::unique_ptr<util::Rng> rng_;
   /// Worker pool for the sharded tick phases; null when the effective thread
   /// count is 1 (serial engine, no pool spun up).

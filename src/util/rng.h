@@ -46,6 +46,10 @@ namespace stream_phase {
 inline constexpr std::uint64_t kChurn = 1;   ///< churn arrival/departure draws
 inline constexpr std::uint64_t kDemand = 2;  ///< Poisson demand refresh
 inline constexpr std::uint64_t kFault = 3;   ///< report-loss sampling
+inline constexpr std::uint64_t kLinkUp = 4;    ///< up-link fault verdicts
+inline constexpr std::uint64_t kLinkDown = 5;  ///< down-link fault verdicts
+inline constexpr std::uint64_t kSensor = 6;    ///< sensor fault onset/params
+inline constexpr std::uint64_t kCrash = 7;     ///< server crash sampling
 }  // namespace stream_phase
 
 /// Counter-based engine: state is a bare counter, output is splitmix64_mix of

@@ -100,6 +100,29 @@ TEST(ShadowDiff, UpsSupplyScenario) {
   expect_modes_equivalent(cfg);
 }
 
+TEST(ShadowDiff, FaultScheduleScenario) {
+  // The fault plane must not break incremental==full: lost/duplicated
+  // messages, sensor episodes, crashes and degraded-mode clamps all re-dirty
+  // the incremental walk, and shadow mode audits every skip it still takes.
+  auto cfg = base_config(0.6, 13);
+  cfg.churn_probability = 0.05;
+  cfg.report_loss_probability = 0.05;
+  cfg.faults.link.up_loss = 0.05;
+  cfg.faults.link.up_delay = 0.05;
+  cfg.faults.link.up_duplicate = 0.02;
+  cfg.faults.link.down_loss = 0.05;
+  cfg.faults.link.down_duplicate = 0.02;
+  cfg.faults.power_sensor.dropout_probability = 0.01;
+  cfg.faults.power_sensor.bias_probability = 0.01;
+  cfg.faults.power_sensor.bias = 4.0;
+  cfg.faults.temp_sensor.stuck_probability = 0.01;
+  cfg.faults.crash_probability = 0.005;
+  cfg.faults.crash_down_ticks = 5;
+  cfg.faults.crash_events.push_back({15, 0, 2, 5});
+  cfg.controller.stale_timeout_ticks = 3;
+  expect_modes_equivalent(cfg);
+}
+
 TEST(ShadowDiff, SkipCountersReconcileWithTrace) {
   // The metrics the perf gate keys on must agree with the trace: every
   // upward link message in the JSONL is one demand report, and reaggregated

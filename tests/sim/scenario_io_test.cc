@@ -236,5 +236,92 @@ TEST(ScenarioIo, ParsedConfigActuallyRuns) {
   EXPECT_EQ(r.ticks, 10);
 }
 
+TEST(ScenarioIo, FaultKeys) {
+  const auto cfg = parse(R"(
+supply = sine 420 120 48
+link_up_loss_probability = 0.05
+link_up_delay_probability = 0.04
+link_up_duplicate_probability = 0.03
+link_down_loss_probability = 0.02
+link_down_duplicate_probability = 0.01
+power_sensor_stuck_probability = 0.011
+power_sensor_bias_probability = 0.012
+power_sensor_dropout_probability = 0.013
+power_sensor_bias_w = 4.5
+temp_sensor_stuck_probability = 0.021
+temp_sensor_bias_probability = 0.022
+temp_sensor_dropout_probability = 0.023
+temp_sensor_bias_c = -2.5
+sensor_fault_mean_ticks = 7
+crash_probability = 0.002
+crash_down_ticks = 12
+crash_event = 40 0 1 8
+crash_event = 55 3 3
+ups = 90000 220 160 0.8
+ups_failure = 60 80
+stale_timeout_ticks = 3
+stale_decay = 0.85
+directive_retry_limit = 5
+)");
+  EXPECT_DOUBLE_EQ(cfg.faults.link.up_loss, 0.05);
+  EXPECT_DOUBLE_EQ(cfg.faults.link.up_delay, 0.04);
+  EXPECT_DOUBLE_EQ(cfg.faults.link.up_duplicate, 0.03);
+  EXPECT_DOUBLE_EQ(cfg.faults.link.down_loss, 0.02);
+  EXPECT_DOUBLE_EQ(cfg.faults.link.down_duplicate, 0.01);
+  EXPECT_DOUBLE_EQ(cfg.faults.power_sensor.stuck_probability, 0.011);
+  EXPECT_DOUBLE_EQ(cfg.faults.power_sensor.bias, 4.5);
+  EXPECT_DOUBLE_EQ(cfg.faults.temp_sensor.dropout_probability, 0.023);
+  EXPECT_DOUBLE_EQ(cfg.faults.temp_sensor.bias, -2.5);
+  EXPECT_DOUBLE_EQ(cfg.faults.sensor_fault_mean_ticks, 7.0);
+  EXPECT_DOUBLE_EQ(cfg.faults.crash_probability, 0.002);
+  EXPECT_EQ(cfg.faults.crash_down_ticks, 12);
+  ASSERT_EQ(cfg.faults.crash_events.size(), 2u);
+  EXPECT_EQ(cfg.faults.crash_events[0].tick, 40);
+  EXPECT_EQ(cfg.faults.crash_events[0].first_server, 0u);
+  EXPECT_EQ(cfg.faults.crash_events[0].last_server, 1u);
+  EXPECT_EQ(cfg.faults.crash_events[0].down_ticks, 8);
+  EXPECT_EQ(cfg.faults.crash_events[1].down_ticks, 10);  // default
+  ASSERT_TRUE(cfg.ups.has_value());
+  EXPECT_DOUBLE_EQ(cfg.ups->capacity().value(), 90000.0);
+  EXPECT_DOUBLE_EQ(cfg.ups->state_of_charge(), 0.8);
+  ASSERT_EQ(cfg.faults.ups_failures.size(), 1u);
+  EXPECT_EQ(cfg.faults.ups_failures[0].first_tick, 60);
+  EXPECT_EQ(cfg.faults.ups_failures[0].last_tick, 80);
+  EXPECT_EQ(cfg.controller.stale_timeout_ticks, 3);
+  EXPECT_DOUBLE_EQ(cfg.controller.stale_decay, 0.85);
+  EXPECT_EQ(cfg.controller.directive_retry_limit, 5);
+  EXPECT_TRUE(cfg.faults.enabled());
+}
+
+TEST(ScenarioIo, FaultKeysOutOfRangeFail) {
+  EXPECT_THROW(parse("link_up_loss_probability = 1.5\n"), std::runtime_error);
+  EXPECT_THROW(parse("crash_probability = -0.1\n"), std::runtime_error);
+  EXPECT_THROW(parse("crash_event = 5 3 1\n"), std::runtime_error);
+  EXPECT_THROW(parse("crash_event = 5\n"), std::runtime_error);
+  EXPECT_THROW(parse("ups_failure = 80 60\n"), std::runtime_error);
+  EXPECT_THROW(parse("ups = 100 -5 10\n"), std::runtime_error);
+  EXPECT_THROW(parse("stale_decay = 1.5\n"), std::runtime_error);
+  EXPECT_THROW(parse("directive_retry_limit = -1\n"), std::runtime_error);
+}
+
+TEST(ScenarioIo, ScenarioKeysRoundtrip) {
+  // The registry is the machine-readable contract for `willow_cli --keys`
+  // and the docs-drift checker: every key parses, and the samples are
+  // mutually consistent — the concatenation of all of them is one valid
+  // scenario.
+  const auto& keys = scenario_keys();
+  ASSERT_GE(keys.size(), 60u);
+  std::string text;
+  for (const auto& k : keys) {
+    EXPECT_FALSE(k.key.empty());
+    EXPECT_FALSE(k.sample.empty());
+    text += k.key + " = " + k.sample + "\n";
+  }
+  const auto cfg = parse(text);
+  EXPECT_TRUE(cfg.faults.enabled());
+  EXPECT_TRUE(cfg.ups.has_value());
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
 }  // namespace
 }  // namespace willow::sim

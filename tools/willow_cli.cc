@@ -2,7 +2,9 @@
 //
 //   willow_cli <scenario-file> [--csv <prefix>] [--json <file>]
 //                              [--trace <file>] [--metrics]
+//   willow_cli --check <scenario-file>  # parse + validate only, no run
 //   willow_cli --describe            # list scenario keys by example
+//   willow_cli --keys                # machine-readable key<TAB>sample table
 //
 // The scenario format is documented in sim/scenario_io.h.  With --csv, the
 // recorded time series are written to <prefix>_supply.csv,
@@ -74,7 +76,37 @@ void describe() {
   incremental_control = true   change-driven control plane (identical trace)
   shadow_diff = false          re-derive every incremental skip; throw on diff
   report_deadband_w = 0        min demand movement before a node re-reports
+
+Fault plane (docs/fault_model.md; all default off, seed-deterministic):
+  link_up_loss_probability = 0.05       demand report lost (child retries)
+  link_up_delay_probability = 0.05      report deferred to the next sweep
+  link_up_duplicate_probability = 0.02  report delivered twice (idempotent)
+  link_down_loss_probability = 0.05     budget directive lost (retry queue)
+  link_down_duplicate_probability = 0.02  directive delivered twice
+  power_sensor_stuck_probability = 0.01   per-tick stuck-at onset
+  power_sensor_bias_probability = 0.01    per-tick additive-offset onset
+  power_sensor_dropout_probability = 0.01 per-tick no-reading onset
+  power_sensor_bias_w = 4               offset during a bias episode
+  temp_sensor_stuck_probability = 0.01
+  temp_sensor_bias_probability = 0.01
+  temp_sensor_dropout_probability = 0.01
+  temp_sensor_bias_c = 3
+  sensor_fault_mean_ticks = 5           mean episode length
+  crash_probability = 0.002             per-server, per-tick crash onset
+  crash_down_ticks = 10                 outage length for random crashes
+  crash_event = 40 0 1 8                scripted: tick first last [down]
+  ups = 90000 220 160 0.8               capacity_j discharge_w charge_w [soc]
+  ups_failure = 60 80                   battery failed open over [first,last]
+  stale_timeout_ticks = 3               degraded mode: reports stale after N
+  stale_decay = 0.9                     per-tick decay of synthetic demand
+  directive_retry_limit = 3             lost-directive retries before abandon
 )";
+}
+
+void print_keys() {
+  for (const auto& k : sim::scenario_keys()) {
+    std::cout << k.key << '\t' << k.sample << '\n';
+  }
 }
 
 bool write_series(const std::string& path, const char* column,
@@ -94,10 +126,29 @@ int main(int argc, char** argv) {
     describe();
     return 0;
   }
+  if (argc >= 2 && std::strcmp(argv[1], "--keys") == 0) {
+    print_keys();
+    return 0;
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--check") == 0) {
+    if (argc != 3) {
+      std::cerr << "usage: willow_cli --check <scenario-file>\n";
+      return 2;
+    }
+    try {
+      (void)sim::load_scenario_file(argv[2]);
+      std::cout << "ok: " << argv[2] << "\n";
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
   if (argc < 2) {
     std::cerr << "usage: willow_cli <scenario-file> [--csv <prefix>]"
                  " [--json <file>] [--trace <file>] [--metrics]\n"
-                 "       willow_cli --describe\n";
+                 "       willow_cli --check <scenario-file>\n"
+                 "       willow_cli --describe | --keys\n";
     return 2;
   }
   std::string csv_prefix;
