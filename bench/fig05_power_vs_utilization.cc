@@ -17,8 +17,10 @@ int main(int argc, char** argv) {
     for (unsigned long long seed : {23ULL, 17ULL, 5ULL}) {
       const auto r =
           sim::run_simulation(bench::hot_zone_sim_config(u, seed));
-      for (int i = 0; i < 14; ++i) cold.add(r.servers[i].consumed_power.mean());
-      for (int i = 14; i < 18; ++i) hot.add(r.servers[i].consumed_power.mean());
+      for (int i = 0; i < 14; ++i)
+        cold.add(r.server_metrics(r.server_nodes[i]).consumed_power.mean());
+      for (int i = 14; i < 18; ++i)
+        hot.add(r.server_metrics(r.server_nodes[i]).consumed_power.mean());
       violation |= r.thermal_violation;
     }
     table.row()

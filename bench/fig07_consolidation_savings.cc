@@ -14,8 +14,9 @@ int main(int argc, char** argv) {
   for (unsigned long long seed : {23ULL, 17ULL, 5ULL, 29ULL, 31ULL}) {
     const auto r = sim::run_simulation(bench::hot_zone_sim_config(0.4, seed));
     for (int i = 0; i < 18; ++i) {
-      saved[i].add(r.servers[i].saved_power_w);
-      asleep[i].add(r.servers[i].asleep_fraction);
+      const auto& m = r.server_metrics(r.server_nodes[i]);
+      saved[i].add(m.saved_power_w);
+      asleep[i].add(m.asleep_fraction);
     }
   }
   for (int i = 0; i < 18; ++i) {

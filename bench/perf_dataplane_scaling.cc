@@ -1,0 +1,137 @@
+// Data-plane scaling baseline: whole-tick throughput vs fleet size.
+//
+// Unlike perf_controller_scaling.cc (which isolates Controller::tick()),
+// this bench measures the full simulation tick — demand refresh, fabric
+// accounting, controller, thermal step and recording — via the
+// `sim.phase.tick.measured` timer (post-warmup ticks only).  That is the
+// number that collapsed superlinearly before the arena redesign: the
+// record phase's level_balance walk was O(n^2) per tick and consolidation
+// rescanned whole subtrees per candidate.
+//
+// Two regimes per fleet:
+//   servers_Nk        settled: bitwise-constant demand (quantum 0), no
+//                     churn — the steady state where throughput is highest
+//                     and the committed baseline's best-of-fleet lives.
+//   servers_Nk_churn  Poisson demand (quantum 1 W) + 2% workload churn —
+//                     the dirty set stays large every tick; guards against
+//                     optimizations that only help the settled case.
+//
+// threads=1 and ticks=100 to match the committed BENCH_dataplane_scaling
+// baseline; scripts/check_bench_regression.sh compares best-of-fleet
+// ticks-per-second keyed on the `servers` field, so scenario renames do
+// not invalidate the baseline.
+//
+// Writes BENCH_dataplane_scaling.json (or argv[1]).  `--quick` skips the
+// 100k fleet for smoke runs.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+
+namespace willow::bench {
+namespace {
+
+struct Fleet {
+  std::string name;
+  sim::DatacenterLayout layout;
+  /// Settled-regime warmup: the steady state needs the thermal plant at its
+  /// bitwise fixed point (~650 ticks at the paper's cooling rate).  The
+  /// largest fleet measures the late transient instead to keep wall time
+  /// bounded — demand-side settling is already in effect there.
+  long settled_warmup = 720;
+};
+
+struct Regime {
+  std::string suffix;        ///< appended to the fleet name ("" = settled)
+  double churn_probability;
+  double demand_quantum_w;   ///< 0 = deterministic constant demand
+  long warmup;
+  long measure;
+};
+
+struct Measured {
+  double tick_seconds = 0.0;  ///< post-warmup whole-tick wall total
+  std::uint64_t ticks = 0;
+};
+
+Measured run_once(const Fleet& fleet, const Regime& regime) {
+  auto cfg = paper_sim_config(0.5, /*seed=*/4242);
+  cfg.datacenter.layout = fleet.layout;
+  cfg.warmup_ticks = regime.warmup;
+  cfg.measure_ticks = regime.measure;
+  cfg.churn_probability = regime.churn_probability;
+  cfg.demand_quantum = util::Watts{regime.demand_quantum_w};
+  cfg.threads = 1;  // the baseline is a serial tick; see BENCH json
+  sim::Simulation simulation(cfg);
+  const auto result = simulation.run();
+  Measured m;
+  for (const auto& t : result.metrics.timers) {
+    if (t.name == "sim.phase.tick.measured") {
+      m.tick_seconds = t.total_seconds;
+      m.ticks = t.count;
+    }
+  }
+  return m;
+}
+
+int run(int argc, char** argv) {
+  std::vector<Fleet> fleets{
+      {"servers_1k", {5, 10, 20}},
+      {"servers_10k", {10, 25, 40}},
+      {"servers_100k", {20, 50, 100}, /*settled_warmup=*/160},
+  };
+  const std::vector<Regime> regimes{
+      {"", 0.0, 0.0, /*warmup=*/720, /*measure=*/100},
+      {"_churn", 0.02, 1.0, /*warmup=*/40, /*measure=*/100},
+  };
+  const bool quick = argc > 2 && std::string(argv[2]) == "--quick";
+  if (quick) fleets.pop_back();  // skip the 100k sweep in smoke runs
+
+  std::vector<PerfPoint> points;
+  util::Table table({"scenario", "servers", "ms_per_tick", "ticks_per_sec"});
+  table.set_precision(4);
+  for (const auto& fleet : fleets) {
+    for (const auto& regime : regimes) {
+      Regime r = regime;
+      if (r.suffix.empty()) r.warmup = fleet.settled_warmup;
+      const Measured m = run_once(fleet, r);
+      PerfPoint p;
+      p.scenario = fleet.name + r.suffix;
+      p.servers = fleet.layout.total_servers();
+      p.threads = 1;
+      p.ticks = static_cast<long>(m.ticks);
+      p.wall_seconds = m.tick_seconds;
+      p.ticks_per_second =
+          m.tick_seconds > 0.0
+              ? static_cast<double>(m.ticks) / m.tick_seconds
+              : 0.0;
+      points.push_back(p);
+      table.row()
+          .add(p.scenario)
+          .add(static_cast<double>(p.servers))
+          .add(m.ticks > 0
+                   ? 1e3 * m.tick_seconds / static_cast<double>(m.ticks)
+                   : 0.0)
+          .add(p.ticks_per_second);
+      std::cout << "  measured " << p.scenario << ": " << p.ticks_per_second
+                << " ticks/s\n";
+    }
+  }
+
+  std::cout << "== data-plane scaling (post-warmup whole-tick wall time) ==\n";
+  table.print(std::cout);
+
+  const std::string path = argc > 1 ? argv[1] : "BENCH_dataplane_scaling.json";
+  if (!write_perf_json(path, "dataplane_scaling", points)) {
+    std::cerr << "failed to write " << path << '\n';
+    return 1;
+  }
+  std::cout << "(json written to " << path << ")\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace willow::bench
+
+int main(int argc, char** argv) { return willow::bench::run(argc, argv); }

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Bench regression gate for the data-plane scaling benchmark.
+#
+#   scripts/check_bench_regression.sh <candidate.json> [baseline.json] [max_pct]
+#
+# Compares best-of-fleet ticks-per-second per fleet size (keyed on the
+# "servers" field, so scenario renames between runs don't break the gate)
+# against a baseline BENCH_dataplane_scaling.json.  Fails if the candidate
+# regresses more than <max_pct> percent (default 10) at the 1k or 10k fleet;
+# the 100k fleet is reported but not gated (its absolute floor is asserted by
+# the PR that moves it, not per-run — a full 100k point takes minutes and is
+# often skipped via --quick).
+#
+# With no explicit baseline, the committed copy is used (git show HEAD:...),
+# so you can regenerate BENCH_dataplane_scaling.json in place and gate the
+# working tree against the last commit.
+set -euo pipefail
+
+CANDIDATE="${1:?usage: check_bench_regression.sh <candidate.json> [baseline.json] [max_pct]}"
+BASELINE="${2:-}"
+MAX_PCT="${3:-10}"
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+if [ -z "$BASELINE" ]; then
+  BASELINE="$tmp/baseline.json"
+  if ! git -C "$ROOT" show HEAD:BENCH_dataplane_scaling.json > "$BASELINE" 2>/dev/null; then
+    # Not committed yet (first run on a fresh branch): use the repo copy.
+    cp "$ROOT/BENCH_dataplane_scaling.json" "$BASELINE"
+    echo "bench-regression: no committed baseline, using working-tree copy"
+  fi
+fi
+
+# Best (max) ticks_per_second among a file's points with the given "servers"
+# value.  The JSON is produced by bench/common.h's writer, so the fields of
+# one point always appear together between braces; prints 0 if absent.
+best_tps() {  # best_tps <json-file> <servers>
+  tr '}' '\n' < "$1" | awk -v want="$2" '
+    match($0, /"servers":[0-9]+/) {
+      s = substr($0, RSTART + 10, RLENGTH - 10) + 0
+      if (s == want && match($0, /"ticks_per_second":[0-9.eE+-]+/)) {
+        t = substr($0, RSTART + 19, RLENGTH - 19) + 0
+        if (t > best) best = t
+      }
+    }
+    END { printf "%.6f\n", best + 0 }'
+}
+
+fail=0
+for fleet in 1000 10000; do
+  base="$(best_tps "$BASELINE" "$fleet")"
+  cand="$(best_tps "$CANDIDATE" "$fleet")"
+  if awk -v b="$base" 'BEGIN { exit !(b <= 0) }'; then
+    echo "bench-regression: no baseline point for servers=$fleet, skipping"
+    continue
+  fi
+  if awk -v c="$cand" 'BEGIN { exit !(c <= 0) }'; then
+    echo "FAIL: candidate has no point for servers=$fleet" >&2
+    fail=1
+    continue
+  fi
+  delta="$(awk -v b="$base" -v c="$cand" 'BEGIN { printf "%+.1f", (c/b - 1) * 100 }')"
+  if awk -v b="$base" -v c="$cand" -v p="$MAX_PCT" \
+       'BEGIN { exit !(c < b * (1 - p / 100)) }'; then
+    echo "FAIL: servers=$fleet regressed ${delta}% (baseline ${base} tps, candidate ${cand} tps, limit -${MAX_PCT}%)" >&2
+    fail=1
+  else
+    echo "ok: servers=$fleet ${delta}% (baseline ${base} tps, candidate ${cand} tps)"
+  fi
+done
+
+# 100k: informational — report the ratio, never gate.
+base100k="$(best_tps "$BASELINE" 100000)"
+cand100k="$(best_tps "$CANDIDATE" 100000)"
+if awk -v b="$base100k" -v c="$cand100k" 'BEGIN { exit !(b > 0 && c > 0) }'; then
+  ratio="$(awk -v b="$base100k" -v c="$cand100k" 'BEGIN { printf "%.1f", c / b }')"
+  echo "info: servers=100000 ${ratio}x baseline (${base100k} -> ${cand100k} tps)"
+else
+  echo "info: servers=100000 point missing in baseline or candidate (--quick run?)"
+fi
+
+exit "$fail"

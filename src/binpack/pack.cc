@@ -126,49 +126,14 @@ PackResult ffdlr(const std::vector<Item>& items, const std::vector<Bin>& bins) {
     return result;
   }
 
-  // Items larger than the largest bin can never be placed.
-  std::vector<std::size_t> order;
-  for (std::size_t i : by_decreasing_size(items)) {
-    if (items[i].size > cmax + kEps) {
-      result.unplaced.push_back(i);
-    } else {
-      order.push_back(i);
-    }
-  }
-
-  // Step 2+3: first-fit decreasing into virtual bins of (normalized) size 1.
-  struct VirtualBin {
-    double content = 0.0;
-    std::vector<std::size_t> items;
-  };
-  std::vector<VirtualBin> virt;
-  for (std::size_t item : order) {
-    const double size = items[item].size;
-    bool placed = false;
-    for (auto& vb : virt) {
-      if (vb.content + size <= cmax + kEps) {
-        vb.content += size;
-        vb.items.push_back(item);
-        placed = true;
-        break;
-      }
-    }
-    if (!placed) {
-      virt.push_back({size, {item}});
-    }
-  }
+  // Steps 2+3 (shared with the consolidation fast path; see pack.h).
+  VirtualGroups vg = ffdlr_virtual_groups(items, cmax);
+  result.unplaced = std::move(vg.oversized);
+  const std::vector<VirtualGroup>& virt = vg.groups;
 
   // Step 4: repack each virtual bin's contents into the smallest feasible
   // real bin.  Virtual bins are taken largest-content first so the scarce
   // big real bins go to the groups that need them.
-  std::stable_sort(virt.begin(), virt.end(),
-                   [](const VirtualBin& a, const VirtualBin& b) {
-                     if (a.content != b.content) return a.content > b.content;
-                     // Equal content: earlier-created group (lower leading
-                     // item index) first — explicit, not relying on
-                     // stability alone.
-                     return a.items.front() < b.items.front();
-                   });
   std::vector<std::size_t> real_by_cap(bins.size());
   std::iota(real_by_cap.begin(), real_by_cap.end(), std::size_t{0});
   std::stable_sort(real_by_cap.begin(), real_by_cap.end(),
@@ -234,6 +199,48 @@ PackResult ffdlr(const std::vector<Item>& items, const std::vector<Bin>& bins) {
 }
 
 }  // namespace
+
+VirtualGroups ffdlr_virtual_groups(const std::vector<Item>& items,
+                                   double cmax) {
+  VirtualGroups out;
+
+  // Items larger than the largest bin can never be placed.
+  std::vector<std::size_t> order;
+  for (std::size_t i : by_decreasing_size(items)) {
+    if (items[i].size > cmax + kEps) {
+      out.oversized.push_back(i);
+    } else {
+      order.push_back(i);
+    }
+  }
+
+  // Step 2+3: first-fit decreasing into virtual bins of (normalized) size 1.
+  for (std::size_t item : order) {
+    const double size = items[item].size;
+    bool placed = false;
+    for (auto& vb : out.groups) {
+      if (vb.content + size <= cmax + kEps) {
+        vb.content += size;
+        vb.items.push_back(item);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      out.groups.push_back({size, {item}});
+    }
+  }
+
+  // Step 4's consumption order: largest content first.  Equal content: the
+  // earlier-created group (lower leading item index) first — explicit, not
+  // relying on stability alone.
+  std::stable_sort(out.groups.begin(), out.groups.end(),
+                   [](const VirtualGroup& a, const VirtualGroup& b) {
+                     if (a.content != b.content) return a.content > b.content;
+                     return a.items.front() < b.items.front();
+                   });
+  return out;
+}
 
 PackResult pack(const std::vector<Item>& items, const std::vector<Bin>& bins,
                 Algorithm algorithm) {

@@ -68,6 +68,32 @@ enum class Algorithm {
 PackResult pack(const std::vector<Item>& items, const std::vector<Bin>& bins,
                 Algorithm algorithm);
 
+/// One virtual bin from FFDLR's steps 2+3: the items first-fit into it (in
+/// placement order) and their summed size.
+struct VirtualGroup {
+  double content = 0.0;
+  std::vector<std::size_t> items;  ///< indices into the input items
+};
+
+/// The outcome of FFDLR's virtual-bin phase against largest-bin size `cmax`.
+struct VirtualGroups {
+  /// Groups in the exact order step 4 repacks them: content descending,
+  /// equal contents broken by lower leading item index.
+  std::vector<VirtualGroup> groups;
+  /// Items larger than cmax (+eps) that can never be placed, in decreasing
+  /// size order — the order pack() reports them unplaced.
+  std::vector<std::size_t> oversized;
+};
+
+/// FFDLR steps 2+3 in isolation: first-fit the items, in decreasing order,
+/// into virtual bins of capacity `cmax`, and sort the resulting groups the
+/// way step 4 consumes them.  pack(kFfdlr) is built on this; it is exposed
+/// so callers that maintain their own capacity-ordered bin index (the
+/// controller's consolidation fast path) can reproduce pack()'s group
+/// placement bitwise without materializing the bin vector.
+VirtualGroups ffdlr_virtual_groups(const std::vector<Item>& items,
+                                   double cmax);
+
 /// Validate a result against its inputs: every assignment in range, no item
 /// assigned twice, no bin over capacity, placed_size/bins_touched coherent.
 /// Returns true when consistent (used by tests and debug builds).

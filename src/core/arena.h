@@ -1,0 +1,149 @@
+// ServerArena: dense, generation-checked server indexing for the data plane.
+//
+// Every server occupies one *slot* (a dense index in creation order).  The
+// arena is the single authority for the slot <-> PMU-leaf mapping and
+// replaces the NodeId-keyed hash lookups that used to sit on every hot path:
+//
+//   - `slot_of(NodeId)` is a flat vector read (was an unordered_map probe),
+//   - `node_of(slot)` is the inverse array,
+//   - `ServerHandle` is a slot plus a generation stamp, so stale references
+//     fail loudly instead of silently addressing a reused slot,
+//   - `subtree(NodeId)` enumerates the server descendants of any PMU node as
+//     a contiguous span of slots whenever the fleet was built depth-first
+//     (build_datacenter always is), falling back to a materialized slot list
+//     for hand-built trees whose creation order interleaves subtrees.
+//
+// Spans iterate in server-creation order — the same order the controller's
+// old per-node `subtree_servers_` vectors used — so consumers (aggregation,
+// victim selection, consolidation target collection) are bitwise-identical
+// drop-in replacements that stream over contiguous memory instead of
+// chasing per-node heap vectors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hier/tree.h"
+
+namespace willow::core {
+
+/// Dense reference to a server slot.  `index` addresses the arena's arrays
+/// (and any parallel payload array such as Cluster's ManagedServer storage);
+/// `generation` must match the slot's current generation or the handle is
+/// stale (the slot was invalidated/reused since the handle was taken).
+struct ServerHandle {
+  static constexpr std::uint32_t kInvalidIndex = 0xffffffffu;
+
+  std::uint32_t index = kInvalidIndex;
+  std::uint32_t generation = 0;
+
+  [[nodiscard]] bool valid() const { return index != kInvalidIndex; }
+
+  friend bool operator==(ServerHandle a, ServerHandle b) {
+    return a.index == b.index && a.generation == b.generation;
+  }
+  friend bool operator!=(ServerHandle a, ServerHandle b) { return !(a == b); }
+};
+
+/// The server descendants of one PMU node, as slots in creation order.
+/// Either a dense range [first, first+count) or an indirect list (the rare
+/// non-contiguous fallback); operator[] hides the difference.
+class SubtreeSpan {
+ public:
+  SubtreeSpan() = default;
+  SubtreeSpan(std::uint32_t first, std::uint32_t count,
+              const std::uint32_t* indirect)
+      : first_(first), count_(count), indirect_(indirect) {}
+
+  [[nodiscard]] std::uint32_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] bool contiguous() const { return indirect_ == nullptr; }
+  [[nodiscard]] std::uint32_t operator[](std::uint32_t i) const {
+    return indirect_ ? indirect_[i] : first_ + i;
+  }
+
+ private:
+  std::uint32_t first_ = 0;
+  std::uint32_t count_ = 0;
+  const std::uint32_t* indirect_ = nullptr;
+};
+
+class ServerArena {
+ public:
+  static constexpr std::uint32_t kNoSlot = ServerHandle::kInvalidIndex;
+
+  /// Register the server living at PMU leaf `node`; returns its slot.
+  /// Slots are dense and assigned in call order.
+  std::uint32_t add(hier::NodeId node);
+
+  [[nodiscard]] std::size_t size() const { return node_of_.size(); }
+
+  /// Slot -> PMU leaf.
+  [[nodiscard]] hier::NodeId node_of(std::uint32_t slot) const {
+    return node_of_[slot];
+  }
+  /// All leaves in slot (creation) order — the legacy server_ids() surface.
+  [[nodiscard]] const std::vector<hier::NodeId>& nodes() const {
+    return node_of_;
+  }
+
+  /// PMU leaf -> slot, or kNoSlot when `node` is not a registered server.
+  [[nodiscard]] std::uint32_t slot_of(hier::NodeId node) const {
+    return node < slot_of_node_.size() ? slot_of_node_[node] : kNoSlot;
+  }
+  /// As slot_of, but throws std::out_of_range for non-servers.
+  [[nodiscard]] std::uint32_t checked_slot_of(hier::NodeId node) const;
+
+  /// Current handle for a slot.
+  [[nodiscard]] ServerHandle handle_at(std::uint32_t slot) const {
+    return {slot, generation_[slot]};
+  }
+  /// Handle for a PMU leaf; invalid handle when `node` is not a server.
+  [[nodiscard]] ServerHandle find(hier::NodeId node) const {
+    const std::uint32_t slot = slot_of(node);
+    return slot == kNoSlot ? ServerHandle{} : handle_at(slot);
+  }
+
+  /// Resolve a handle to its slot, throwing std::out_of_range when the
+  /// handle is invalid or its generation is stale.
+  [[nodiscard]] std::uint32_t checked_slot(ServerHandle h) const;
+
+  /// Invalidate every outstanding handle for `slot` (bumps its generation).
+  /// The slot itself stays live; this is the hook a future decommission path
+  /// uses so recycled slots cannot be addressed through old handles.
+  void invalidate_handles(std::uint32_t slot) { ++generation_[slot]; }
+
+  /// (Re)build the subtree span index against `tree`.  Must be called after
+  /// the fleet is complete and before subtree(); call again if the tree
+  /// grows.  O(servers * depth).
+  void build_subtree_index(const hier::Tree& tree);
+  [[nodiscard]] bool subtree_index_built_for(const hier::Tree& tree) const {
+    return indexed_tree_size_ == tree.size();
+  }
+
+  /// Server descendants of `node` (inclusive: subtree(leaf) is the leaf's
+  /// own slot), in creation order.  Requires build_subtree_index().
+  [[nodiscard]] SubtreeSpan subtree(hier::NodeId node) const;
+
+  /// Diagnostics: number of nodes whose descendants were not contiguous in
+  /// creation order (0 for any depth-first-built fleet).
+  [[nodiscard]] std::size_t fragmented_nodes() const { return fragmented_; }
+
+ private:
+  struct SpanRec {
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+    std::uint32_t overflow = kNoSlot;  ///< offset into overflow_, or kNoSlot
+  };
+
+  std::vector<hier::NodeId> node_of_;        ///< slot -> leaf
+  std::vector<std::uint32_t> slot_of_node_;  ///< leaf -> slot (kNoSlot gaps)
+  std::vector<std::uint32_t> generation_;    ///< slot -> current generation
+
+  std::vector<SpanRec> spans_;           ///< node -> span record
+  std::vector<std::uint32_t> overflow_;  ///< materialized slot lists
+  std::size_t indexed_tree_size_ = 0;
+  std::size_t fragmented_ = 0;
+};
+
+}  // namespace willow::core

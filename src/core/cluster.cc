@@ -97,41 +97,48 @@ NodeId Cluster::add_server(NodeId parent, std::string name,
                            const ServerConfig& cfg) {
   const NodeId id =
       tree_.add_child(parent, std::move(name), hier::NodeKind::kServer);
-  server_index_[id] = servers_.size();
+  arena_.add(id);
   servers_.emplace_back(id, cfg);
-  server_ids_.push_back(id);
   return id;
 }
 
 ManagedServer& Cluster::server(NodeId id) {
-  return servers_.at(server_index_.at(id));
+  return servers_[arena_.checked_slot_of(id)];
 }
 
 const ManagedServer& Cluster::server(NodeId id) const {
-  return servers_.at(server_index_.at(id));
+  return servers_[arena_.checked_slot_of(id)];
 }
 
-bool Cluster::is_server(NodeId id) const { return server_index_.contains(id); }
+bool Cluster::is_server(NodeId id) const {
+  return arena_.slot_of(id) != ServerArena::kNoSlot;
+}
 
 void Cluster::place(Application app, NodeId server_id) {
   if (app_host_.contains(app.id())) {
     throw std::logic_error("Cluster::place: application already placed");
   }
-  app_host_[app.id()] = server_id;
-  auto& s = server(server_id);
+  const ServerHandle h = arena_.find(server_id);
+  auto& s = server(h);  // throws on a non-server target
+  app_host_[app.id()] = h;
   s.apps().push_back(std::move(app));
   s.invalidate_app_demand_cache();
 }
 
-NodeId Cluster::host_of(AppId app) const {
+ServerHandle Cluster::host_handle_of(AppId app) const {
   auto it = app_host_.find(app);
-  return it == app_host_.end() ? hier::kNoNode : it->second;
+  return it == app_host_.end() ? ServerHandle{} : it->second;
+}
+
+NodeId Cluster::host_of(AppId app) const {
+  const ServerHandle h = host_handle_of(app);
+  return h.valid() ? node_of(h) : hier::kNoNode;
 }
 
 Application* Cluster::find_app(AppId app) {
-  const NodeId host = host_of(app);
-  if (host == hier::kNoNode) return nullptr;
-  for (auto& a : server(host).apps()) {
+  const ServerHandle h = host_handle_of(app);
+  if (!h.valid()) return nullptr;
+  for (auto& a : server(h).apps()) {
     if (a.id() == app) return &a;
   }
   return nullptr;
@@ -151,23 +158,23 @@ void Cluster::move_app(AppId app, NodeId from, NodeId to) {
   Application moving = std::move(*it);
   src.erase(it);
   server(to).apps().push_back(std::move(moving));
-  app_host_[app] = to;
+  app_host_[app] = arena_.find(to);
   server(from).invalidate_app_demand_cache();
   server(to).invalidate_app_demand_cache();
 }
 
 Application Cluster::remove_app(AppId app) {
-  const NodeId host = host_of(app);
-  if (host == hier::kNoNode) {
+  const ServerHandle h = host_handle_of(app);
+  if (!h.valid()) {
     throw std::logic_error("Cluster::remove_app: unknown application");
   }
-  auto& apps = server(host).apps();
+  auto& apps = server(h).apps();
   auto it = std::find_if(apps.begin(), apps.end(),
                          [&](const Application& a) { return a.id() == app; });
   Application removed = std::move(*it);
   apps.erase(it);
   app_host_.erase(app);
-  server(host).invalidate_app_demand_cache();
+  server(h).invalidate_app_demand_cache();
   return removed;
 }
 

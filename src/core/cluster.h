@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/arena.h"
 #include "fault/fault.h"
 #include "hier/tree.h"
 #include "obs/bus.h"
@@ -206,9 +207,32 @@ class Cluster {
                    hier::NodeKind kind = hier::NodeKind::kRack);
   NodeId add_server(NodeId parent, std::string name, const ServerConfig& cfg);
 
-  [[nodiscard]] const std::vector<NodeId>& server_ids() const {
-    return server_ids_;
+  /// The dense server index: handle resolution, NodeId <-> slot mapping and
+  /// subtree spans.  The arena's slot order is server-creation order and is
+  /// the index space of server_at().
+  [[nodiscard]] const ServerArena& arena() const { return arena_; }
+  [[nodiscard]] ServerArena& arena() { return arena_; }
+
+  /// Handle for the server at PMU leaf `id` (invalid handle if not a server).
+  [[nodiscard]] ServerHandle handle(NodeId id) const { return arena_.find(id); }
+  /// Generation-checked handle access (throws std::out_of_range on a stale
+  /// or invalid handle).
+  [[nodiscard]] ManagedServer& server(ServerHandle h) {
+    return servers_[arena_.checked_slot(h)];
   }
+  [[nodiscard]] const ManagedServer& server(ServerHandle h) const {
+    return servers_[arena_.checked_slot(h)];
+  }
+  [[nodiscard]] NodeId node_of(ServerHandle h) const {
+    return arena_.node_of(arena_.checked_slot(h));
+  }
+
+  [[nodiscard]] const std::vector<NodeId>& server_ids() const {
+    return arena_.nodes();
+  }
+  /// DEPRECATED NodeId entry points (thin shims over the arena, kept for one
+  /// release — see DESIGN.md §8): prefer handle()/server(ServerHandle) or
+  /// slot-based server_at() on hot paths.
   [[nodiscard]] ManagedServer& server(NodeId id);
   [[nodiscard]] const ManagedServer& server(NodeId id) const;
   [[nodiscard]] bool is_server(NodeId id) const;
@@ -225,7 +249,10 @@ class Cluster {
   /// Place a new application on a server.
   void place(Application app, NodeId server);
 
-  /// Locate an application; returns the hosting server or kNoNode.
+  /// Locate an application; returns the hosting server's handle (invalid
+  /// handle when unknown).
+  [[nodiscard]] ServerHandle host_handle_of(AppId app) const;
+  /// DEPRECATED shim: hosting server's PMU leaf, or kNoNode.
   [[nodiscard]] NodeId host_of(AppId app) const;
   [[nodiscard]] Application* find_app(AppId app);
   [[nodiscard]] const Application* find_app(AppId app) const;
@@ -309,10 +336,9 @@ class Cluster {
 
  private:
   hier::Tree tree_;
-  std::vector<NodeId> server_ids_;
-  std::unordered_map<NodeId, std::size_t> server_index_;
-  std::vector<ManagedServer> servers_;
-  std::unordered_map<AppId, NodeId> app_host_;
+  ServerArena arena_;                   ///< slot/handle index; see arena.h
+  std::vector<ManagedServer> servers_;  ///< payload, parallel to arena slots
+  std::unordered_map<AppId, ServerHandle> app_host_;
   std::unordered_map<NodeId, Watts> group_circuit_limits_;
   obs::EventBus* bus_ = nullptr;
 };

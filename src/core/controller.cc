@@ -166,14 +166,13 @@ void Controller::ensure_topology_cache() {
   bottom_up_ = tree.bottom_up();
   top_down_ = tree.top_down();
   server_children_.assign(tree.size(), {});
-  subtree_servers_.assign(tree.size(), {});
   is_group_parent_.assign(tree.size(), 0);
   group_parents_.clear();
+  // Per-subtree server enumeration lives in the arena now: contiguous slot
+  // spans in creation order replace the old per-node `subtree_servers_`
+  // vectors (same membership, same iteration order, O(1) per node).
+  cluster_.arena().build_subtree_index(tree);
   for (NodeId s : cluster_.server_ids()) {
-    for (NodeId cur = tree.node(s).parent(); cur != hier::kNoNode;
-         cur = tree.node(cur).parent()) {
-      subtree_servers_[cur].push_back(s);
-    }
     const NodeId parent = tree.node(s).parent();
     if (parent != hier::kNoNode) {
       server_children_[parent].push_back(s);
@@ -1115,7 +1114,10 @@ void Controller::demand_adaptation() {
         }
         if (in_scope.empty()) continue;
         target_scratch_.clear();
-        for (NodeId s : subtree_servers_[p]) {
+        const auto& arena = cluster_.arena();
+        const SubtreeSpan span = arena.subtree(p);
+        for (std::uint32_t k = 0; k < span.size(); ++k) {
+          const NodeId s = arena.node_of(span[k]);
           if (tree.node(s).active() && eligible_target(s, p)) {
             target_scratch_.push_back(s);
           }
@@ -1425,7 +1427,84 @@ void Controller::consolidate() {
   const NodeId root = tree.root();
   std::uint64_t reused = 0;
 
+  // --- Fleet-scope capacity index -----------------------------------------
+  // At fleet scope every candidate's dry run used to rescan all servers and
+  // recompute every target capacity: O(candidates × fleet) per consolidate.
+  // Within one consolidate() call the inputs of target_capacity() and
+  // eligible_target() are stable — budgets, reported demands and the
+  // budget_reduced_ flags only move in the report/distribution sweeps —
+  // except for the watts a migration books on its target
+  // (absorbed_w_/reserved_in_w_) and servers this pass puts to sleep.  So one
+  // sorted (capacity, server) index, point-updated after each apply,
+  // reproduces pack()'s real-bin order for every candidate: capacity
+  // ascending, bin index ascending, where bin index order is creation order
+  // is ascending NodeId.  Built lazily on the first fleet-scope dry run, so a
+  // settled fleet (all verdicts cached) pays nothing.
+  const auto& arena = cluster_.arena();
+  consol_index_built_ = false;
+  auto consol_index_erase = [&](NodeId t) {
+    if (!consol_index_built_) return;
+    const std::uint32_t slot = arena.slot_of(t);
+    const double key = consol_cap_of_[slot];
+    if (key < 0.0) return;
+    consol_cap_index_.erase(std::lower_bound(consol_cap_index_.begin(),
+                                             consol_cap_index_.end(),
+                                             std::pair<double, NodeId>{key, t}));
+    consol_cap_of_[slot] = -1.0;
+  };
+  auto consol_index_update = [&](NodeId t) {
+    if (!consol_index_built_) return;
+    consol_index_erase(t);
+    const std::uint32_t slot = arena.slot_of(t);
+    if (consol_root_eligible_[slot] == 0 || !tree.node(t).active()) return;
+    const double cap = target_capacity(t).value();
+    if (cap <= kEps) return;
+    const std::pair<double, NodeId> entry{cap, t};
+    consol_cap_index_.insert(std::lower_bound(consol_cap_index_.begin(),
+                                              consol_cap_index_.end(), entry),
+                             entry);
+    consol_cap_of_[slot] = cap;
+  };
+  auto build_consol_index = [&]() {
+    consol_root_eligible_.assign(count, 1);
+    if (config_.enforce_unidirectional) {
+      // eligible_target(t, root) bans targets whose path [parent(t), root)
+      // crosses a reduced node in reported deficit; one top-down pass
+      // (parents precede children by id) folds the flag along every path.
+      std::vector<char> banned(tree.size(), 0);
+      for (NodeId x = 0; x < static_cast<NodeId>(tree.size()); ++x) {
+        if (x == root) continue;
+        const auto& node = tree.node(x);
+        const NodeId p = node.parent();
+        banned[x] = ((budget_reduced_[x] &&
+                      reported_deficit(node).value() > kEps) ||
+                     (p != hier::kNoNode && p != root && banned[p] != 0))
+                        ? 1
+                        : 0;
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        const NodeId p = tree.node(sids[i]).parent();
+        consol_root_eligible_[i] =
+            (p == hier::kNoNode || p == root || banned[p] == 0) ? 1 : 0;
+      }
+    }
+    consol_cap_index_.clear();
+    consol_cap_of_.assign(count, -1.0);
+    for (std::size_t i = 0; i < count; ++i) {
+      const NodeId t = sids[i];
+      if (consol_root_eligible_[i] == 0 || !tree.node(t).active()) continue;
+      const double cap = target_capacity(t).value();
+      if (cap > kEps) {
+        consol_cap_index_.emplace_back(cap, t);
+        consol_cap_of_[i] = cap;
+      }
+    }
+    std::sort(consol_cap_index_.begin(), consol_cap_index_.end());
+    consol_index_built_ = true;
+  };
+
   auto put_to_sleep = [&](NodeId s) {
+    consol_index_erase(s);
     cluster_.sleep_server(s);
     tree.node(s).set_budget(Watts{0.0});
     // The sleep flips an active flag (parent's roll-up and division change)
@@ -1503,7 +1582,9 @@ void Controller::consolidate() {
     }
     auto collect_targets = [&](NodeId scope) -> const std::vector<NodeId>& {
       target_scratch_.clear();
-      for (NodeId t : subtree_servers_[scope]) {
+      const SubtreeSpan span = arena.subtree(scope);
+      for (std::uint32_t k = 0; k < span.size(); ++k) {
+        const NodeId t = arena.node_of(span[k]);
         if (t == s) continue;
         if (!tree.node(t).active()) continue;
         if (!eligible_target(t, scope)) continue;
@@ -1530,9 +1611,104 @@ void Controller::consolidate() {
       return binpack::pack(bp_items_scratch_, bp_bins_scratch_,
                            config_.packing);
     };
+    // Fleet-scope fast path: reproduce pack(kFfdlr)'s verdict from the shared
+    // capacity index instead of rebuilding all fleet bins per candidate.  The
+    // virtual groups depend only on the items and cmax; each group then lands
+    // in the first unused index entry with capacity + eps >= content — the
+    // bin pack() would pick, because the index order equals pack()'s
+    // real-bin order.  A group that fits no single bin would fall to pack()'s
+    // leftover best-fit pass, which needs real residuals — such candidates
+    // take the exact path.  Returns +1 placed-all (plan in
+    // fast_assign_scratch_), -1 definitive failure, 0 inconclusive.
+    auto fast_root_pack = [&]() -> int {
+      if (!consol_index_built_) build_consol_index();
+      double cmax = 0.0;
+      for (auto it = consol_cap_index_.rbegin(); it != consol_cap_index_.rend();
+           ++it) {
+        if (it->second != s) {
+          cmax = it->first;
+          break;
+        }
+      }
+      if (cmax <= 0.0) return -1;  // no usable bin anywhere in the fleet
+      bp_items_scratch_.clear();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        bp_items_scratch_.push_back({i, items[i].size.value(), 0});
+      }
+      const binpack::VirtualGroups vg =
+          binpack::ffdlr_virtual_groups(bp_items_scratch_, cmax);
+      if (!vg.oversized.empty()) return -1;  // unplaceable regardless of bins
+      fast_assign_scratch_.clear();
+      const std::size_t npos = consol_cap_index_.size();
+      std::vector<std::size_t> used;  // few groups: linear membership is fine
+      used.reserve(vg.groups.size());
+      for (const auto& g : vg.groups) {
+        // Start at the first entry that could pass capacity + eps >= content
+        // (the two boundary forms differ far below eps at watt magnitudes)
+        // and advance with pack()'s exact predicate.
+        auto it = std::lower_bound(
+            consol_cap_index_.begin(), consol_cap_index_.end(),
+            std::pair<double, NodeId>{g.content - 2 * kEps, NodeId{0}});
+        std::size_t chosen = npos;
+        for (; it != consol_cap_index_.end(); ++it) {
+          if (it->first + kEps < g.content) continue;
+          if (it->second == s) continue;
+          const auto pos =
+              static_cast<std::size_t>(it - consol_cap_index_.begin());
+          if (std::find(used.begin(), used.end(), pos) != used.end()) continue;
+          chosen = pos;
+          break;
+        }
+        if (chosen == npos) return 0;  // leftover pass might still place
+        used.push_back(chosen);
+        for (std::size_t item : g.items) {
+          fast_assign_scratch_.emplace_back(item,
+                                            consol_cap_index_[chosen].second);
+        }
+      }
+      return 1;
+    };
+    // Dry-run one scope.  On every path the placement plan lands in
+    // fast_assign_scratch_ as (item, target) pairs in pack()'s assignment
+    // emission order, so the apply loop below has one shape.
+    auto run_scope = [&](NodeId scope) -> bool {
+      if (inc && scope == root) {
+        const int verdict = fast_root_pack();
+        if (verdict != 0) {
+          if (config_.shadow_diff) {
+            const auto full = dry_run(collect_targets(root));
+            bool mismatch = full.all_placed() != (verdict > 0);
+            if (!mismatch && verdict > 0) {
+              mismatch = full.assignments.size() != fast_assign_scratch_.size();
+              for (std::size_t k = 0;
+                   !mismatch && k < fast_assign_scratch_.size(); ++k) {
+                mismatch =
+                    full.assignments[k].item != fast_assign_scratch_[k].first ||
+                    bin_node_scratch_[full.assignments[k].bin] !=
+                        fast_assign_scratch_[k].second;
+              }
+            }
+            count_shadow_check(mismatch);
+            if (mismatch) {
+              throw std::logic_error(
+                  "Controller shadow diff: consolidation fast path diverged "
+                  "for server " +
+                  std::to_string(s));
+            }
+          }
+          return verdict > 0;
+        }
+      }
+      const auto result = dry_run(collect_targets(scope));
+      fast_assign_scratch_.clear();
+      for (const auto& a : result.assignments) {
+        fast_assign_scratch_.emplace_back(a.item, bin_node_scratch_[a.bin]);
+      }
+      return result.all_placed();
+    };
 
     NodeId scope = config_.prefer_local ? tree.node(s).parent() : root;
-    binpack::PackResult result;
+    bool placed_all = false;
     if (inc && quiescent && scope != root && consol_fail_local_[ci].valid &&
         consol_fail_local_[ci].epoch == subtree_epoch_[scope] &&
         consol_fail_local_[ci].item_sig == sig) {
@@ -1549,18 +1725,18 @@ void Controller::consolidate() {
         }
       }
       scope = root;
-      result = dry_run(collect_targets(scope));
+      placed_all = run_scope(scope);
     } else {
-      result = dry_run(collect_targets(scope));
-      if (!result.all_placed() && config_.prefer_local && scope != root) {
+      placed_all = run_scope(scope);
+      if (!placed_all && config_.prefer_local && scope != root) {
         if (quiescent) {
           consol_fail_local_[ci] = {subtree_epoch_[scope], sig, true};
         }
         scope = root;
-        result = dry_run(collect_targets(scope));
+        placed_all = run_scope(scope);
       }
     }
-    if (!result.all_placed()) {
+    if (!placed_all) {
       if (quiescent) {
         if (scope == root) {
           consol_fail_root_[ci] = {subtree_epoch_[root], sig, true};
@@ -1579,8 +1755,9 @@ void Controller::consolidate() {
           "server " +
           std::to_string(s) + " now succeeds");
     }
-    for (const auto& a : result.assignments) {
-      apply_migration(items[a.item], bin_node_scratch_[a.bin]);
+    for (const auto& [item_idx, tgt] : fast_assign_scratch_) {
+      apply_migration(items[item_idx], tgt);
+      consol_index_update(tgt);  // capacity shrank; no-op if index not built
     }
     if (srv.apps().empty()) {
       put_to_sleep(s);

@@ -549,10 +549,9 @@ class Controller {
   std::vector<char> is_group_parent_;  ///< by NodeId
   /// Direct server children per node, in child order.
   std::vector<std::vector<NodeId>> server_children_;
-  /// Server descendants per internal node, in server-creation order (the
-  /// same order the uncached full-fleet scans visited them, so candidate
-  /// lists — and therefore packing results — are unchanged).
-  std::vector<std::vector<NodeId>> subtree_servers_;
+  // (Per-node server-descendant lists moved into the cluster's ServerArena:
+  // subtree spans over creation order — same membership, same iteration
+  // order as the old `subtree_servers_` vectors, O(1) storage per node.)
 
   /// Packing scratch reused across pack_and_apply / dry-run calls (cleared
   /// per use; sized once the fleet's steady-state planning width is seen).
@@ -562,6 +561,19 @@ class Controller {
   std::vector<NodeId> target_scratch_;
   std::vector<const workload::Application*> victim_scratch_;
   std::vector<workload::Application*> shed_scratch_;
+
+  /// Consolidation fleet-scope fast path (valid only within one
+  /// consolidate() call; see consolidate()).  The capacity index holds every
+  /// (active, root-eligible, capacity > eps) server except none — candidates
+  /// skip themselves at pack time — sorted by (capacity, NodeId), which is
+  /// exactly FFDLR's real-bin order when bins are enumerated in creation
+  /// order.  `consol_cap_of_` remembers each slot's indexed key so point
+  /// updates can erase it after a migration changes the capacity.
+  std::vector<std::pair<double, NodeId>> consol_cap_index_;
+  std::vector<double> consol_cap_of_;        ///< by slot; <0 = not indexed
+  std::vector<char> consol_root_eligible_;   ///< by slot (unidirectional rule)
+  bool consol_index_built_ = false;
+  std::vector<std::pair<std::size_t, NodeId>> fast_assign_scratch_;
 };
 
 }  // namespace willow::core

@@ -27,6 +27,7 @@ NodeId Tree::add_root(std::string name, NodeKind kind) {
   if (root_ != kNoNode) throw std::logic_error("Tree: root already exists");
   root_ = 0;
   nodes_.emplace_back(root_, kNoNode, 0, std::move(name), kind, alpha_);
+  height_ = 1;
   return root_;
 }
 
@@ -36,6 +37,7 @@ NodeId Tree::add_child(NodeId parent, std::string name, NodeKind kind) {
   nodes_.emplace_back(id, parent, nodes_[parent].depth() + 1, std::move(name),
                       kind, alpha_);
   nodes_[parent].children_.push_back(id);
+  height_ = std::max(height_, nodes_.back().depth() + 1);
   return id;
 }
 
@@ -61,11 +63,7 @@ std::vector<NodeId> Tree::leaves_of_kind(NodeKind kind) const {
   return out;
 }
 
-int Tree::height() const {
-  int h = 0;
-  for (const auto& n : nodes_) h = std::max(h, n.depth() + 1);
-  return h;
-}
+int Tree::height() const { return height_; }
 
 int Tree::level_of(NodeId id) const {
   return height() - 1 - node(id).depth();

@@ -281,6 +281,7 @@ class Tree {
   double alpha_;
   std::vector<Node> nodes_;
   NodeId root_ = kNoNode;
+  int height_ = 0;  ///< maintained by add_root/add_child; see height()
   obs::EventBus* bus_ = nullptr;
   bool incremental_ = false;
   bool shadow_diff_ = false;

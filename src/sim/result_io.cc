@@ -46,8 +46,12 @@ void write_result_json(std::ostream& os, const SimResult& result) {
   w.end_object();
 
   w.key("servers").begin_array();
-  for (const auto& s : result.servers) {
+  for (std::size_t i = 0; i < result.servers.size(); ++i) {
+    const auto& s = result.servers[i];
     w.begin_object();
+    if (i < result.server_nodes.size()) {
+      w.key("node").value(static_cast<long long>(result.server_nodes[i]));
+    }
     w.key("mean_power_w").value(s.consumed_power.mean());
     w.key("mean_temperature_c").value(s.temperature.mean());
     w.key("max_temperature_c").value(s.temperature.max());

@@ -11,7 +11,10 @@ namespace willow::sim {
 ///   1  (implicit) unversioned original shape
 ///   2  added the stamp itself plus the "metrics" block (counters, gauges,
 ///      histograms, wall-clock phase timers)
-inline constexpr int kResultSchemaVersion = 2;
+///   3  each "servers" entry carries its PMU leaf id as "node" — the stable
+///      key for joining against traces/events; array position remains
+///      creation order but is no longer the documented lookup key
+inline constexpr int kResultSchemaVersion = 3;
 
 /// Serialize the full result: controller stats, per-server summaries, the
 /// metrics snapshot, and every recorded time series (as {t: [...], v: [...]}

@@ -415,73 +415,114 @@ const std::vector<ScenarioKeyDoc>& scenario_keys() {
   // key table in docs/scenario_format.md — scripts/check_docs_drift.sh
   // cross-checks all three.
   static const std::vector<ScenarioKeyDoc> kKeys = {
-      {"schema_version", "2"},
-      {"utilization", "0.7"},
-      {"seed", "11"},
-      {"warmup_ticks", "10"},
-      {"measure_ticks", "120"},
-      {"zones", "2"},
-      {"racks_per_zone", "3"},
-      {"servers_per_rack", "3"},
-      {"smoothing_alpha", "0.4"},
-      {"thermal_c1", "0.08"},
-      {"thermal_c2", "0.05"},
-      {"ambient_c", "25"},
-      {"thermal_limit_c", "60"},
-      {"nameplate_w", "450"},
-      {"hot_zone_servers", "4"},
-      {"hot_ambient_c", "40"},
-      {"margin_w", "1.5"},
-      {"migration_cost_w", "0.5"},
-      {"eta1", "3"},
-      {"eta2", "9"},
-      {"consolidation_threshold", "0.5"},
-      {"packing", "ffdlr"},
-      {"allocation", "demand"},
-      {"prefer_local", "true"},
-      {"enforce_unidirectional", "true"},
-      {"shedding", "degrade"},
-      {"degraded_service_level", "0.5"},
-      {"priority_levels", "3"},
-      {"demand_quantum_w", "1"},
-      {"ipc_chain_fraction", "0.0"},
-      {"ipc_flow_units", "0.25"},
-      {"supply", "sine 420 120 48"},
-      {"intensity", "constant 1.0"},
-      {"sla_inflation", "5"},
-      {"report_loss_probability", "0.1"},
-      {"churn_probability", "0.05"},
-      {"incremental_control", "true"},
-      {"shadow_diff", "false"},
-      {"report_deadband_w", "0.25"},
-      {"threads", "1"},
-      {"migration_periods_per_gib", "0.5"},
-      {"rack_circuit_w", "500"},
-      {"cooling_cop", "4.0"},
-      {"link_up_loss_probability", "0.05"},
-      {"link_up_delay_probability", "0.05"},
-      {"link_up_duplicate_probability", "0.02"},
-      {"link_down_loss_probability", "0.05"},
-      {"link_down_duplicate_probability", "0.02"},
-      {"power_sensor_stuck_probability", "0.01"},
-      {"power_sensor_bias_probability", "0.01"},
-      {"power_sensor_dropout_probability", "0.01"},
-      {"power_sensor_bias_w", "4"},
-      {"temp_sensor_stuck_probability", "0.01"},
-      {"temp_sensor_bias_probability", "0.01"},
-      {"temp_sensor_dropout_probability", "0.01"},
-      {"temp_sensor_bias_c", "3"},
-      {"sensor_fault_mean_ticks", "5"},
-      {"crash_probability", "0.002"},
-      {"crash_down_ticks", "10"},
-      {"crash_event", "40 0 1 8"},
-      {"ups", "90000 220 160 0.8"},
-      {"ups_failure", "60 80"},
-      {"stale_timeout_ticks", "3"},
-      {"stale_decay", "0.9"},
-      {"directive_retry_limit", "3"},
+      {"schema_version", "2", "optional dialect stamp (reject-if-newer)"},
+      {"utilization", "0.7",
+       "offered load vs the thermally sustainable envelope"},
+      {"seed", "11", "RNG seed (workload build + demand draws)"},
+      {"warmup_ticks", "10", "ticks ignored before recording"},
+      {"measure_ticks", "120", "ticks recorded"},
+      {"zones", "2", "hierarchy shape: datacenter -> zones -> racks"},
+      {"racks_per_zone", "3", "racks per zone"},
+      {"servers_per_rack", "3", "servers per rack"},
+      {"smoothing_alpha", "0.4", "Eq. 4 EWMA weight at every PMU"},
+      {"thermal_c1", "0.08", "RC heating coefficient (degC per W per period)"},
+      {"thermal_c2", "0.05", "RC cooling rate (1/period)"},
+      {"ambient_c", "25", "baseline ambient temperature"},
+      {"thermal_limit_c", "60", "hard thermal ceiling"},
+      {"nameplate_w", "450", "electrical rating per server"},
+      {"hot_zone_servers", "4", "last N servers get the hot ambient"},
+      {"hot_ambient_c", "40", "hot-zone ambient temperature"},
+      {"margin_w", "1.5", "P_min post-migration surplus floor"},
+      {"migration_cost_w", "0.5", "temporary demand per migration endpoint"},
+      {"eta1", "3", "supply-adaptation period multiplier (DeltaS)"},
+      {"eta2", "9", "consolidation period multiplier (DeltaA)"},
+      {"consolidation_threshold", "0.5",
+       "utilization below which servers drain"},
+      {"packing", "ffdlr", "ffdlr | ff | ffd | bfd | wfd"},
+      {"allocation", "demand", "demand | capacity proportional division"},
+      {"prefer_local", "true", "local-first migration planning"},
+      {"enforce_unidirectional", "true",
+       "no migrations into reduced, deficient subtrees"},
+      {"shedding", "degrade", "drop | degrade (degrade-then-drop)"},
+      {"degraded_service_level", "0.5", "service floor under degrade"},
+      {"priority_levels", "3", "shedding priority classes, assigned randomly"},
+      {"demand_quantum_w", "1", "Poisson quantum (variance knob)"},
+      {"ipc_chain_fraction", "0.0",
+       "fraction of each server's apps wired into an IPC chain"},
+      {"ipc_flow_units", "0.25", "traffic units per IPC flow"},
+      {"supply", "sine 420 120 48",
+       "constant W | steps w... | sine base amp period | solar floor peak "
+       "day cloud seed | csv path | fig15 | fig19"},
+      {"intensity", "constant 1.0",
+       "constant F | diurnal base amp period [phase] | trace f..."},
+      {"sla_inflation", "5", "enable the QoS tracker (M/M/1 inflation SLA)"},
+      {"report_loss_probability", "0.1",
+       "legacy fault knob: lost demand reports per server-tick"},
+      {"churn_probability", "0.05",
+       "per-server chance per tick of one app departing + one arriving"},
+      {"incremental_control", "true",
+       "change-driven control plane (identical trace to full recompute)"},
+      {"shadow_diff", "false",
+       "re-derive every incremental skip; abort on bitwise divergence"},
+      {"report_deadband_w", "0.25",
+       "min demand movement before a node re-reports"},
+      {"threads", "1",
+       "tick-engine workers (0 = hw concurrency, 1 = serial; bit-identical)"},
+      {"migration_periods_per_gib", "0.5",
+       "VM transfer latency (0 = instantaneous)"},
+      {"rack_circuit_w", "500", "under-designed rack feed rating (every rack)"},
+      {"cooling_cop", "4.0", "enable the cooling plant (records PUE)"},
+      {"link_up_loss_probability", "0.05",
+       "demand report lost (child retries)"},
+      {"link_up_delay_probability", "0.05",
+       "demand report deferred to the next sweep"},
+      {"link_up_duplicate_probability", "0.02",
+       "report delivered twice (idempotent; counted)"},
+      {"link_down_loss_probability", "0.05",
+       "budget directive lost (enters the retry queue)"},
+      {"link_down_duplicate_probability", "0.02",
+       "directive delivered twice"},
+      {"power_sensor_stuck_probability", "0.01",
+       "per-tick power-sensor stuck-at onset"},
+      {"power_sensor_bias_probability", "0.01",
+       "per-tick power-sensor bias onset"},
+      {"power_sensor_dropout_probability", "0.01",
+       "per-tick power-sensor dropout onset"},
+      {"power_sensor_bias_w", "4", "offset during a power-sensor bias episode"},
+      {"temp_sensor_stuck_probability", "0.01",
+       "per-tick temperature-sensor stuck-at onset"},
+      {"temp_sensor_bias_probability", "0.01",
+       "per-tick temperature-sensor bias onset"},
+      {"temp_sensor_dropout_probability", "0.01",
+       "per-tick temperature-sensor dropout onset"},
+      {"temp_sensor_bias_c", "3",
+       "offset during a temperature-sensor bias episode"},
+      {"sensor_fault_mean_ticks", "5",
+       "mean episode duration: 1 + Exp(mean - 1) ticks"},
+      {"crash_probability", "0.002",
+       "per-server, per-tick fail-stop crash onset"},
+      {"crash_down_ticks", "10", "outage length for probabilistic crashes"},
+      {"crash_event", "40 0 1 8",
+       "scripted outage: tick first last [down_ticks]; repeatable"},
+      {"ups", "90000 220 160 0.8",
+       "capacity_j max_discharge_w max_charge_w [initial_fraction]"},
+      {"ups_failure", "60 80",
+       "battery failed open over ticks [first, last); repeatable"},
+      {"stale_timeout_ticks", "3",
+       "degraded mode: reports stale after N silent ticks (0 = off)"},
+      {"stale_decay", "0.9",
+       "per-tick decay of a stale leaf's synthetic demand"},
+      {"directive_retry_limit", "3",
+       "lost-directive retries with binary backoff before abandoning"},
   };
   return kKeys;
+}
+
+bool is_scenario_key(const std::string& key) {
+  for (const auto& doc : scenario_keys()) {
+    if (doc.key == key) return true;
+  }
+  return false;
 }
 
 }  // namespace willow::sim

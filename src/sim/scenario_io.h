@@ -36,17 +36,25 @@ inline constexpr long kScenarioSchemaVersion = 2;
 /// unsupported schema_version.
 SimConfig parse_scenario(std::istream& in);
 
-/// One entry of the scenario-key registry: a key the parser accepts plus a
-/// valid sample right-hand side.  The samples are mutually consistent — a
-/// file made of every `key = sample` line parses and validates — which is
-/// what scenario_keys_roundtrip_test asserts, pinning the registry to the
-/// parser.  `willow_cli --keys` prints this table and
-/// scripts/check_docs_drift.sh diffs it against docs/scenario_format.md, so
-/// a key added to the parser without a registry + docs entry fails CI.
+/// One entry of the scenario-key registry: a key the parser accepts, a valid
+/// sample right-hand side, and a one-line description.  The samples are
+/// mutually consistent — a file made of every `key = sample` line parses and
+/// validates — which is what scenario_keys_roundtrip_test asserts, pinning
+/// the registry to the parser.  The registry is the single source of truth
+/// for willow_cli's key surface: `--keys` prints the key/sample table,
+/// `--describe` renders key, sample and help, and `--set key=value`
+/// overrides are validated against it.  scripts/check_docs_drift.sh diffs
+/// the key set against docs/scenario_format.md and the parser, so a key
+/// added to the parser without a registry + docs entry fails CI.
 struct ScenarioKeyDoc {
   std::string key;
   std::string sample;
+  std::string help;
 };
+
+/// True iff `key` is in the scenario_keys() registry (== the parser accepts
+/// it; the roundtrip test and drift gate keep the two sets equal).
+bool is_scenario_key(const std::string& key);
 
 /// Every key parse_scenario() accepts, in a stable order, with a valid
 /// sample value each.

@@ -23,6 +23,8 @@
 
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/controller.h"
@@ -180,7 +182,12 @@ struct SwitchMetrics {
 };
 
 struct SimResult {
-  std::vector<ServerMetrics> servers;          ///< paper numbering order
+  /// PMU leaf id of each entry in `servers`, index-aligned (creation /
+  /// paper numbering order — the same order the cluster's arena assigns
+  /// slots).  Use the keyed accessors below instead of positional indexing:
+  /// positions couple callers to fleet build order, node ids do not.
+  std::vector<hier::NodeId> server_nodes;
+  std::vector<ServerMetrics> servers;          ///< index-aligned w/ server_nodes
   std::vector<SwitchMetrics> level1_switches;  ///< Fig. 11 / Fig. 12
   util::TimeSeries migrations_per_tick;
   util::TimeSeries demand_migrations_per_tick;
@@ -203,6 +210,29 @@ struct SimResult {
   /// a SimResult; they never enter the event trace.
   obs::MetricsSnapshot metrics;
   long ticks = 0;
+
+  /// Keyed per-server lookup by PMU leaf id; nullptr when `node` is not a
+  /// recorded server.  Linear scan — meant for analysis/report code, not hot
+  /// loops (those hold handles).
+  [[nodiscard]] const ServerMetrics* find_server_metrics(
+      hier::NodeId node) const {
+    for (std::size_t i = 0; i < server_nodes.size(); ++i) {
+      if (server_nodes[i] == node) return &servers[i];
+    }
+    return nullptr;
+  }
+  /// As find_server_metrics, but throws std::out_of_range on a miss.
+  [[nodiscard]] const ServerMetrics& server_metrics(hier::NodeId node) const {
+    if (const ServerMetrics* m = find_server_metrics(node)) return *m;
+    throw std::out_of_range("SimResult: no metrics for node " +
+                            std::to_string(node));
+  }
+  /// Handle-keyed lookup: a ServerHandle's index is the arena slot, which is
+  /// exactly this result's server ordering.
+  [[nodiscard]] const ServerMetrics& server_metrics(
+      core::ServerHandle h) const {
+    return servers.at(h.index);
+  }
 
   /// Migration counts within the measurement window only (warm-up excluded);
   /// what Fig. 9 plots.

@@ -1,10 +1,14 @@
 // willow_cli — run a scenario file through the simulator and report.
 //
-//   willow_cli <scenario-file> [--csv <prefix>] [--json <file>]
-//                              [--trace <file>] [--metrics]
+//   willow_cli <scenario-file> [--set key=value]... [--csv <prefix>]
+//                              [--json <file>] [--trace <file>] [--metrics]
 //   willow_cli --check <scenario-file>  # parse + validate only, no run
-//   willow_cli --describe            # list scenario keys by example
+//   willow_cli --describe            # scenario keys + help, from the registry
 //   willow_cli --keys                # machine-readable key<TAB>sample table
+//
+// --set overlays one scenario assignment on top of the file (repeatable;
+// later wins).  Keys are validated against the scenario_keys() registry —
+// the same table --describe/--keys print — so a typo fails before the run.
 //
 // The scenario format is documented in sim/scenario_io.h.  With --csv, the
 // recorded time series are written to <prefix>_supply.csv,
@@ -16,7 +20,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "obs/sink.h"
 #include "sim/result_io.h"
@@ -29,78 +37,22 @@ namespace {
 using namespace willow;
 
 void describe() {
-  std::cout << R"(Scenario keys (key = value, '#' comments):
-  schema_version = 2           optional dialect stamp (reject-if-newer)
-  utilization = 0.5            offered load vs thermally sustainable envelope
-  seed = 42                    RNG seed
-  warmup_ticks = 20            ticks ignored before recording
-  measure_ticks = 200          ticks recorded
-  threads = 0                  tick-engine workers (0 = hw concurrency,
-                               1 = serial; results identical either way)
-  zones = 2                    hierarchy shape
-  racks_per_zone = 3
-  servers_per_rack = 3
-  smoothing_alpha = 0.7        Eq. 4 EWMA weight
-  thermal_c1 = 0.08            RC heating coefficient
-  thermal_c2 = 0.05            RC cooling rate
-  ambient_c = 25
-  thermal_limit_c = 70
-  nameplate_w = 450
-  hot_zone_servers = 4         last N servers in the hot zone
-  hot_ambient_c = 40
-  margin_w = 1.5               P_min migration margin
-  migration_cost_w = 0.5
-  eta1 = 4                     supply period multiplier
-  eta2 = 7                     consolidation period multiplier
-  consolidation_threshold = 0.5
-  packing = ffdlr              ffdlr | ff | ffd | bfd | wfd
-  allocation = demand          demand | capacity
-  prefer_local = true
-  enforce_unidirectional = true
-  shedding = drop              drop | degrade
-  degraded_service_level = 0.5
-  priority_levels = 1
-  demand_quantum_w = 1
-  ipc_chain_fraction = 0       wire app chains with IPC flows
-  ipc_flow_units = 0.25
-  supply = constant 500        constant W | steps w... | sine base amp period
-                               | solar floor peak day cloud seed | fig15 | fig19
-  intensity = diurnal 1 0.4 48 demand multiplier: constant F |
-                               diurnal base amp period [phase] | trace f...
-  cooling_cop = 3.5            enable the cooling plant (records PUE)
-  rack_circuit_w = 120         under-designed rack feed rating
-  migration_periods_per_gib = 2  VM transfer latency (0 = instantaneous)
-  sla_inflation = 5            enable the QoS tracker (M/M/1, 5x = 80% rho)
-  report_loss_probability = 0.1  fault injection: lost demand reports
-  churn_probability = 0.05     workload churn (departures + arrivals)
-  incremental_control = true   change-driven control plane (identical trace)
-  shadow_diff = false          re-derive every incremental skip; throw on diff
-  report_deadband_w = 0        min demand movement before a node re-reports
-
-Fault plane (docs/fault_model.md; all default off, seed-deterministic):
-  link_up_loss_probability = 0.05       demand report lost (child retries)
-  link_up_delay_probability = 0.05      report deferred to the next sweep
-  link_up_duplicate_probability = 0.02  report delivered twice (idempotent)
-  link_down_loss_probability = 0.05     budget directive lost (retry queue)
-  link_down_duplicate_probability = 0.02  directive delivered twice
-  power_sensor_stuck_probability = 0.01   per-tick stuck-at onset
-  power_sensor_bias_probability = 0.01    per-tick additive-offset onset
-  power_sensor_dropout_probability = 0.01 per-tick no-reading onset
-  power_sensor_bias_w = 4               offset during a bias episode
-  temp_sensor_stuck_probability = 0.01
-  temp_sensor_bias_probability = 0.01
-  temp_sensor_dropout_probability = 0.01
-  temp_sensor_bias_c = 3
-  sensor_fault_mean_ticks = 5           mean episode length
-  crash_probability = 0.002             per-server, per-tick crash onset
-  crash_down_ticks = 10                 outage length for random crashes
-  crash_event = 40 0 1 8                scripted: tick first last [down]
-  ups = 90000 220 160 0.8               capacity_j discharge_w charge_w [soc]
-  ups_failure = 60 80                   battery failed open over [first,last]
-  stale_timeout_ticks = 3               degraded mode: reports stale after N
-  stale_decay = 0.9                     per-tick decay of synthetic demand
-  directive_retry_limit = 3             lost-directive retries before abandon
-)";
+  // Rendered from the scenario_keys() registry — the single source of truth
+  // for the key surface (the roundtrip test pins it to the parser, the
+  // docs-drift gate pins it to the manual).  Sample values shown.
+  std::cout << "Scenario keys (key = value, '#' comments; sample values "
+               "shown, docs/scenario_format.md for defaults):\n";
+  for (const auto& k : sim::scenario_keys()) {
+    const std::string lhs = "  " + k.key + " = " + k.sample;
+    std::cout << lhs;
+    constexpr std::size_t kHelpColumn = 42;
+    if (lhs.size() + 2 > kHelpColumn) {
+      std::cout << '\n' << std::string(kHelpColumn, ' ');
+    } else {
+      std::cout << std::string(kHelpColumn - lhs.size(), ' ');
+    }
+    std::cout << k.help << '\n';
+  }
 }
 
 void print_keys() {
@@ -145,8 +97,10 @@ int main(int argc, char** argv) {
     }
   }
   if (argc < 2) {
-    std::cerr << "usage: willow_cli <scenario-file> [--csv <prefix>]"
-                 " [--json <file>] [--trace <file>] [--metrics]\n"
+    std::cerr << "usage: willow_cli <scenario-file> [--set key=value]..."
+                 " [--csv <prefix>]\n"
+                 "                  [--json <file>] [--trace <file>]"
+                 " [--metrics]\n"
                  "       willow_cli --check <scenario-file>\n"
                  "       willow_cli --describe | --keys\n";
     return 2;
@@ -154,6 +108,7 @@ int main(int argc, char** argv) {
   std::string csv_prefix;
   std::string json_path;
   std::string trace_path;
+  std::vector<std::string> overrides;  // "key = value" scenario lines
   bool print_metrics = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
@@ -162,6 +117,22 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--set") == 0 && i + 1 < argc) {
+      const std::string assign = argv[++i];
+      const std::size_t eq = assign.find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "--set expects key=value, got '" << assign << "'\n";
+        return 2;
+      }
+      std::string key = assign.substr(0, eq);
+      key.erase(0, key.find_first_not_of(" \t"));
+      key.erase(key.find_last_not_of(" \t") + 1);
+      if (!sim::is_scenario_key(key)) {
+        std::cerr << "--set: '" << key
+                  << "' is not a scenario key (see --keys)\n";
+        return 2;
+      }
+      overrides.push_back(key + " = " + assign.substr(eq + 1));
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       print_metrics = true;
     } else {
@@ -171,7 +142,19 @@ int main(int argc, char** argv) {
   }
 
   try {
-    auto cfg = sim::load_scenario_file(argv[1]);
+    std::ifstream scenario_file(argv[1]);
+    if (!scenario_file) {
+      std::cerr << "cannot open scenario file: " << argv[1] << "\n";
+      return 1;
+    }
+    std::string scenario_text((std::istreambuf_iterator<char>(scenario_file)),
+                              std::istreambuf_iterator<char>());
+    for (const auto& line : overrides) {
+      scenario_text += '\n';
+      scenario_text += line;
+    }
+    std::istringstream scenario_stream(scenario_text);
+    auto cfg = sim::parse_scenario(scenario_stream);
     std::shared_ptr<obs::JsonlTraceSink> trace;
     if (!trace_path.empty()) {
       trace = std::make_shared<obs::JsonlTraceSink>(trace_path);
@@ -231,15 +214,20 @@ int main(int argc, char** argv) {
                          r.total_power);
       ok &= write_series(csv_prefix + "_migrations.csv", "migrations",
                          r.migrations_per_tick);
-      util::Table servers({"server", "mean_power_w", "mean_temp_c",
+      // Rows are keyed by PMU leaf id (result schema v3's "node"), the
+      // stable join key against traces; the 1-based paper number is kept as
+      // a convenience column.
+      util::Table servers({"node", "server", "mean_power_w", "mean_temp_c",
                            "mean_utilization", "asleep_fraction"});
-      for (std::size_t i = 0; i < r.servers.size(); ++i) {
+      for (std::size_t i = 0; i < r.server_nodes.size(); ++i) {
+        const auto& m = r.server_metrics(r.server_nodes[i]);
         servers.row()
+            .add(static_cast<long long>(r.server_nodes[i]))
             .add(static_cast<long long>(i + 1))
-            .add(r.servers[i].consumed_power.mean())
-            .add(r.servers[i].temperature.mean())
-            .add(r.servers[i].utilization.mean())
-            .add(r.servers[i].asleep_fraction);
+            .add(m.consumed_power.mean())
+            .add(m.temperature.mean())
+            .add(m.utilization.mean())
+            .add(m.asleep_fraction);
       }
       ok &= servers.write_csv_file(csv_prefix + "_servers.csv");
       std::cout << (ok ? "csv written with prefix " : "csv write FAILED: ")
