@@ -6,10 +6,13 @@
 # Compares best-of-fleet ticks-per-second per fleet size (keyed on the
 # "servers" field, so scenario renames between runs don't break the gate)
 # against a baseline BENCH_dataplane_scaling.json.  Fails if the candidate
-# regresses more than <max_pct> percent (default 10) at the 1k or 10k fleet;
-# the 100k fleet is reported but not gated (its absolute floor is asserted by
-# the PR that moves it, not per-run — a full 100k point takes minutes and is
-# often skipped via --quick).
+# regresses more than <max_pct> percent (default 10) at the 1k or 10k fleet.
+# The sustained-churn regime is gated separately, keyed on the scenario name
+# (best-of-fleet would always pick the settled point): a >MAX_PCT tps
+# regression on servers_1k_churn or servers_10k_churn fails too, so a
+# "fast when standing still" optimization cannot slip through.  The 100k
+# fleet (settled and churn) is reported but not gated — its absolute floor
+# is asserted by the PR that moves it, not per-run.
 #
 # With no explicit baseline, the committed copy is used (git show HEAD:...),
 # so you can regenerate BENCH_dataplane_scaling.json in place and gate the
@@ -48,30 +51,53 @@ best_tps() {  # best_tps <json-file> <servers>
     END { printf "%.6f\n", best + 0 }'
 }
 
+# Ticks-per-second of the point with the given "scenario" name (exact
+# match); prints 0 if absent.
+scenario_tps() {  # scenario_tps <json-file> <scenario>
+  tr '}' '\n' < "$1" | awk -v want="\"scenario\":\"$2\"" '
+    index($0, want) && match($0, /"ticks_per_second":[0-9.eE+-]+/) {
+      t = substr($0, RSTART + 19, RLENGTH - 19) + 0
+      if (t > best) best = t
+    }
+    END { printf "%.6f\n", best + 0 }'
+}
+
 fail=0
-for fleet in 1000 10000; do
-  base="$(best_tps "$BASELINE" "$fleet")"
-  cand="$(best_tps "$CANDIDATE" "$fleet")"
+# gate <label> <baseline-tps> <candidate-tps>: fail on >MAX_PCT regression.
+gate() {
+  local label="$1" base="$2" cand="$3"
   if awk -v b="$base" 'BEGIN { exit !(b <= 0) }'; then
-    echo "bench-regression: no baseline point for servers=$fleet, skipping"
-    continue
+    echo "bench-regression: no baseline point for $label, skipping"
+    return
   fi
   if awk -v c="$cand" 'BEGIN { exit !(c <= 0) }'; then
-    echo "FAIL: candidate has no point for servers=$fleet" >&2
+    echo "FAIL: candidate has no point for $label" >&2
     fail=1
-    continue
+    return
   fi
+  local delta
   delta="$(awk -v b="$base" -v c="$cand" 'BEGIN { printf "%+.1f", (c/b - 1) * 100 }')"
   if awk -v b="$base" -v c="$cand" -v p="$MAX_PCT" \
        'BEGIN { exit !(c < b * (1 - p / 100)) }'; then
-    echo "FAIL: servers=$fleet regressed ${delta}% (baseline ${base} tps, candidate ${cand} tps, limit -${MAX_PCT}%)" >&2
+    echo "FAIL: $label regressed ${delta}% (baseline ${base} tps, candidate ${cand} tps, limit -${MAX_PCT}%)" >&2
     fail=1
   else
-    echo "ok: servers=$fleet ${delta}% (baseline ${base} tps, candidate ${cand} tps)"
+    echo "ok: $label ${delta}% (baseline ${base} tps, candidate ${cand} tps)"
   fi
+}
+
+for fleet in 1000 10000; do
+  gate "servers=$fleet" \
+       "$(best_tps "$BASELINE" "$fleet")" \
+       "$(best_tps "$CANDIDATE" "$fleet")"
+done
+for scenario in servers_1k_churn servers_10k_churn; do
+  gate "$scenario" \
+       "$(scenario_tps "$BASELINE" "$scenario")" \
+       "$(scenario_tps "$CANDIDATE" "$scenario")"
 done
 
-# 100k: informational — report the ratio, never gate.
+# 100k: informational — report the ratios, never gate.
 base100k="$(best_tps "$BASELINE" 100000)"
 cand100k="$(best_tps "$CANDIDATE" 100000)"
 if awk -v b="$base100k" -v c="$cand100k" 'BEGIN { exit !(b > 0 && c > 0) }'; then
@@ -79,6 +105,14 @@ if awk -v b="$base100k" -v c="$cand100k" 'BEGIN { exit !(b > 0 && c > 0) }'; the
   echo "info: servers=100000 ${ratio}x baseline (${base100k} -> ${cand100k} tps)"
 else
   echo "info: servers=100000 point missing in baseline or candidate (--quick run?)"
+fi
+base100kc="$(scenario_tps "$BASELINE" servers_100k_churn)"
+cand100kc="$(scenario_tps "$CANDIDATE" servers_100k_churn)"
+if awk -v b="$base100kc" -v c="$cand100kc" 'BEGIN { exit !(b > 0 && c > 0) }'; then
+  ratio="$(awk -v b="$base100kc" -v c="$cand100kc" 'BEGIN { printf "%.1f", c / b }')"
+  echo "info: servers_100k_churn ${ratio}x baseline (${base100kc} -> ${cand100kc} tps)"
+else
+  echo "info: servers_100k_churn point missing in baseline or candidate (--quick run?)"
 fi
 
 exit "$fail"

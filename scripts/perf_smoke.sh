@@ -92,3 +92,26 @@ if [[ -z "$reagg" || -z "$skipped" || "$reagg" -eq 0 || "$skipped" -eq 0 ]]; the
 fi
 echo "(incremental smoke: $reports reports / $directives directives match the trace;"
 echo " $reagg nodes re-aggregated, $skipped skipped)"
+
+# Consolidation-counter reconciliation: with instant migrations (this
+# scenario leaves migration latency off) every drained candidate ends the
+# tick asleep, so trace sleep lines equal control.consol_drained exactly;
+# the examined/served split must also add up — cache hits and drains are
+# disjoint outcomes of the candidates examined.
+sleep_lines="$(grep -c '"type":"sleep"' "$WORK/trace.jsonl" || true)"
+candidates="$(counter control.consol_candidates)"
+drained="$(counter control.consol_drained)"
+cache_served="$(counter control.consol_cache_served)"
+if [[ -z "$candidates" || "$candidates" -eq 0 ]]; then
+  echo "ERROR: control.consol_candidates=${candidates:-missing}; churn run never consolidated" >&2
+  exit 1
+fi
+if [[ "$sleep_lines" -ne "${drained:-missing}" ]]; then
+  echo "ERROR: $sleep_lines sleep trace lines vs control.consol_drained=${drained:-missing}" >&2
+  exit 1
+fi
+if [[ $(( drained + cache_served )) -gt "$candidates" ]]; then
+  echo "ERROR: consol counters inconsistent: drained=$drained + cache_served=$cache_served > candidates=$candidates" >&2
+  exit 1
+fi
+echo "(consolidation smoke: $candidates candidates examined, $drained drained == $sleep_lines sleep lines, $cache_served cache-served)"

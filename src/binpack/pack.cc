@@ -54,7 +54,10 @@ struct MutableBins {
   }
 };
 
-constexpr double kEps = 1e-9;
+// Local alias for the exported boundary epsilon (pack.h): the slack forms
+// below spell the same judgment as fits(), kept in their historical
+// arithmetic shape so results stay bitwise stable.
+constexpr double kEps = kCapacityEps;
 
 /// Generic one-pass heuristic over a fixed item order.
 PackResult greedy(const std::vector<Item>& items, const std::vector<Bin>& bins,
@@ -68,7 +71,7 @@ PackResult greedy(const std::vector<Item>& items, const std::vector<Bin>& bins,
       case Algorithm::kFirstFit:
       case Algorithm::kFirstFitDecreasing:
         for (std::size_t b = 0; b < bins.size(); ++b) {
-          if (state.residual[b] + kEps >= size) {
+          if (fits(state.residual[b], size)) {
             chosen = b;
             break;
           }
@@ -151,7 +154,7 @@ PackResult ffdlr(const std::vector<Item>& items, const std::vector<Bin>& bins) {
     // Smallest unused real bin that fits the whole group.
     std::size_t chosen = bins.size();
     for (std::size_t b : real_by_cap) {
-      if (!bin_used[b] && bins[b].capacity + kEps >= vb.content) {
+      if (!bin_used[b] && fits(bins[b].capacity, vb.content)) {
         chosen = b;
         break;
       }
@@ -207,7 +210,7 @@ VirtualGroups ffdlr_virtual_groups(const std::vector<Item>& items,
   // Items larger than the largest bin can never be placed.
   std::vector<std::size_t> order;
   for (std::size_t i : by_decreasing_size(items)) {
-    if (items[i].size > cmax + kEps) {
+    if (!fits(cmax, items[i].size)) {
       out.oversized.push_back(i);
     } else {
       order.push_back(i);
@@ -219,7 +222,7 @@ VirtualGroups ffdlr_virtual_groups(const std::vector<Item>& items,
     const double size = items[item].size;
     bool placed = false;
     for (auto& vb : out.groups) {
-      if (vb.content + size <= cmax + kEps) {
+      if (fits(cmax, vb.content + size)) {
         vb.content += size;
         vb.items.push_back(item);
         placed = true;

@@ -63,6 +63,17 @@ enum class Algorithm {
   kWorstFitDecreasing, ///< loosest-fitting bin (load-levelling baseline)
 };
 
+/// The float boundary every packing judgment uses: `capacity` can absorb
+/// `size` when capacity + kCapacityEps >= size.  Exposed so callers that
+/// reproduce pack()'s decisions against their own bin structures (the
+/// controller's consolidation capacity index) judge the boundary with the
+/// same epsilon and the same arithmetic form — a different form can flip a
+/// verdict within a few ulps of the boundary.
+inline constexpr double kCapacityEps = 1e-9;
+[[nodiscard]] inline bool fits(double capacity, double size) {
+  return capacity + kCapacityEps >= size;
+}
+
 /// Pack items into (single-use, finite) bins.  Never overfills; items are
 /// never split.  Deterministic: ties break toward lower input index.
 PackResult pack(const std::vector<Item>& items, const std::vector<Bin>& bins,

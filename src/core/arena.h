@@ -62,6 +62,44 @@ class SubtreeSpan {
     return indirect_ ? indirect_[i] : first_ + i;
   }
 
+  /// Forward iteration over the span's slots, so consumers can range-for
+  /// a subtree instead of hand-indexing it.  Dereferences to the slot value;
+  /// the contiguous/indirect distinction stays hidden.
+  class const_iterator {
+   public:
+    using value_type = std::uint32_t;
+    using difference_type = std::int64_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    const_iterator() = default;
+    const_iterator(const SubtreeSpan* span, std::uint32_t pos)
+        : span_(span), pos_(pos) {}
+
+    std::uint32_t operator*() const { return (*span_)[pos_]; }
+    const_iterator& operator++() {
+      ++pos_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator old = *this;
+      ++pos_;
+      return old;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.pos_ == b.pos_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return a.pos_ != b.pos_;
+    }
+
+   private:
+    const SubtreeSpan* span_ = nullptr;
+    std::uint32_t pos_ = 0;
+  };
+
+  [[nodiscard]] const_iterator begin() const { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const { return {this, count_}; }
+
  private:
   std::uint32_t first_ = 0;
   std::uint32_t count_ = 0;

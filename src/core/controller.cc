@@ -8,6 +8,7 @@
 
 #include "core/allocation.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace willow::core {
 
@@ -293,6 +294,11 @@ void Controller::resolve_instruments() {
     c_packings_reused_ = nullptr;
     c_shadow_checks_ = nullptr;
     c_shadow_mismatches_ = nullptr;
+    c_consol_candidates_ = nullptr;
+    c_consol_drained_ = nullptr;
+    c_consol_cache_served_ = nullptr;
+    c_consol_batched_ = nullptr;
+    c_index_point_updates_ = nullptr;
     resolve_fault_instruments();
     return;
   }
@@ -302,6 +308,11 @@ void Controller::resolve_instruments() {
   c_packings_reused_ = &m.counter("control.packings_reused");
   c_shadow_checks_ = &m.counter("control.shadow_checks");
   c_shadow_mismatches_ = &m.counter("control.shadow_mismatches");
+  c_consol_candidates_ = &m.counter("control.consol_candidates");
+  c_consol_drained_ = &m.counter("control.consol_drained");
+  c_consol_cache_served_ = &m.counter("control.consol_cache_served");
+  c_consol_batched_ = &m.counter("control.consol_batched");
+  c_index_point_updates_ = &m.counter("control.index_point_updates");
   resolve_fault_instruments();
 }
 
@@ -504,6 +515,16 @@ void Controller::retry_pending_directives() {
 void Controller::tick(Watts available_supply) {
   ++tick_;
   ensure_topology_cache();
+  // The previous tick's transient booking (absorbed_w_/migrated_from_w_) is
+  // about to reset below, which moves target_capacity() for every endpoint of
+  // last tick's migrations.  Stamp those endpoints so the epoch-keyed
+  // consolidation verdict caches see the reset as a change — this is what
+  // lets the caches and the fleet fast path stay valid while migrations are
+  // in flight instead of being quiescence-gated.
+  for (const auto& rec : migrations_this_tick_) {
+    touch(rec.from);
+    touch(rec.to);
+  }
   migrations_this_tick_.clear();
   events_this_tick_.clear();
   targets_this_tick_.clear();
@@ -1160,40 +1181,62 @@ void Controller::demand_adaptation() {
       }
       return a < b;
     });
+    // Wake in geometric batches (1, 2, 4, ...) with ONE supply re-division
+    // per batch.  The per-wake re-division this replaces was O(fleet):
+    // waking W servers cost W full budget divisions, and under sustained
+    // churn the loop could drain a ~50k-server sleep pool chasing leftover
+    // demand that fits nowhere, turning one tick into minutes of wasted
+    // divisions.  Batching keeps wakes need-driven (a batch doubles only
+    // after the previous batch absorbed something) while bounding division
+    // work to O(log wakes) per tick, and the absorbed-nothing stop cuts the
+    // pathological case to a single wasted wake: capacity that hosts no
+    // leftover demand is capacity consolidation just has to re-sleep.
     const auto& root_node = tree.node(tree.root());
-    for (NodeId s : asleep) {
-      if (pending.empty()) break;
+    std::size_t next = 0;
+    std::size_t batch = 1;
+    std::vector<NodeId> batch_nodes;
+    while (!pending.empty() && next < asleep.size()) {
       // Headroom a wake could tap: budget the children could not absorb plus
       // raw supply beyond the active-capacity cap on the root budget.
       const Watts headroom =
           root_unallocated_ +
           util::positive_part(last_supply_ - root_node.budget());
       if (headroom.value() <= config_.margin.value()) break;
-      cluster_.wake_server(s);
-      {
-        // The wake flips an active flag the aggregation sweeps cannot see.
-        const NodeId p = tree.node(s).parent();
-        if (p != hier::kNoNode) {
-          limit_dirty_[p] = 1;
-          division_dirty_[p] = 1;
+      batch_nodes.clear();
+      const std::size_t take = std::min(batch, asleep.size() - next);
+      for (std::size_t i = 0; i < take; ++i) {
+        const NodeId s = asleep[next++];
+        cluster_.wake_server(s);
+        {
+          // The wake flips an active flag the aggregation sweeps cannot see.
+          const NodeId p = tree.node(s).parent();
+          if (p != hier::kNoNode) {
+            limit_dirty_[p] = 1;
+            division_dirty_[p] = 1;
+          }
+          tree.mark_report_dirty(s);
+          touch(s);
         }
-        tree.mark_report_dirty(s);
-        touch(s);
+        ++stats_.wakes;
+        events_this_tick_.push_back(
+            {EventKind::kWake, tick_, 0, s, hier::kNoNode, Watts{0.0}});
+        if (bus_ != nullptr && bus_->enabled()) {
+          bus_->emit(make_event(obs::EventType::kWake, s, hier::kNoNode, 0,
+                                obs::Reason::kSupplyDeficit));
+        }
+        WILLOW_INFO() << "wake server " << s << " for unplaced demand";
+        batch_nodes.push_back(s);
       }
-      ++stats_.wakes;
-      events_this_tick_.push_back(
-          {EventKind::kWake, tick_, 0, s, hier::kNoNode, Watts{0.0}});
-      if (bus_ != nullptr && bus_->enabled()) {
-        bus_->emit(make_event(obs::EventType::kWake, s, hier::kNoNode, 0,
-                              obs::Reason::kSupplyDeficit));
-      }
-      WILLOW_INFO() << "wake server " << s << " for unplaced demand";
-      // Re-divide the same supply with the woken server participating.
+      // Re-divide the same supply with the whole batch participating.
       supply_adaptation(last_supply_);
-      const auto unplaced = pack_and_apply(pending, {s});
+      const auto unplaced = pack_and_apply(pending, batch_nodes);
+      const std::size_t placed = pending.size() - unplaced.size();
       std::vector<PlanItem> rest;
+      rest.reserve(unplaced.size());
       for (std::size_t idx : unplaced) rest.push_back(pending[idx]);
       pending = std::move(rest);
+      if (placed == 0) break;  // more capacity is not absorbing anything
+      batch *= 2;
     }
   }
 
@@ -1426,6 +1469,11 @@ void Controller::consolidate() {
 
   const NodeId root = tree.root();
   std::uint64_t reused = 0;
+  std::uint64_t n_candidates = 0;
+  std::uint64_t n_drained = 0;
+  std::uint64_t n_cache_served = 0;
+  std::uint64_t n_batched = 0;
+  std::uint64_t index_updates = 0;
 
   // --- Fleet-scope capacity index -----------------------------------------
   // At fleet scope every candidate's dry run used to rescan all servers and
@@ -1435,11 +1483,12 @@ void Controller::consolidate() {
   // budget_reduced_ flags only move in the report/distribution sweeps —
   // except for the watts a migration books on its target
   // (absorbed_w_/reserved_in_w_) and servers this pass puts to sleep.  So one
-  // sorted (capacity, server) index, point-updated after each apply,
+  // (capacity, server)-ordered index, point-updated after each apply,
   // reproduces pack()'s real-bin order for every candidate: capacity
   // ascending, bin index ascending, where bin index order is creation order
   // is ascending NodeId.  Built lazily on the first fleet-scope dry run, so a
-  // settled fleet (all verdicts cached) pays nothing.
+  // settled fleet (all verdicts cached) pays nothing; under churn the batched
+  // drain point-updates it thousands of times per pass, hence the std::set.
   const auto& arena = cluster_.arena();
   consol_index_built_ = false;
   auto consol_index_erase = [&](NodeId t) {
@@ -1447,10 +1496,9 @@ void Controller::consolidate() {
     const std::uint32_t slot = arena.slot_of(t);
     const double key = consol_cap_of_[slot];
     if (key < 0.0) return;
-    consol_cap_index_.erase(std::lower_bound(consol_cap_index_.begin(),
-                                             consol_cap_index_.end(),
-                                             std::pair<double, NodeId>{key, t}));
+    consol_cap_index_.erase(std::pair<double, NodeId>{key, t});
     consol_cap_of_[slot] = -1.0;
+    ++index_updates;
   };
   auto consol_index_update = [&](NodeId t) {
     if (!consol_index_built_) return;
@@ -1459,11 +1507,9 @@ void Controller::consolidate() {
     if (consol_root_eligible_[slot] == 0 || !tree.node(t).active()) return;
     const double cap = target_capacity(t).value();
     if (cap <= kEps) return;
-    const std::pair<double, NodeId> entry{cap, t};
-    consol_cap_index_.insert(std::lower_bound(consol_cap_index_.begin(),
-                                              consol_cap_index_.end(), entry),
-                             entry);
+    consol_cap_index_.insert(std::pair<double, NodeId>{cap, t});
     consol_cap_of_[slot] = cap;
+    ++index_updates;
   };
   auto build_consol_index = [&]() {
     consol_root_eligible_.assign(count, 1);
@@ -1488,18 +1534,26 @@ void Controller::consolidate() {
             (p == hier::kNoNode || p == root || banned[p] == 0) ? 1 : 0;
       }
     }
-    consol_cap_index_.clear();
+    // Fill a flat scratch first and feed the set with hinted end-inserts:
+    // O(n log n) sort + O(n) tree construction instead of n log n node-by-
+    // node insertions with cold-cache rebalancing.
+    auto& flat = consol_index_build_scratch_;
+    flat.clear();
     consol_cap_of_.assign(count, -1.0);
     for (std::size_t i = 0; i < count; ++i) {
       const NodeId t = sids[i];
       if (consol_root_eligible_[i] == 0 || !tree.node(t).active()) continue;
       const double cap = target_capacity(t).value();
       if (cap > kEps) {
-        consol_cap_index_.emplace_back(cap, t);
+        flat.emplace_back(cap, t);
         consol_cap_of_[i] = cap;
       }
     }
-    std::sort(consol_cap_index_.begin(), consol_cap_index_.end());
+    std::sort(flat.begin(), flat.end());
+    consol_cap_index_.clear();
+    for (const auto& entry : flat) {
+      consol_cap_index_.insert(consol_cap_index_.end(), entry);
+    }
     consol_index_built_ = true;
   };
 
@@ -1525,7 +1579,105 @@ void Controller::consolidate() {
     }
   };
 
-  for (const std::uint32_t ci : consol_order_) {
+  // --- Phase 1: parallel local-scope dry runs ------------------------------
+  // Each candidate's first question — "does it drain within its parent
+  // group?" — reads only state under that parent plus pure per-server
+  // functions, so the answers are independent and can be precomputed across
+  // the worker pool into disjoint plan slots.  The serial drain below
+  // consumes a slot only while the scope's change epoch still matches the
+  // snapshot, which proves a serial recompute would reproduce the plan
+  // bitwise — the decision stream is identical for any pool size (including
+  // none).  Skipped under shadow_diff so the shadow path re-derives
+  // everything itself.
+  const std::size_t n_cand = consol_order_.size();
+  if (consol_plan_.size() < n_cand) consol_plan_.resize(n_cand);
+  for (std::size_t k = 0; k < n_cand; ++k) consol_plan_[k].computed = false;
+  const bool precompute = pool_ != nullptr && inc && config_.prefer_local &&
+                          !config_.shadow_diff && n_cand >= 32;
+  if (precompute) {
+    util::parallel_for_ranges(
+        pool_, n_cand, [&](std::size_t begin, std::size_t end) {
+          // Worker-local pack buffers; the shared bp_*_scratch_ members stay
+          // untouched until the serial phase.
+          std::vector<binpack::Item> bp_items;
+          std::vector<binpack::Bin> bp_bins;
+          std::vector<NodeId> bin_nodes;
+          for (std::size_t k = begin; k < end; ++k) {
+            const std::uint32_t ci = consol_order_[k];
+            const NodeId s = sids[ci];
+            const NodeId scope = tree.node(s).parent();
+            if (scope == hier::kNoNode || scope == root) continue;
+            // Mirror the serial skip checks (cheap reads, frozen during this
+            // phase); a candidate skipped here just recomputes serially.
+            if (targets_this_tick_.contains(s)) continue;
+            if (reserved_in_w_[s] > kEps || outbound_in_flight_w_[s] > kEps) {
+              continue;
+            }
+            const auto& srv = cluster_.server_at(ci);
+            if (srv.apps().empty()) continue;
+            bool hosts_in_flight = false;
+            for (const auto& a : srv.apps()) {
+              if (apps_in_flight_.contains(a.id())) {
+                hosts_in_flight = true;
+                break;
+              }
+            }
+            if (hosts_in_flight) continue;
+            ConsolPlan& plan = consol_plan_[k];
+            std::uint64_t sig = kFnvOffset;
+            plan.items.clear();
+            for (const auto& a : srv.apps()) {
+              sig = fnv1a(sig, a.id());
+              sig = fnv1a(sig, bits_of(a.dropped() ? 0.0 : a.demand().value()));
+              plan.items.push_back({a.id(), s,
+                                    (a.dropped() ? Watts{0.0} : a.demand()) +
+                                        config_.migration_cost,
+                                    a.dropped() ? Watts{0.0} : a.demand(),
+                                    MigrationCause::kConsolidation,
+                                    obs::Reason::kConsolidation});
+            }
+            // The local failure cache already answers at this epoch: the
+            // serial phase will take that path without needing a plan.
+            if (consol_fail_local_[ci].valid &&
+                consol_fail_local_[ci].epoch == subtree_epoch_[scope] &&
+                consol_fail_local_[ci].item_sig == sig) {
+              continue;
+            }
+            bp_items.clear();
+            for (std::size_t i = 0; i < plan.items.size(); ++i) {
+              bp_items.push_back({i, plan.items[i].size.value(), 0});
+            }
+            bp_bins.clear();
+            bin_nodes.clear();
+            const SubtreeSpan span = arena.subtree(scope);
+            for (const std::uint32_t slot : span) {
+              const NodeId t = arena.node_of(slot);
+              if (t == s) continue;
+              if (!tree.node(t).active()) continue;
+              if (!eligible_target(t, scope)) continue;
+              const Watts cap = target_capacity(t);
+              if (cap.value() > kEps) {
+                bp_bins.push_back({static_cast<std::uint64_t>(t), cap.value(), 0});
+                bin_nodes.push_back(t);
+              }
+            }
+            const binpack::PackResult result =
+                binpack::pack(bp_items, bp_bins, config_.packing);
+            plan.assign.clear();
+            for (const auto& a : result.assignments) {
+              plan.assign.emplace_back(a.item, bin_nodes[a.bin]);
+            }
+            plan.placed_all = result.all_placed();
+            plan.sig = sig;
+            plan.scope_epoch = subtree_epoch_[scope];
+            plan.computed = true;
+          }
+        });
+  }
+
+  // --- Phase 2: serial drain in candidate order ----------------------------
+  for (std::size_t k = 0; k < n_cand; ++k) {
+    const std::uint32_t ci = consol_order_[k];
     const NodeId s = sids[ci];
     if (targets_this_tick_.contains(s)) continue;
     // Latency mode: leave servers with transfers in either direction alone
@@ -1540,15 +1692,13 @@ void Controller::consolidate() {
       }
     }
     if (hosts_in_flight) continue;
+    ++n_candidates;
     if (srv.apps().empty()) {
       put_to_sleep(s);
+      ++n_drained;
       continue;
     }
 
-    // The cached dry-run verdicts are only sound while this tick carries no
-    // unstamped transient state (absorbed/reserved watts from migrations).
-    const bool quiescent =
-        migrations_this_tick_.empty() && in_flight_.empty();
     // Fingerprint of what would be drained: the packing outcome depends on
     // each hosted app's identity and live demand, which churn can change
     // without moving the epoch-stamped aggregate (sums can collide bitwise).
@@ -1559,27 +1709,39 @@ void Controller::consolidate() {
     }
 
     const bool cached_root_fail =
-        inc && quiescent && consol_fail_root_[ci].valid &&
+        inc && consol_fail_root_[ci].valid &&
         consol_fail_root_[ci].epoch == subtree_epoch_[root] &&
         consol_fail_root_[ci].item_sig == sig;
     if (cached_root_fail && !config_.shadow_diff) {
       // Nothing anywhere in the tree changed since this candidate last
       // failed to drain at fleet scope: it fails again.
       ++reused;
+      ++n_cache_served;
       continue;
     }
 
     // All-or-nothing: every hosted app (even dropped ones — a sleeping host
-    // cannot retain VMs) must find a berth, else the server stays up.
-    std::vector<PlanItem> items;
-    for (const auto& a : srv.apps()) {
-      items.push_back({a.id(), s,
-                       (a.dropped() ? Watts{0.0} : a.demand()) +
-                           config_.migration_cost,
-                       a.dropped() ? Watts{0.0} : a.demand(),
-                       MigrationCause::kConsolidation,
-                       obs::Reason::kConsolidation});
+    // cannot retain VMs) must find a berth, else the server stays up.  The
+    // item list lives in the candidate's plan slot (member scratch — no
+    // per-candidate allocation) and is reused verbatim from phase 1 when the
+    // scope epoch proves it unchanged.
+    ConsolPlan& plan = consol_plan_[k];
+    const NodeId local_scope = tree.node(s).parent();
+    const bool plan_fresh = plan.computed && plan.sig == sig &&
+                            local_scope != hier::kNoNode &&
+                            plan.scope_epoch == subtree_epoch_[local_scope];
+    if (!plan_fresh) {
+      plan.items.clear();
+      for (const auto& a : srv.apps()) {
+        plan.items.push_back({a.id(), s,
+                              (a.dropped() ? Watts{0.0} : a.demand()) +
+                                  config_.migration_cost,
+                              a.dropped() ? Watts{0.0} : a.demand(),
+                              MigrationCause::kConsolidation,
+                              obs::Reason::kConsolidation});
+      }
     }
+    std::vector<PlanItem>& items = plan.items;
     auto collect_targets = [&](NodeId scope) -> const std::vector<NodeId>& {
       target_scratch_.clear();
       const SubtreeSpan span = arena.subtree(scope);
@@ -1616,11 +1778,12 @@ void Controller::consolidate() {
     // virtual groups depend only on the items and cmax; each group then lands
     // in the first unused index entry with capacity + eps >= content — the
     // bin pack() would pick, because the index order equals pack()'s
-    // real-bin order.  A group that fits no single bin would fall to pack()'s
-    // leftover best-fit pass, which needs real residuals — such candidates
-    // take the exact path.  Returns +1 placed-all (plan in
-    // fast_assign_scratch_), -1 definitive failure, 0 inconclusive.
-    auto fast_root_pack = [&]() -> int {
+    // real-bin order.  Groups that fit no single unused bin spill into
+    // pack()'s final best-fit pass, replayed here over the index plus the
+    // residuals of already-touched bins, so every verdict is two-valued:
+    // true = placed-all (plan in fast_assign_scratch_, pack()'s emission
+    // order), false = pack() would leave something unplaced.
+    auto fast_root_pack = [&]() -> bool {
       if (!consol_index_built_) build_consol_index();
       double cmax = 0.0;
       for (auto it = consol_cap_index_.rbegin(); it != consol_cap_index_.rend();
@@ -1630,74 +1793,157 @@ void Controller::consolidate() {
           break;
         }
       }
-      if (cmax <= 0.0) return -1;  // no usable bin anywhere in the fleet
+      if (cmax <= 0.0) return false;  // no usable bin anywhere in the fleet
       bp_items_scratch_.clear();
       for (std::size_t i = 0; i < items.size(); ++i) {
         bp_items_scratch_.push_back({i, items[i].size.value(), 0});
       }
       const binpack::VirtualGroups vg =
           binpack::ffdlr_virtual_groups(bp_items_scratch_, cmax);
-      if (!vg.oversized.empty()) return -1;  // unplaceable regardless of bins
+      if (!vg.oversized.empty()) return false;  // unplaceable regardless
       fast_assign_scratch_.clear();
-      const std::size_t npos = consol_cap_index_.size();
-      std::vector<std::size_t> used;  // few groups: linear membership is fine
-      used.reserve(vg.groups.size());
+      // Bins this plan already used, as (node, residual) in touch order, and
+      // the items that fell out of whole-group placement.  Both are tiny
+      // (bounded by the candidate's app count), so linear membership scans
+      // beat any indexed structure.
+      auto& touched = fast_touched_scratch_;
+      touched.clear();
+      auto& leftovers = fast_leftover_scratch_;
+      leftovers.clear();
+      auto is_touched = [&](NodeId t) {
+        for (const auto& e : touched) {
+          if (e.first == t) return true;
+        }
+        return false;
+      };
       for (const auto& g : vg.groups) {
         // Start at the first entry that could pass capacity + eps >= content
         // (the two boundary forms differ far below eps at watt magnitudes)
         // and advance with pack()'s exact predicate.
-        auto it = std::lower_bound(
-            consol_cap_index_.begin(), consol_cap_index_.end(),
+        auto it = consol_cap_index_.lower_bound(
             std::pair<double, NodeId>{g.content - 2 * kEps, NodeId{0}});
-        std::size_t chosen = npos;
+        NodeId chosen = hier::kNoNode;
+        double chosen_cap = 0.0;
         for (; it != consol_cap_index_.end(); ++it) {
-          if (it->first + kEps < g.content) continue;
-          if (it->second == s) continue;
-          const auto pos =
-              static_cast<std::size_t>(it - consol_cap_index_.begin());
-          if (std::find(used.begin(), used.end(), pos) != used.end()) continue;
-          chosen = pos;
+          if (!binpack::fits(it->first, g.content)) continue;
+          if (it->second == s || is_touched(it->second)) continue;
+          chosen = it->second;
+          chosen_cap = it->first;
           break;
         }
-        if (chosen == npos) return 0;  // leftover pass might still place
-        used.push_back(chosen);
-        for (std::size_t item : g.items) {
-          fast_assign_scratch_.emplace_back(item,
-                                            consol_cap_index_[chosen].second);
+        if (chosen == hier::kNoNode) {
+          // No single unused bin holds the whole group; its items retry
+          // singly below, exactly as pack() spills them.
+          leftovers.insert(leftovers.end(), g.items.begin(), g.items.end());
+          continue;
+        }
+        double residual = chosen_cap;
+        for (const std::size_t item : g.items) {
+          fast_assign_scratch_.emplace_back(item, chosen);
+          // Sequential subtraction, like MutableBins::place — the running
+          // residual must match pack()'s bits, and float subtraction is not
+          // associative.
+          residual -= items[item].size.value();
+        }
+        touched.emplace_back(chosen, residual);
+      }
+      if (leftovers.empty()) return true;
+      // pack()'s final pass: leftovers re-sorted globally (size descending,
+      // input index ascending), each best-fit into the minimal feasible
+      // slack; ties go to the lowest bin input index, i.e. lowest NodeId.
+      std::stable_sort(leftovers.begin(), leftovers.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         if (items[a].size.value() != items[b].size.value()) {
+                           return items[a].size.value() > items[b].size.value();
+                         }
+                         return a < b;
+                       });
+      for (const std::size_t item : leftovers) {
+        const double size = items[item].size.value();
+        NodeId chosen = hier::kNoNode;
+        double best = std::numeric_limits<double>::infinity();
+        // Best untouched bin: capacity order makes slack monotone, so the
+        // first feasible entry minimizes it.  Entries whose slack rounds to
+        // the same double form a contiguous run (fl(x - size) is monotone in
+        // x); scan the run for the lowest NodeId, because pack()'s
+        // input-order scan keeps the first — lowest-NodeId — minimal bin.
+        auto it = consol_cap_index_.lower_bound(
+            std::pair<double, NodeId>{size - 2 * kEps, NodeId{0}});
+        for (; it != consol_cap_index_.end(); ++it) {
+          const double slack = it->first - size;  // pack()'s exact slack form
+          if (!(slack >= -kEps)) continue;
+          if (it->second == s || is_touched(it->second)) continue;
+          if (chosen == hier::kNoNode) {
+            best = slack;
+            chosen = it->second;
+          } else if (slack == best) {
+            if (it->second < chosen) chosen = it->second;
+          } else {
+            break;  // slack only grows from here
+          }
+        }
+        // Touched bins compete with their shrunken residuals under the same
+        // (slack, NodeId) minimization.
+        std::size_t chosen_touched = touched.size();
+        for (std::size_t ti = 0; ti < touched.size(); ++ti) {
+          const double slack = touched[ti].second - size;
+          if (!(slack >= -kEps)) continue;
+          if (slack < best || (slack == best && touched[ti].first < chosen)) {
+            best = slack;
+            chosen = touched[ti].first;
+            chosen_touched = ti;
+          }
+        }
+        if (chosen == hier::kNoNode) return false;  // fits nowhere: not all placed
+        fast_assign_scratch_.emplace_back(item, chosen);
+        if (chosen_touched < touched.size()) {
+          touched[chosen_touched].second -= size;
+        } else {
+          // First subtraction from an untouched bin is capacity - size,
+          // which is exactly the slack already computed.
+          touched.emplace_back(chosen, best);
         }
       }
-      return 1;
+      return true;
     };
     // Dry-run one scope.  On every path the placement plan lands in
     // fast_assign_scratch_ as (item, target) pairs in pack()'s assignment
     // emission order, so the apply loop below has one shape.
     auto run_scope = [&](NodeId scope) -> bool {
       if (inc && scope == root) {
-        const int verdict = fast_root_pack();
-        if (verdict != 0) {
-          if (config_.shadow_diff) {
-            const auto full = dry_run(collect_targets(root));
-            bool mismatch = full.all_placed() != (verdict > 0);
-            if (!mismatch && verdict > 0) {
-              mismatch = full.assignments.size() != fast_assign_scratch_.size();
-              for (std::size_t k = 0;
-                   !mismatch && k < fast_assign_scratch_.size(); ++k) {
-                mismatch =
-                    full.assignments[k].item != fast_assign_scratch_[k].first ||
-                    bin_node_scratch_[full.assignments[k].bin] !=
-                        fast_assign_scratch_[k].second;
+        const bool verdict = fast_root_pack();
+        ++n_batched;
+        if (config_.shadow_diff) {
+          const auto full = dry_run(collect_targets(root));
+          bool mismatch = full.all_placed() != verdict;
+          if (!mismatch && verdict) {
+            mismatch = full.assignments.size() != fast_assign_scratch_.size();
+            for (std::size_t j = 0;
+                 !mismatch && j < fast_assign_scratch_.size(); ++j) {
+              mismatch =
+                  full.assignments[j].item != fast_assign_scratch_[j].first ||
+                  bin_node_scratch_[full.assignments[j].bin] !=
+                      fast_assign_scratch_[j].second;
+            }
+            if (!mismatch) {
+              // The full result drives the apply loop below in shadow mode;
+              // keep the two plans interchangeable bit for bit.
+              fast_assign_scratch_.clear();
+              for (const auto& a : full.assignments) {
+                fast_assign_scratch_.emplace_back(a.item,
+                                                  bin_node_scratch_[a.bin]);
               }
             }
-            count_shadow_check(mismatch);
-            if (mismatch) {
-              throw std::logic_error(
-                  "Controller shadow diff: consolidation fast path diverged "
-                  "for server " +
-                  std::to_string(s));
-            }
           }
-          return verdict > 0;
+          count_shadow_check(mismatch);
+          if (mismatch) {
+            throw std::logic_error(
+                "Controller shadow diff: consolidation fast path diverged "
+                "for server " +
+                std::to_string(s));
+          }
         }
+        return verdict;
       }
       const auto result = dry_run(collect_targets(scope));
       fast_assign_scratch_.clear();
@@ -1707,9 +1953,9 @@ void Controller::consolidate() {
       return result.all_placed();
     };
 
-    NodeId scope = config_.prefer_local ? tree.node(s).parent() : root;
+    NodeId scope = config_.prefer_local ? local_scope : root;
     bool placed_all = false;
-    if (inc && quiescent && scope != root && consol_fail_local_[ci].valid &&
+    if (inc && scope != root && consol_fail_local_[ci].valid &&
         consol_fail_local_[ci].epoch == subtree_epoch_[scope] &&
         consol_fail_local_[ci].item_sig == sig) {
       // Known local failure at this scope epoch: go straight to fleet scope.
@@ -1727,22 +1973,25 @@ void Controller::consolidate() {
       scope = root;
       placed_all = run_scope(scope);
     } else {
-      placed_all = run_scope(scope);
+      if (plan_fresh && scope != root) {
+        // Phase-1 verdict still valid: nothing under the scope moved since
+        // the precompute, so a serial dry run would reproduce it bitwise.
+        placed_all = plan.placed_all;
+        fast_assign_scratch_.assign(plan.assign.begin(), plan.assign.end());
+      } else {
+        placed_all = run_scope(scope);
+      }
       if (!placed_all && config_.prefer_local && scope != root) {
-        if (quiescent) {
-          consol_fail_local_[ci] = {subtree_epoch_[scope], sig, true};
-        }
+        consol_fail_local_[ci] = {subtree_epoch_[scope], sig, true};
         scope = root;
         placed_all = run_scope(scope);
       }
     }
     if (!placed_all) {
-      if (quiescent) {
-        if (scope == root) {
-          consol_fail_root_[ci] = {subtree_epoch_[root], sig, true};
-        } else {
-          consol_fail_local_[ci] = {subtree_epoch_[scope], sig, true};
-        }
+      if (scope == root) {
+        consol_fail_root_[ci] = {subtree_epoch_[root], sig, true};
+      } else {
+        consol_fail_local_[ci] = {subtree_epoch_[scope], sig, true};
       }
       if (cached_root_fail) count_shadow_check(false);  // verdict held
       continue;
@@ -1759,6 +2008,7 @@ void Controller::consolidate() {
       apply_migration(items[item_idx], tgt);
       consol_index_update(tgt);  // capacity shrank; no-op if index not built
     }
+    ++n_drained;
     if (srv.apps().empty()) {
       put_to_sleep(s);
       WILLOW_INFO() << "consolidated server " << s << " to sleep";
@@ -1772,6 +2022,13 @@ void Controller::consolidate() {
   }
   if (c_packings_reused_ != nullptr && reused > 0) {
     c_packings_reused_->increment(reused);
+  }
+  if (c_consol_candidates_ != nullptr) {
+    c_consol_candidates_->increment(n_candidates);
+    c_consol_drained_->increment(n_drained);
+    c_consol_cache_served_->increment(n_cache_served);
+    c_consol_batched_->increment(n_batched);
+    c_index_point_updates_->increment(index_updates);
   }
 }
 

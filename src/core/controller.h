@@ -30,7 +30,9 @@
 #pragma once
 
 #include <functional>
+#include <set>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "binpack/pack.h"
@@ -39,6 +41,10 @@
 #include "fault/link_faults.h"
 #include "obs/bus.h"
 #include "util/units.h"
+
+namespace willow::util {
+class ThreadPool;
+}
 
 namespace willow::core {
 
@@ -295,6 +301,12 @@ class Controller {
   /// modes.
   void note_availability_change(NodeId node);
 
+  /// Attach a worker pool (not owned; may be null).  Used to shard the
+  /// independent subtree-scope consolidation dry runs; results are merged in
+  /// fixed candidate order and revalidated against the change epochs, so the
+  /// decision stream is byte-identical for any pool size (including none).
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+
   /// Attach a link-fault model (not owned; may be null).  Installed on the
   /// tree (up-link report faults) and consulted by the budget distributor:
   /// lost directives enter a bounded-backoff retry queue instead of being
@@ -441,9 +453,12 @@ class Controller {
   bool consol_order_valid_ = false;
   /// Cached dry-run failures: "this candidate could not be fully drained at
   /// this scope while the scope's state was at this epoch (with these items)".
-  /// Only recorded/consulted on quiescent passes (no migrations applied or in
-  /// flight this tick), because the per-tick absorbed/reserved state those
-  /// passes see is not epoch-stamped.
+  /// Valid on every pass, including while migrations are in flight: the
+  /// transient absorbed/reserved watts a dry run reads are epoch-stamped at
+  /// every mutation (migration start, landing, release) *and* at their
+  /// per-tick reset (tick() touches the previous tick's targets before
+  /// zeroing absorbed_w_), so an unchanged scope epoch proves the verdict's
+  /// inputs are bitwise unchanged.
   struct ConsolFail {
     std::uint64_t epoch = 0;
     std::uint64_t item_sig = 0;
@@ -478,6 +493,16 @@ class Controller {
   obs::Counter* c_packings_reused_ = nullptr;
   obs::Counter* c_shadow_checks_ = nullptr;
   obs::Counter* c_shadow_mismatches_ = nullptr;
+  /// Batched-consolidation effectiveness: per-ΔA candidates that passed the
+  /// skip checks, candidates fully drained (plan applied or empty server
+  /// slept), verdicts served whole by the fleet-scope failure cache, fleet
+  /// verdicts produced by the capacity-index fast path, and point mutations
+  /// (erase/insert) applied to that index.
+  obs::Counter* c_consol_candidates_ = nullptr;
+  obs::Counter* c_consol_drained_ = nullptr;
+  obs::Counter* c_consol_cache_served_ = nullptr;
+  obs::Counter* c_consol_batched_ = nullptr;
+  obs::Counter* c_index_point_updates_ = nullptr;
 
   /// Fault instruments, resolved only when a link-fault model or the stale
   /// machinery is active so fault-free runs register no extra counters.
@@ -565,15 +590,45 @@ class Controller {
   /// Consolidation fleet-scope fast path (valid only within one
   /// consolidate() call; see consolidate()).  The capacity index holds every
   /// (active, root-eligible, capacity > eps) server except none — candidates
-  /// skip themselves at pack time — sorted by (capacity, NodeId), which is
+  /// skip themselves at pack time — ordered by (capacity, NodeId), which is
   /// exactly FFDLR's real-bin order when bins are enumerated in creation
-  /// order.  `consol_cap_of_` remembers each slot's indexed key so point
-  /// updates can erase it after a migration changes the capacity.
-  std::vector<std::pair<double, NodeId>> consol_cap_index_;
+  /// order.  An ordered set rather than a sorted vector: the batched drain
+  /// point-updates the index after every applied migration and sleep, and
+  /// under churn those point deltas number in the thousands per pass —
+  /// O(log fleet) node surgery instead of O(fleet) vector memmoves.
+  /// `consol_cap_of_` remembers each slot's indexed key so point updates can
+  /// erase it after a migration changes the capacity.
+  std::set<std::pair<double, NodeId>> consol_cap_index_;
+  std::vector<std::pair<double, NodeId>> consol_index_build_scratch_;
   std::vector<double> consol_cap_of_;        ///< by slot; <0 = not indexed
   std::vector<char> consol_root_eligible_;   ///< by slot (unidirectional rule)
   bool consol_index_built_ = false;
   std::vector<std::pair<std::size_t, NodeId>> fast_assign_scratch_;
+  /// Fast-path pack scratch: bins the current candidate's plan already
+  /// touched, as (target, residual) in touch order, and the item indices that
+  /// fell out of whole-group placement (pack()'s leftover best-fit inputs).
+  std::vector<std::pair<NodeId, double>> fast_touched_scratch_;
+  std::vector<std::size_t> fast_leftover_scratch_;
+
+  /// Per-candidate drain plan, one slot per consol_order_ position, reused
+  /// across ΔA passes (inner vectors keep their capacity — this is also where
+  /// the per-candidate PlanItem list lives, replacing a per-candidate heap
+  /// allocation).  The parallel precompute phase fills slots from worker
+  /// threads (disjoint writes); the serial drain consumes a slot only if the
+  /// scope's epoch has not moved since the precompute, which proves a serial
+  /// recompute would reproduce it bitwise.
+  struct ConsolPlan {
+    std::vector<PlanItem> items;
+    std::vector<std::pair<std::size_t, NodeId>> assign;
+    std::uint64_t sig = 0;
+    std::uint64_t scope_epoch = 0;
+    bool placed_all = false;
+    bool computed = false;
+  };
+  std::vector<ConsolPlan> consol_plan_;
+
+  /// Worker pool for the parallel dry-run phase (not owned; may be null).
+  util::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace willow::core

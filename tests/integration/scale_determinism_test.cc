@@ -104,5 +104,64 @@ TEST(ScaleDeterminism, TenThousandServersTraceIdenticalAcrossThreads) {
   EXPECT_EQ(a, b);
 }
 
+TEST(ScaleDeterminism, SustainedChurnConsolidationIdenticalAcrossThreads) {
+  // Consolidation under sustained churn with migrations held in flight:
+  // low utilization keeps the fleet deep in consolidation territory (sleep
+  // candidates every pass), churn re-dirties subtrees every tick, and slow
+  // multi-tick transfers mean every consolidation pass runs against live
+  // transients.  This is the regime the batched packing pass, the
+  // point-updated capacity index and the parallel subtree dry runs carry —
+  // the parallel phase must leave no fingerprint in the trace.
+  auto churn_cfg = [](std::size_t threads) {
+    auto cfg = large_fleet_config();
+    cfg.target_utilization = 0.4;
+    cfg.churn_probability = 0.03;
+    cfg.controller.migration_periods_per_gib = 4.0;
+    cfg.warmup_ticks = 5;
+    cfg.measure_ticks = 30;
+    cfg.threads = threads;
+    return cfg;
+  };
+  auto run_traced = [&](std::size_t threads) {
+    auto cfg = churn_cfg(threads);
+    std::ostringstream os;
+    cfg.sinks.push_back(std::make_shared<obs::JsonlTraceSink>(os));
+    auto result = run_simulation(std::move(cfg));
+    return TracedRun{os.str(), std::move(result)};
+  };
+  const TracedRun serial = run_traced(1);
+  const TracedRun threaded = run_traced(8);
+
+  ASSERT_FALSE(serial.trace.empty());
+  const auto& stats = serial.result.controller_stats;
+  EXPECT_GT(stats.consolidation_migrations, 0u)
+      << "scenario never consolidated; it does not cover the batched pass";
+  EXPECT_GT(stats.sleeps, 0u);
+  const auto& m = serial.result.metrics;
+  EXPECT_GT(m.counter_or_zero("control.consol_candidates"), 0u);
+  EXPECT_GT(m.counter_or_zero("control.consol_drained"), 0u);
+  EXPECT_GT(m.counter_or_zero("control.index_point_updates"), 0u);
+
+  const std::uint64_t golden = fnv1a(serial.trace);
+  const std::uint64_t other = fnv1a(threaded.trace);
+  RecordProperty("churn_trace_hash", std::to_string(golden));
+  EXPECT_EQ(golden, other) << "churn trace hash depends on the thread count";
+  ASSERT_EQ(serial.trace.size(), threaded.trace.size());
+  if (serial.trace != threaded.trace) {
+    const auto mis = std::mismatch(serial.trace.begin(), serial.trace.end(),
+                                   threaded.trace.begin());
+    FAIL() << "traces diverge at byte " << (mis.first - serial.trace.begin());
+  }
+  // The effectiveness counters are part of the deterministic surface too:
+  // a parallel run must examine and drain exactly the same candidates.
+  const auto& mt = threaded.result.metrics;
+  for (const char* name :
+       {"control.consol_candidates", "control.consol_drained",
+        "control.consol_cache_served", "control.consol_batched",
+        "control.index_point_updates"}) {
+    EXPECT_EQ(m.counter_or_zero(name), mt.counter_or_zero(name)) << name;
+  }
+}
+
 }  // namespace
 }  // namespace willow::sim

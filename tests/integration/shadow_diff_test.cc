@@ -123,6 +123,26 @@ TEST(ShadowDiff, FaultScheduleScenario) {
   expect_modes_equivalent(cfg);
 }
 
+TEST(ShadowDiff, MigrationsPermanentlyInFlightScenario) {
+  // The transient-aware consolidation path must hold the equivalence claim
+  // *while migrations are mid-flight*, not just on a quiesced fleet: slow
+  // multi-tick transfers plus churn keep in-flight/absorbed watts booked on
+  // sources and targets at every consolidation pass, so the epoch-stamped
+  // verdict caches and the point-updated capacity index are audited against
+  // live transients on every tick.
+  auto cfg = base_config(0.6, 21);
+  cfg.churn_probability = 0.1;
+  cfg.controller.migration_periods_per_gib = 6.0;  // transfers span ticks
+  expect_modes_equivalent(cfg);
+  const TracedRun inc = traced_run(cfg, /*incremental=*/true, 1);
+  EXPECT_GT(inc.result.controller_stats.total_migrations(), 0u)
+      << "scenario never started a migration; nothing was in flight";
+  // Consolidation verdicts were actually served during the transients.
+  const auto& m = inc.result.metrics;
+  EXPECT_GT(m.counter_or_zero("control.consol_candidates"), 0u);
+  EXPECT_GT(m.counter_or_zero("control.index_point_updates"), 0u);
+}
+
 TEST(ShadowDiff, SkipCountersReconcileWithTrace) {
   // The metrics the perf gate keys on must agree with the trace: every
   // upward link message in the JSONL is one demand report, and reaggregated
