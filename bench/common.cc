@@ -1,8 +1,10 @@
 #include "common.h"
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <mutex>
+#include <thread>
 
 #include "util/json.h"
 #include "util/thread_pool.h"
@@ -107,6 +109,13 @@ bool write_perf_json(const std::string& path, const std::string& bench,
     w.key("scenario").value(p.scenario);
     w.key("servers").value(p.servers);
     w.key("threads").value(p.threads);
+    // Unset (0) means "the machine running the writer": benches record
+    // points and write the file in one process.
+    w.key("hw_threads")
+        .value(p.hw_threads != 0
+                   ? p.hw_threads
+                   : std::max<std::size_t>(
+                         1, std::thread::hardware_concurrency()));
     w.key("ticks").value(static_cast<long long>(p.ticks));
     w.key("wall_seconds").value(p.wall_seconds);
     w.key("ticks_per_second").value(p.ticks_per_second);

@@ -50,6 +50,11 @@ struct PerfPoint {
   std::string scenario;
   std::size_t servers = 0;
   std::size_t threads = 0;
+  /// Hardware threads of the machine that produced the point.  Scaling
+  /// gates read this: a threads=4 point measured on a single-core box can
+  /// only show overhead, never speedup, and is judged accordingly
+  /// (scripts/check_bench_regression.sh).
+  std::size_t hw_threads = 0;
   long ticks = 0;
   double wall_seconds = 0.0;
   double ticks_per_second = 0.0;

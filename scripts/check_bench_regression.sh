@@ -1,22 +1,34 @@
 #!/usr/bin/env bash
-# Bench regression gate for the data-plane scaling benchmark.
+# Bench regression gate for the scaling benchmarks.
 #
 #   scripts/check_bench_regression.sh <candidate.json> [baseline.json] [max_pct]
 #
-# Compares best-of-fleet ticks-per-second per fleet size (keyed on the
-# "servers" field, so scenario renames between runs don't break the gate)
-# against a baseline BENCH_dataplane_scaling.json.  Fails if the candidate
-# regresses more than <max_pct> percent (default 10) at the 1k or 10k fleet.
-# The sustained-churn regime is gated separately, keyed on the scenario name
-# (best-of-fleet would always pick the settled point): a >MAX_PCT tps
-# regression on servers_1k_churn or servers_10k_churn fails too, so a
-# "fast when standing still" optimization cannot slip through.  The 100k
-# fleet (settled and churn) is reported but not gated — its absolute floor
-# is asserted by the PR that moves it, not per-run.
+# The candidate's "bench" field picks the gate:
+#
+# dataplane_scaling — compares best-of-fleet ticks-per-second per fleet size
+# (keyed on the "servers" field, so scenario renames between runs don't break
+# the gate) against a baseline BENCH_dataplane_scaling.json.  Fails if the
+# candidate regresses more than <max_pct> percent (default 10) at the 1k or
+# 10k fleet.  The sustained-churn regime is gated separately, keyed on the
+# scenario name (best-of-fleet would always pick the settled point): a
+# >MAX_PCT tps regression on servers_1k_churn or servers_10k_churn fails too,
+# so a "fast when standing still" optimization cannot slip through.  The 100k
+# fleet (settled and churn) is reported but not gated — its absolute floor is
+# asserted by the PR that moves it, not per-run.
+#
+# tick_scaling — gates the tick engine's thread scaling on the 10k-server
+# scenario, threads=4 vs threads=1.  The bar depends on the "hw_threads"
+# field the bench records (the machine that produced the points): with >= 4
+# hardware threads, threads=4 must beat threads=1 outright; with fewer,
+# speedup is physically impossible and the gate instead requires threads=4
+# to stay within 10% of serial — the regime where the old one-task-per-index
+# pool measured 0.41x and the batch engine must stay ~1.0x.  The threads=1
+# point is also gated against the baseline's like the dataplane fleets, so
+# the fused tick loop cannot quietly slow the serial path.
 #
 # With no explicit baseline, the committed copy is used (git show HEAD:...),
-# so you can regenerate BENCH_dataplane_scaling.json in place and gate the
-# working tree against the last commit.
+# so you can regenerate the BENCH_*.json in place and gate the working tree
+# against the last commit.
 set -euo pipefail
 
 CANDIDATE="${1:?usage: check_bench_regression.sh <candidate.json> [baseline.json] [max_pct]}"
@@ -27,11 +39,15 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
+# Which benchmark is this?  The writer puts "bench" first in the object.
+BENCH="$(sed -n 's/.*"bench":"\([^"]*\)".*/\1/p' "$CANDIDATE" | head -n 1)"
+BENCH="${BENCH:-dataplane_scaling}"
+
 if [ -z "$BASELINE" ]; then
   BASELINE="$tmp/baseline.json"
-  if ! git -C "$ROOT" show HEAD:BENCH_dataplane_scaling.json > "$BASELINE" 2>/dev/null; then
+  if ! git -C "$ROOT" show "HEAD:BENCH_${BENCH}.json" > "$BASELINE" 2>/dev/null; then
     # Not committed yet (first run on a fresh branch): use the repo copy.
-    cp "$ROOT/BENCH_dataplane_scaling.json" "$BASELINE"
+    cp "$ROOT/BENCH_${BENCH}.json" "$BASELINE"
     echo "bench-regression: no committed baseline, using working-tree copy"
   fi
 fi
@@ -62,6 +78,32 @@ scenario_tps() {  # scenario_tps <json-file> <scenario>
     END { printf "%.6f\n", best + 0 }'
 }
 
+# Ticks-per-second of the point with the given "servers" and "threads"
+# values; prints 0 if absent.
+point_tps() {  # point_tps <json-file> <servers> <threads>
+  tr '}' '\n' < "$1" | awk -v ws="$2" -v wt="$3" '
+    match($0, /"servers":[0-9]+/) {
+      s = substr($0, RSTART + 10, RLENGTH - 10) + 0
+      if (s != ws || !match($0, /"threads":[0-9]+/)) next
+      t = substr($0, RSTART + 10, RLENGTH - 10) + 0
+      if (t != wt || !match($0, /"ticks_per_second":[0-9.eE+-]+/)) next
+      tps = substr($0, RSTART + 19, RLENGTH - 19) + 0
+      if (tps > best) best = tps
+    }
+    END { printf "%.6f\n", best + 0 }'
+}
+
+# hw_threads recorded in the file (max across points; 0 if the field is
+# absent, i.e. a pre-PR-10 baseline).
+file_hw_threads() {  # file_hw_threads <json-file>
+  tr '}' '\n' < "$1" | awk '
+    match($0, /"hw_threads":[0-9]+/) {
+      h = substr($0, RSTART + 13, RLENGTH - 13) + 0
+      if (h > best) best = h
+    }
+    END { printf "%d\n", best + 0 }'
+}
+
 fail=0
 # gate <label> <baseline-tps> <candidate-tps>: fail on >MAX_PCT regression.
 gate() {
@@ -86,6 +128,42 @@ gate() {
   fi
 }
 
+if [ "$BENCH" = tick_scaling ]; then
+  # --- Tick-engine thread-scaling gate (10k-server scenario) ---------------
+  t1="$(point_tps "$CANDIDATE" 10000 1)"
+  t4="$(point_tps "$CANDIDATE" 10000 4)"
+  hw="$(file_hw_threads "$CANDIDATE")"
+  if awk -v a="$t1" -v b="$t4" 'BEGIN { exit !(a <= 0 || b <= 0) }'; then
+    echo "FAIL: tick_scaling candidate missing servers=10000 threads=1/4 points" >&2
+    exit 1
+  fi
+  ratio="$(awk -v a="$t1" -v b="$t4" 'BEGIN { printf "%.3f", b / a }')"
+  if [ "$hw" -ge 4 ]; then
+    # Real cores available: parallel must pay for itself outright.
+    if awk -v a="$t1" -v b="$t4" 'BEGIN { exit !(b < a) }'; then
+      echo "FAIL: threads=4 is ${ratio}x threads=1 at 10k servers on a ${hw}-thread host (must be >= 1.0x)" >&2
+      fail=1
+    else
+      echo "ok: threads=4 is ${ratio}x threads=1 at 10k servers (hw_threads=${hw})"
+    fi
+  else
+    # 1-2 hardware threads: speedup is physically impossible; require the
+    # engine to stay near-serial instead (the old pool measured 0.41x here).
+    if awk -v a="$t1" -v b="$t4" 'BEGIN { exit !(b < a * 0.9) }'; then
+      echo "FAIL: threads=4 is ${ratio}x threads=1 at 10k servers on a ${hw}-thread host (must be >= 0.9x)" >&2
+      fail=1
+    else
+      echo "ok: threads=4 is ${ratio}x threads=1 at 10k servers (hw_threads=${hw}, near-serial bar)"
+    fi
+  fi
+  # Serial path must not regress vs the baseline (skips if the baseline
+  # predates the servers_10000 scenario).
+  gate "tick_scaling servers=10000 threads=1" \
+       "$(point_tps "$BASELINE" 10000 1)" "$t1"
+  exit "$fail"
+fi
+
+# --- Data-plane fleet gates ------------------------------------------------
 for fleet in 1000 10000; do
   gate "servers=$fleet" \
        "$(best_tps "$BASELINE" "$fleet")" \

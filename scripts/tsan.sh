@@ -12,8 +12,12 @@ cd "$ROOT"
 
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
-  --target determinism_test thread_pool_test simulation_test churn_test \
+  --target determinism_test trace_determinism_test scale_determinism_test \
+  thread_pool_test thread_pool_stress_test simulation_test churn_test \
   shadow_diff_test
 ctest --test-dir build-tsan --output-on-failure \
   -R '(determinism_test|thread_pool_test|simulation_test|churn_test)'
+# Batch-engine race stress (forced worker dispatch, long contended
+# schedules) — the tests TSan is pointed at by design.
+ctest --test-dir build-tsan --output-on-failure -L tsan
 ctest --test-dir build-tsan --output-on-failure -L shadow-diff

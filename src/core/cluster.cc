@@ -231,7 +231,8 @@ void Cluster::refresh_demands(const workload::PoissonDemand& process,
 
 void Cluster::refresh_demands(const workload::PoissonDemand& process,
                               std::uint64_t seed, long tick, double intensity,
-                              util::ThreadPool* pool) {
+                              util::ThreadPool* pool,
+                              const PerServerHook* per_server) {
   // The one tick phase that emits from inside a sharded region: each server's
   // fresh demand sample becomes a kDemandReport deposited into the per-server
   // shard slot; end_shards() merges them in server order so the trace is
@@ -253,6 +254,7 @@ void Cluster::refresh_demands(const workload::PoissonDemand& process,
             e.value = servers_[i].power_demand().value();
             bus_->emit_shard(i, std::move(e));
           }
+          if (per_server != nullptr) (*per_server)(i);
         }
       });
   if (observe) bus_->end_shards();
@@ -266,7 +268,8 @@ void Cluster::refresh_demands_constant() {
 }
 
 void Cluster::refresh_demands_deterministic(double intensity,
-                                            util::ThreadPool* pool) {
+                                            util::ThreadPool* pool,
+                                            const PerServerHook* per_server) {
   const bool observe = bus_ != nullptr && bus_->enabled();
   if (observe) bus_->begin_shards(servers_.size());
   util::parallel_for_ranges(
@@ -282,6 +285,7 @@ void Cluster::refresh_demands_deterministic(double intensity,
             e.value = servers_[i].power_demand().value();
             bus_->emit_shard(i, std::move(e));
           }
+          if (per_server != nullptr) (*per_server)(i);
         }
       });
   if (observe) bus_->end_shards();
@@ -314,13 +318,15 @@ void Cluster::observe_leaf_demands() {
 
 void Cluster::step_thermal(Seconds dt) { step_thermal(dt, nullptr); }
 
-void Cluster::step_thermal(Seconds dt, util::ThreadPool* pool) {
+void Cluster::step_thermal(Seconds dt, util::ThreadPool* pool,
+                           const PerServerHook* per_server) {
   util::parallel_for_ranges(
       pool, servers_.size(), [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
           auto& s = servers_[i];
           const Watts consumed = s.consumed_power(tree_.node(s.node()).budget());
           s.thermal().step(consumed, dt);
+          if (per_server != nullptr) (*per_server)(i);
         }
       });
 }

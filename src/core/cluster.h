@@ -290,13 +290,23 @@ class Cluster {
   /// generator, draw order = server order.
   void refresh_demands(const workload::PoissonDemand& process, util::Rng& rng,
                        double intensity = 1.0);
+  /// Per-server piggyback hook for the fused tick fan-out: called with the
+  /// server index inside the sharded region, after that server's own work.
+  /// The hook must follow the sharded-phase rules (touch only server i's
+  /// state / slot i of pre-sized vectors; no bus emit()).
+  using PerServerHook = std::function<void(std::size_t)>;
+
   /// Streamed form for the parallel tick engine: server i draws from the
   /// counter-based stream (seed, tick, i, kDemand), so results are
   /// bit-identical for any thread count (including pool == nullptr, which
-  /// runs serially over the same streams).
+  /// runs serially over the same streams).  `per_server`, if non-null, runs
+  /// for each server after its refresh — the tick engine fuses report-fault
+  /// sampling and traffic accounting into this batch instead of paying two
+  /// more fan-outs.
   void refresh_demands(const workload::PoissonDemand& process,
                        std::uint64_t seed, long tick, double intensity,
-                       util::ThreadPool* pool);
+                       util::ThreadPool* pool,
+                       const PerServerHook* per_server = nullptr);
   void refresh_demands_constant();
   /// Deterministic (constant-demand) counterpart of the streamed refresh:
   /// each app's demand becomes its intensity-scaled effective mean, with the
@@ -304,7 +314,8 @@ class Cluster {
   /// emission as the Poisson form.  Used when the scenario's demand quantum
   /// is 0 (no sampling noise — the steady-state regime the incremental
   /// control plane exploits).
-  void refresh_demands_deterministic(double intensity, util::ThreadPool* pool);
+  void refresh_demands_deterministic(double intensity, util::ThreadPool* pool,
+                                     const PerServerHook* per_server = nullptr);
 
   /// Push each server's power_demand() into its PMU leaf (observe_demand).
   void observe_leaf_demands();
@@ -313,7 +324,11 @@ class Cluster {
   void step_thermal(Seconds dt);
   /// Sharded form: per-server state only, so any partition of the server
   /// range yields identical results; budgets are read, never written.
-  void step_thermal(Seconds dt, util::ThreadPool* pool);
+  /// `per_server`, if non-null, runs for each server after its step — the
+  /// tick engine fuses per-server metric recording into this batch on
+  /// recorded ticks.
+  void step_thermal(Seconds dt, util::ThreadPool* pool,
+                    const PerServerHook* per_server = nullptr);
 
   /// Expire aged temporary migration demands (call once per demand period).
   void age_temporary_demands();

@@ -27,43 +27,57 @@ bool FaultPlane::sample_sensor(Rng& rng, const SensorFaultKnobs& knobs,
   return true;
 }
 
+bool FaultPlane::needs_sampling() const {
+  return config_.power_sensor.any() || config_.temp_sensor.any() ||
+         config_.crash_probability > 0.0;
+}
+
+void FaultPlane::begin_tick() { plan_.assign(state_.size(), {}); }
+
+void FaultPlane::sample_range(long tick, std::size_t begin, std::size_t end,
+                              const Callbacks& cb) {
+  const bool sensors = config_.power_sensor.any() || config_.temp_sensor.any();
+  const bool crashes = config_.crash_probability > 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    auto& p = plan_[i];
+    const auto& st = state_[i];
+    if (sensors) {
+      auto rng = util::tick_stream(seed_, static_cast<std::uint64_t>(tick), i,
+                                   util::stream_phase::kSensor);
+      // Fixed draw order: power sensor first, then temperature.
+      // Onsets are proposed regardless of current state (the draws
+      // must not depend on mutable episode state) and discarded in
+      // the serial phase if an episode is already active.
+      p.power_onset =
+          sample_sensor(rng, config_.power_sensor,
+                        config_.sensor_fault_mean_ticks, tick, &p.power);
+      p.temp_onset = sample_sensor(rng, config_.temp_sensor,
+                                   config_.sensor_fault_mean_ticks, tick,
+                                   &p.temp);
+    }
+    if (crashes && !st.down && !(cb.skip_crash && cb.skip_crash(i))) {
+      auto rng = util::tick_stream(seed_, static_cast<std::uint64_t>(tick), i,
+                                   util::stream_phase::kCrash);
+      p.crash = rng.chance(config_.crash_probability);
+    }
+  }
+}
+
 void FaultPlane::step(long tick, util::ThreadPool* pool, const Callbacks& cb) {
+  if (needs_sampling()) {
+    begin_tick();
+    util::parallel_for_ranges(pool, state_.size(),
+                              [&](std::size_t begin, std::size_t end) {
+                                sample_range(tick, begin, end, cb);
+                              });
+  }
+  apply(tick, cb);
+}
+
+void FaultPlane::apply(long tick, const Callbacks& cb) {
   const std::size_t n = state_.size();
   const bool sensors = config_.power_sensor.any() || config_.temp_sensor.any();
   const bool crashes = config_.crash_probability > 0.0;
-
-  if (sensors || crashes) {
-    plan_.assign(n, {});
-    util::parallel_for_ranges(
-        pool, n, [&](std::size_t begin, std::size_t end) {
-          for (std::size_t i = begin; i < end; ++i) {
-            auto& p = plan_[i];
-            const auto& st = state_[i];
-            if (sensors) {
-              auto rng = util::tick_stream(
-                  seed_, static_cast<std::uint64_t>(tick), i,
-                  util::stream_phase::kSensor);
-              // Fixed draw order: power sensor first, then temperature.
-              // Onsets are proposed regardless of current state (the draws
-              // must not depend on mutable episode state) and discarded in
-              // the serial phase if an episode is already active.
-              p.power_onset = sample_sensor(rng, config_.power_sensor,
-                                            config_.sensor_fault_mean_ticks,
-                                            tick, &p.power);
-              p.temp_onset = sample_sensor(rng, config_.temp_sensor,
-                                           config_.sensor_fault_mean_ticks,
-                                           tick, &p.temp);
-            }
-            if (crashes && !st.down &&
-                !(cb.skip_crash && cb.skip_crash(i))) {
-              auto rng = util::tick_stream(
-                  seed_, static_cast<std::uint64_t>(tick), i,
-                  util::stream_phase::kCrash);
-              p.crash = rng.chance(config_.crash_probability);
-            }
-          }
-        });
-  }
 
   // Apply phase: fixed server order, scheduled events before samples so a
   // scripted outage at tick T is not pre-empted by a probabilistic crash.

@@ -53,7 +53,25 @@ class FaultPlane {
   };
 
   /// Advance the plane by one tick.  `pool` may be null (serial sampling).
+  /// Convenience wrapper over the split phases below.
   void step(long tick, util::ThreadPool* pool, const Callbacks& cb);
+
+  /// True when the configuration has probabilistic sources (sensor episodes
+  /// or crash sampling), i.e. the sample phase actually draws something.
+  [[nodiscard]] bool needs_sampling() const;
+
+  /// Split-phase API, for callers that fuse this plane's sampling into an
+  /// existing per-server fan-out (the tick engine runs one fused sample
+  /// batch per tick instead of one per subsystem):
+  ///   begin_tick();                  // serial: reset the per-server plan
+  ///   sample_range(tick, b, e, cb);  // sharded: any disjoint cover of [0,n)
+  ///   apply(tick, cb);               // serial: fixed server order
+  /// sample_range only reads plane state (and cb.skip_crash); outcomes are
+  /// pure in (seed, tick, server), so the cover's shape cannot matter.
+  void begin_tick();
+  void sample_range(long tick, std::size_t begin, std::size_t end,
+                    const Callbacks& cb);
+  void apply(long tick, const Callbacks& cb);
 
   [[nodiscard]] bool down(std::size_t i) const { return state_[i].down; }
   [[nodiscard]] const SensorEpisode& power_episode(std::size_t i) const {

@@ -23,20 +23,20 @@ void EventBus::emit(Event event) {
 void EventBus::begin_shards(std::size_t slots) {
   if (!enabled()) return;
   shard_staging_.resize(slots);
-  for (auto& slot : shard_staging_) slot.clear();
+  for (auto& slot : shard_staging_) slot.events.clear();
 }
 
 void EventBus::emit_shard(std::size_t slot, Event event) {
   if (!enabled()) return;
   event.tick = tick_;
-  shard_staging_[slot].push_back(std::move(event));
+  shard_staging_[slot].events.push_back(std::move(event));
 }
 
 void EventBus::end_shards() {
   if (!enabled()) return;
   for (auto& slot : shard_staging_) {
-    for (const Event& e : slot) dispatch(e);
-    slot.clear();
+    for (const Event& e : slot.events) dispatch(e);
+    slot.events.clear();
   }
 }
 

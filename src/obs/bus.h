@@ -72,8 +72,17 @@ class EventBus {
  private:
   void dispatch(const Event& event);
 
+  /// One staging slot per server, padded to a cache line: neighbouring slots
+  /// are written by different workers during a sharded phase (the chunk
+  /// partition hands adjacent indices to whoever claims the chunk), and an
+  /// unpadded vector header is 24 bytes — three slots per line, i.e. false
+  /// sharing on every boundary push_back.
+  struct alignas(64) ShardSlot {
+    std::vector<Event> events;
+  };
+
   std::vector<std::shared_ptr<Sink>> sinks_;
-  std::vector<std::vector<Event>> shard_staging_;
+  std::vector<ShardSlot> shard_staging_;
   MetricsRegistry metrics_;
   long tick_ = 0;
 };

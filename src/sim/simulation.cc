@@ -248,6 +248,7 @@ SimResult Simulation::run() {
   // Instruments are resolved once; updates inside the loop are pointer
   // writes.  Timers measure wall-clock and stay out of the event trace.
   auto& metrics = bus_.metrics();
+  obs::Timer& t_sample = metrics.timer("sim.phase.sample");
   obs::Timer& t_churn = metrics.timer("sim.phase.churn");
   obs::Timer& t_demand = metrics.timer("sim.phase.demand");
   obs::Timer& t_controller = metrics.timer("sim.phase.controller");
@@ -359,46 +360,64 @@ SimResult Simulation::run() {
     c_ticks.increment();
     if (link_faults_) link_faults_->set_tick(tick);
 
-    if (config_.churn_probability > 0.0) {
-      const obs::ScopedTimer churn_timer(&t_churn);
+    // Fused sample fan-out: churn and fault-plane draws share one batch.
+    // Both sides are read-only against shared state and pull from
+    // independent counter-based streams ((seed, tick, i, kChurn) vs
+    // kSensor/kCrash), and neither serial apply phase below writes anything
+    // the other side's sampling reads (churn apply moves apps, never the
+    // asleep/crashed flags the fault draws consult), so fusing them is
+    // bitwise-neutral — it just halves the per-tick fan-out count.
+    const bool churn_active = config_.churn_probability > 0.0;
+    const bool fault_sampling =
+        fault_plane_ != nullptr && fault_plane_->needs_sampling();
+    if (churn_active || fault_sampling) {
+      const obs::ScopedTimer sample_timer(&t_sample);
       const auto& catalog = workload::simulation_catalog();
-      // Sample phase (sharded, read-only): server i draws from the
-      // counter-based stream (seed, tick, i, kChurn), so outcomes cannot
-      // depend on thread count or visit order.
-      churn_plan.assign(n_servers, {});
+      if (churn_active) churn_plan.assign(n_servers, {});
+      if (fault_sampling) fault_plane_->begin_tick();
       util::parallel_for_ranges(
           pool_.get(), n_servers, [&](std::size_t begin, std::size_t end) {
-            for (std::size_t i = begin; i < end; ++i) {
-              const auto& srv = cluster.server_at(i);
-              // A crashed server is unreachable: nothing departs, nothing
-              // arrives, until it restarts.
-              if (srv.asleep() || srv.crashed() || srv.apps().empty()) {
-                continue;
-              }
-              auto rng = util::tick_stream(config_.seed, tick, i,
-                                           util::stream_phase::kChurn);
-              if (!rng.chance(config_.churn_probability)) continue;
-              auto& d = churn_plan[i];
-              d.churn = true;
-              // Departure: a random app that is not mid-transfer.
-              std::vector<workload::AppId> removable;
-              for (const auto& a : srv.apps()) {
-                if (!controller_->app_in_flight(a.id())) {
-                  removable.push_back(a.id());
+            if (churn_active) {
+              for (std::size_t i = begin; i < end; ++i) {
+                const auto& srv = cluster.server_at(i);
+                // A crashed server is unreachable: nothing departs, nothing
+                // arrives, until it restarts.
+                if (srv.asleep() || srv.crashed() || srv.apps().empty()) {
+                  continue;
+                }
+                auto rng = util::tick_stream(config_.seed, tick, i,
+                                             util::stream_phase::kChurn);
+                if (!rng.chance(config_.churn_probability)) continue;
+                auto& d = churn_plan[i];
+                d.churn = true;
+                // Departure: a random app that is not mid-transfer.
+                std::vector<workload::AppId> removable;
+                for (const auto& a : srv.apps()) {
+                  if (!controller_->app_in_flight(a.id())) {
+                    removable.push_back(a.id());
+                  }
+                }
+                if (!removable.empty()) {
+                  d.has_departure = true;
+                  d.departure = removable[rng.index(removable.size())];
+                }
+                // Arrival: a fresh application of a random class, same
+                // server.
+                d.cls = rng.index(catalog.size());
+                if (config_.mix.priority_levels > 1) {
+                  d.priority =
+                      rng.uniform_int(0, config_.mix.priority_levels - 1);
                 }
               }
-              if (!removable.empty()) {
-                d.has_departure = true;
-                d.departure = removable[rng.index(removable.size())];
-              }
-              // Arrival: a fresh application of a random class, same server.
-              d.cls = rng.index(catalog.size());
-              if (config_.mix.priority_levels > 1) {
-                d.priority =
-                    rng.uniform_int(0, config_.mix.priority_levels - 1);
-              }
+            }
+            if (fault_sampling) {
+              fault_plane_->sample_range(tick, begin, end, fault_cb);
             }
           });
+    }
+    if (churn_active) {
+      const obs::ScopedTimer churn_timer(&t_churn);
+      const auto& catalog = workload::simulation_catalog();
       // Apply phase (serial, fixed server order): placement mutations and
       // app-id allocation happen in index order regardless of thread count.
       for (std::size_t i = 0; i < n_servers; ++i) {
@@ -439,30 +458,42 @@ SimResult Simulation::run() {
 
     if (fault_plane_) {
       const obs::ScopedTimer fault_timer(t_fault);
-      fault_plane_->step(tick, pool_.get(), fault_cb);
+      // Sampling (if any) rode the fused fan-out above; this is the serial
+      // apply phase in fixed server order.
+      fault_plane_->apply(tick, fault_cb);
     }
 
     const double intensity =
         config_.intensity ? config_.intensity->at(Seconds{t}) : 1.0;
     {
       const obs::ScopedTimer demand_timer(&t_demand);
+      // One fan-out refreshes demand and piggybacks the other two
+      // per-server jobs of this phase: the report-fault draw (independent
+      // kFault stream) and the pre-controller traffic figure.  The latter
+      // reads only server i plus its standing budget from last period —
+      // nothing between here and the serial deposit below (supply, UPS,
+      // fabric period reset) writes either — so it is the same value the
+      // old dedicated fan-out computed.
+      const bool loss = config_.report_loss_probability > 0.0;
+      const core::Cluster::PerServerHook per_server = [&](std::size_t i) {
+        if (loss) {
+          auto rng = util::tick_stream(config_.seed, tick, i,
+                                       util::stream_phase::kFault);
+          cluster.server_at(i).set_report_fault(
+              rng.chance(config_.report_loss_probability));
+        }
+        const auto& srv = cluster.server_at(i);
+        traffic_units[i] =
+            srv.asleep() || srv.crashed()
+                ? -1.0
+                : norm_util(srv, tree.node(srv.node()).budget());
+      };
       if (demand) {
         cluster.refresh_demands(*demand, config_.seed, tick, intensity,
-                                pool_.get());
+                                pool_.get(), &per_server);
       } else {
-        cluster.refresh_demands_deterministic(intensity, pool_.get());
-      }
-
-      if (config_.report_loss_probability > 0.0) {
-        util::parallel_for_ranges(
-            pool_.get(), n_servers, [&](std::size_t begin, std::size_t end) {
-              for (std::size_t i = begin; i < end; ++i) {
-                auto rng = util::tick_stream(config_.seed, tick, i,
-                                             util::stream_phase::kFault);
-                cluster.server_at(i).set_report_fault(
-                    rng.chance(config_.report_loss_probability));
-              }
-            });
+        cluster.refresh_demands_deterministic(intensity, pool_.get(),
+                                              &per_server);
       }
     }
 
@@ -485,19 +516,9 @@ SimResult Simulation::run() {
     }
 
     fabric_->begin_period();
-    // Per-server traffic is computed sharded, then deposited serially in
-    // server order: fabric counters are floating-point sums whose value must
-    // not depend on accumulation order.
-    util::parallel_for_ranges(
-        pool_.get(), n_servers, [&](std::size_t begin, std::size_t end) {
-          for (std::size_t i = begin; i < end; ++i) {
-            const auto& srv = cluster.server_at(i);
-            traffic_units[i] =
-                srv.asleep() || srv.crashed()
-                    ? -1.0
-                    : norm_util(srv, tree.node(srv.node()).budget());
-          }
-        });
+    // Per-server traffic was computed sharded (in the demand fan-out) and is
+    // deposited serially in server order: fabric counters are floating-point
+    // sums whose value must not depend on accumulation order.
     for (std::size_t i = 0; i < n_servers; ++i) {
       if (traffic_units[i] >= 0.0) {
         fabric_->add_server_traffic(dc_->servers[i], traffic_units[i]);
@@ -527,9 +548,37 @@ SimResult Simulation::run() {
       if (hops > 0) remote_units += flow.traffic_units;
     }
 
+    const bool recording = tick >= config_.warmup_ticks;
     {
       const obs::ScopedTimer thermal_timer(&t_thermal);
-      cluster.step_thermal(dt, pool_.get());
+      if (recording) {
+        // Per-server metric accumulation rides the thermal batch on recorded
+        // ticks: it reads only the server just stepped (slot i of
+        // result.servers / temps) plus its standing budget, so fusing it
+        // here yields the values the old dedicated record fan-out produced.
+        // The max/violation reduction still runs serially below.
+        const core::Cluster::PerServerHook record_server =
+            [&](std::size_t i) {
+              const hier::NodeId s = dc_->servers[i];
+              const auto& srv = cluster.server_at(i);
+              auto& m = result.servers[i];
+              const Watts budget = tree.node(s).budget();
+              m.consumed_power.add(srv.consumed_power(budget).value());
+              m.temperature.add(srv.thermal().temperature().value());
+              m.utilization.add(norm_util(srv, budget));
+              if (srv.asleep()) {
+                m.asleep_fraction += 1.0;
+                // What the server would have drawn at the scenario's offered
+                // load.
+                m.saved_power_w += model.static_power().value() +
+                                   sustainable * config_.target_utilization;
+              }
+              temps[i] = srv.thermal().temperature().value();
+            };
+        cluster.step_thermal(dt, pool_.get(), &record_server);
+      } else {
+        cluster.step_thermal(dt, pool_.get());
+      }
     }
 
     for (const auto& rec : controller_->migrations_this_tick()) {
@@ -540,9 +589,10 @@ SimResult Simulation::run() {
       last_move[rec.app] = controller_->tick_count();
     }
 
-    if (tick < config_.warmup_ticks) continue;
+    if (!recording) continue;
 
-    // --- Recording ---
+    // --- Recording (serial remainder; the per-server accumulation rode the
+    // thermal batch above) ---
     const obs::ScopedTimer record_timer(&t_record);
     const auto& st = controller_->stats();
     const auto dm = st.demand_migrations - prev_dm;
@@ -605,28 +655,6 @@ SimResult Simulation::run() {
       result.pue.record(t, config_.cooling->pue(it_power, outside));
     }
 
-    // Per-server metric accumulation is sharded (each server owns its
-    // ServerMetrics slot); the max/violation reduction runs serially after.
-    util::parallel_for_ranges(
-        pool_.get(), n_servers, [&](std::size_t begin, std::size_t end) {
-          for (std::size_t i = begin; i < end; ++i) {
-            const hier::NodeId s = dc_->servers[i];
-            const auto& srv = cluster.server_at(i);
-            auto& m = result.servers[i];
-            const Watts budget = tree.node(s).budget();
-            m.consumed_power.add(srv.consumed_power(budget).value());
-            m.temperature.add(srv.thermal().temperature().value());
-            m.utilization.add(norm_util(srv, budget));
-            if (srv.asleep()) {
-              m.asleep_fraction += 1.0;
-              // What the server would have drawn at the scenario's offered
-              // load.
-              m.saved_power_w += model.static_power().value() +
-                                 sustainable * config_.target_utilization;
-            }
-            temps[i] = srv.thermal().temperature().value();
-          }
-        });
     for (std::size_t i = 0; i < n_servers; ++i) {
       result.max_temperature_c = std::max(result.max_temperature_c, temps[i]);
       if (temps[i] >

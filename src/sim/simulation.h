@@ -10,13 +10,15 @@
 //   4. thermal stepping under consumed power
 //   5. metric recording (after an optional warm-up)
 //
-// The per-server parts of phases 1, 2, 4 and 5 (plus churn and fault
-// sampling) are sharded across a thread pool (SimConfig::threads) with
-// bit-deterministic results for any thread count: per-tick randomness comes
-// from counter-based per-server streams (util::tick_stream) and shared
-// accumulators are deposited in fixed server order.  The controller itself
-// stays serial — a control period is a causal chain (demand -> reports ->
-// budgets -> migrations).
+// The per-server parts of those phases are sharded across a thread pool
+// (SimConfig::threads) as at most three *fused* batches per tick — churn +
+// fault sampling; demand refresh + report-fault flags + traffic accounting;
+// thermal stepping + metric recording — with bit-deterministic results for
+// any thread count: per-tick randomness comes from counter-based per-server
+// streams (util::tick_stream) and shared accumulators are deposited in fixed
+// server order between the batches.  The controller itself stays serial — a
+// control period is a causal chain (demand -> reports -> budgets ->
+// migrations).
 //
 // The recorded SimResult carries everything Figures 5–12 plot.
 #pragma once
